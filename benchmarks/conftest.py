@@ -1,0 +1,145 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each ``test_table*.py`` / ``test_fig*.py`` file regenerates one table or
+figure of the paper: it runs the (reduced-size) experiment, prints a
+paper-vs-measured comparison, writes the raw series to
+``benchmarks/results/`` for EXPERIMENTS.md, and registers one
+pytest-benchmark timing of the experiment's core kernel.
+
+Workloads are scaled down from the paper (CPU + minutes instead of A100
+hours); the assertions check the *shape* claims — orderings, ratios,
+crossovers — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_configure(config):
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+
+def fmt_table(headers, rows, title=""):
+    """Plain-text table formatting for paper-vs-measured output."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def write_result(name: str, payload) -> None:
+    """Persist a benchmark's science output (text or JSON-able dict)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if isinstance(payload, str):
+        (RESULTS_DIR / f"{name}.txt").write_text(payload + "\n")
+    else:
+        (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2, default=float))
+
+
+@pytest.fixture(scope="session")
+def reporter():
+    """(print + persist) helper handed to every benchmark."""
+
+    def report(name: str, text: str, data=None):
+        print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+        write_result(name, text)
+        if data is not None:
+            write_result(name + "_data", data)
+
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Shared trained models (expensive; built once per session).
+# ---------------------------------------------------------------------------
+
+
+def small_allegro_config(n_layers=2, **overrides):
+    from repro.models import AllegroConfig
+
+    cfg = dict(
+        n_species=4,
+        lmax=2,
+        n_tensor=4,
+        n_layers=n_layers,
+        latent_dim=24,
+        two_body_hidden=(24,),
+        latent_hidden=(32,),
+        edge_energy_hidden=(16,),
+        r_cut=3.5,
+        avg_num_neighbors=14.0,
+    )
+    cfg.update(overrides)
+    return AllegroConfig(**cfg)
+
+
+@pytest.fixture(scope="session")
+def water_frames():
+    """81-atom water cells (reduced from the paper's 192-atom cell)."""
+    from repro.data import label_frames, perturbed_water_frames
+
+    frames = label_frames(
+        perturbed_water_frames(48, seed=5, sigma=0.05, n_grid=3)
+    )
+    return frames
+
+
+@pytest.fixture(scope="session")
+def ice_test_frames():
+    from repro.data import ICE_LABELS, ice_frames, label_frames
+
+    return {
+        label: label_frames(ice_frames(label, 4, seed=7, sigma=0.04, n_cells=2))
+        for label in ICE_LABELS
+    }
+
+
+@pytest.fixture(scope="session")
+def trained_water_allegro(water_frames):
+    """Allegro trained on few water frames (Tables II and IV share this).
+
+    Recipe mirrors §VI-D at reduced scale: force-only MSE, Adam with a step
+    LR schedule, EMA weights for evaluation, 12 training frames only (the
+    sample-efficiency point of Table II).
+    """
+    from repro.models import AllegroModel
+    from repro.nn import TrainConfig, Trainer
+
+    model = AllegroModel(
+        small_allegro_config(
+            latent_dim=32, two_body_hidden=(32,), latent_hidden=(48,), seed=3
+        )
+    )
+    train = water_frames[:12]  # deliberately few: the sample-efficiency claim
+    val = water_frames[36:44]
+    trainer = Trainer(
+        model,
+        train,
+        val,
+        TrainConfig(
+            lr=5e-3,
+            batch_size=4,
+            max_epochs=70,
+            seed=3,
+            lr_schedule=lambda e: 5e-3 * (0.5 if e >= 40 else 1.0),
+        ),
+    )
+    trainer.fit()
+    trainer.ema.swap()  # evaluate with EMA weights, as the paper does
+    return model, trainer

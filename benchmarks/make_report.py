@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Collate benchmarks/results/ into one markdown report.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python benchmarks/make_report.py [output.md]
+
+Each ``results/*.txt`` block (written by the harness's ``reporter``) becomes
+one section; JSON series are listed as artifact pointers.  The output is the
+one-file summary of the whole reproduction, suitable for pasting into an
+issue or a paper appendix.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+#: Section ordering: tables first, then figures, then ablations.
+ORDER = [
+    "table1_accuracy",
+    "table2_sample_efficiency",
+    "table3_tts",
+    "table3_kernel_calibration",
+    "table4_precision",
+    "fig4_stability",
+    "fig5_padding",
+    "fig6_strong_scaling",
+    "fig6_halo_validation",
+    "fig7_weak_scaling",
+    "fig7_weak_validation",
+    "ablation_tensorproduct",
+    "ablation_scalar_tp",
+    "ablation_cutoffs",
+    "ablation_cutoffs_rdf",
+    "ablation_cutoffs_speed",
+    "ablation_receptive_neighbors",
+    "ablation_receptive_field",
+    "ablation_halo_ratio",
+    "ablation_deployment",
+]
+
+
+def build_report() -> str:
+    if not RESULTS.is_dir():
+        raise SystemExit(
+            "no benchmarks/results/ directory — run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    lines = [
+        "# Reproduction report — all tables, figures, and ablations",
+        "",
+        "Generated from `benchmarks/results/` (see EXPERIMENTS.md for the",
+        "paper-vs-measured analysis and the reduced-scale disclosure).",
+        "",
+    ]
+    seen = set()
+    names = [n for n in ORDER if (RESULTS / f"{n}.txt").exists()]
+    names += sorted(
+        p.stem
+        for p in RESULTS.glob("*.txt")
+        if p.stem not in ORDER
+    )
+    for name in names:
+        if name in seen:
+            continue
+        seen.add(name)
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("```")
+        lines.append((RESULTS / f"{name}.txt").read_text().rstrip())
+        lines.append("```")
+        data = RESULTS / f"{name}_data.json"
+        if data.exists():
+            lines.append(f"raw series: `benchmarks/results/{data.name}`")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else RESULTS.parent / "REPORT.md"
+    out.write_text(build_report())
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

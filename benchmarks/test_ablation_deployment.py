@@ -1,0 +1,57 @@
+"""Ablation — deployment-mode inference (the pair_allegro analogue).
+
+The paper deploys Allegro by compiling it with TorchScript and calling it
+from the LAMMPS plugin: weights are frozen, the tensor-product path
+weights are pre-fused (§V-B2), and no training graph is built.  The
+equivalent here is :meth:`Potential.inference_mode`: parameters stop
+requiring gradients (forces still flow through positions) and fused
+tensors are cached.
+
+Measured: identical energies/forces, and the force-call speedup from the
+smaller tape + cached fusion.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import fmt_table, small_allegro_config
+from repro.data import water_unit_cell
+from repro.models import AllegroModel
+from repro.perf import time_callable
+
+
+def test_deployment_mode_speedup(reporter, benchmark):
+    model = AllegroModel(small_allegro_config(seed=5))
+    system = water_unit_cell(n_grid=3)
+    nl = model.prepare_neighbors(system)
+
+    e0, f0 = model.energy_and_forces(system, nl)
+    t_train, _ = time_callable(lambda: model.energy_and_forces(system, nl), repeat=5)
+    with model.inference_mode():
+        e1, f1 = model.energy_and_forces(system, nl)
+        t_deploy, _ = time_callable(
+            lambda: model.energy_and_forces(system, nl), repeat=5
+        )
+
+    text = fmt_table(
+        ["mode", "force call (ms)", "energy (eV)"],
+        [
+            ("training graph", f"{t_train * 1e3:.1f}", f"{e0:.6f}"),
+            ("deployment (frozen)", f"{t_deploy * 1e3:.1f}", f"{e1:.6f}"),
+        ],
+        title=(
+            "Ablation — deployment-mode inference "
+            f"(81-atom water, {nl.n_edges} pairs): {t_train / t_deploy:.2f}x"
+        ),
+    )
+    reporter("ablation_deployment", text)
+
+    # Exactness: deployment changes nothing numerically.
+    assert e1 == pytest.approx(e0, abs=1e-12)
+    assert np.allclose(f1, f0, atol=1e-12)
+    # Speed: frozen tape + pre-fused paths must not be slower (best-of-5,
+    # 10% noise band for shared-CPU scheduling).
+    assert t_deploy < t_train * 1.1
+
+    with model.inference_mode():
+        benchmark(lambda: model.energy_and_forces(system, nl))

@@ -1,0 +1,105 @@
+"""Fig. 5 — input padding stabilizes performance.
+
+Paper: without padding, per-step throughput fluctuates for thousands of
+steps because changing input-tensor shapes force PyTorch's caching
+allocator into large free/alloc cycles; padding all inputs by 5% (fake
+atoms) gives smooth, stable performance from the start.
+
+Reproduction: a real (reduced) water MD run provides the measured per-step
+neighbor-pair counts — the shape driver (the count changes exactly at
+Verlet-list rebuilds, like LAMMPS reneighboring).  The trace is rescaled
+to a realistic 20k-atoms-per-GPU workload (√N noise scaling, see
+``scale_pair_trace``), then the caching-allocator simulator produces
+per-step throughput with and without the 5% padding.
+
+Shape claims: padded throughput is flat from step 0; unpadded throughput
+dips during the equilibration drift (when new tensor shapes keep
+appearing) and recovers once the system equilibrates.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import fmt_table
+from repro.data import ReferencePotential, water_unit_cell
+from repro.md import LangevinThermostat, Simulation
+from repro.perf import simulate_md_allocation
+from repro.perf.allocator import AllocatorCosts, scale_pair_trace
+
+N_STEPS = 1000
+
+
+@pytest.fixture(scope="module")
+def pair_count_trace():
+    """Measured per-step pair counts from a non-equilibrium water start."""
+    system = water_unit_cell(seed=51, n_grid=4)  # lattice start: equilibrates
+    system.seed_velocities(450.0, np.random.default_rng(53))
+    sim = Simulation(
+        system,
+        ReferencePotential(),
+        dt=0.5,
+        thermostat=LangevinThermostat(300.0, friction=0.05, seed=55),
+        skin=0.3,
+    )
+    res = sim.run(N_STEPS)
+    return res.pair_counts
+
+
+def test_fig5_padding_stabilizes_throughput(pair_count_trace, reporter, benchmark):
+    # Rescale the measured 192-atom trace to 20k atoms/GPU (paper-like).
+    pairs = scale_pair_trace(pair_count_trace, 192, 20_000).astype(int)
+    kwargs = dict(
+        bytes_per_pair=4096.0,
+        base_step_time=0.010,
+        capacity_bytes=30e9,  # 40 GB A100 minus weights/workspace
+        costs=AllocatorCosts(cache_hit=2e-6, device_malloc=5e-3, flush=3e-2),
+    )
+    unpadded = simulate_md_allocation(pairs, padding=None, **kwargs)
+    padded = simulate_md_allocation(pairs, padding=0.05, **kwargs)
+
+    n = len(pairs)
+    windows = [(0, 150), (150, 400), (400, 700), (700, n)]
+    rows = [
+        (
+            f"{lo}-{hi}",
+            f"{unpadded[lo:hi].mean():.1f}",
+            f"{padded[lo:hi].mean():.1f}",
+        )
+        for lo, hi in windows
+    ]
+    text = fmt_table(
+        ["steps", "no padding (steps/s)", "5% padding (steps/s)"],
+        rows,
+        title=(
+            "Fig. 5 — throughput vs MD step with/without 5% input padding\n"
+            f"(pair counts measured from {N_STEPS}-step water MD, rescaled to "
+            f"20k atoms/GPU: {pairs.min()}..{pairs.max()} pairs)"
+        ),
+    )
+    reporter(
+        "fig5_padding",
+        text,
+        {
+            "pairs": pairs.tolist(),
+            "unpadded": unpadded.tolist(),
+            "padded": padded.tolist(),
+        },
+    )
+
+    win_means_unpadded = [unpadded[lo:hi].mean() for lo, hi in windows]
+    pad_all = padded.mean()
+
+    # 1. Padded is stable immediately and throughout.
+    assert padded[:150].mean() > 0.93 * padded[-150:].mean()
+    assert padded.std() < 0.08 * pad_all
+    # 2. Unpadded pays a real penalty while shapes drift.
+    assert min(win_means_unpadded) < 0.97 * pad_all
+    # 3. The worst unpadded window is during the equilibration drift
+    #    (first 400 steps), and performance recovers afterwards.
+    worst = int(np.argmin(win_means_unpadded))
+    assert worst <= 1, "instability must be a warmup phenomenon"
+    dip = pad_all - min(win_means_unpadded)
+    recovered = win_means_unpadded[-1] - min(win_means_unpadded)
+    assert recovered > 0.3 * dip, "unpadded must converge toward padded"
+
+    benchmark(lambda: simulate_md_allocation(pairs[:200], padding=0.05, **kwargs))

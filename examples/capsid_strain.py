@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Capsid mechanics: shell strain under dynamics (the fig. 1a system).
+
+The paper's flagship benchmark is the 44M-atom solvated HIV capsid, whose
+source study (Yu et al. 2022) tracks capsid *strain* during uncoating.
+This example runs the same analysis on the reduced icosahedral proxy:
+
+1. assemble a solvated icosahedral capsid shell,
+2. relax and thermalize it under the reference potential,
+3. track the shell-strain observable over dynamics.
+
+Run:  python examples/capsid_strain.py
+"""
+
+import numpy as np
+
+from repro.data import ReferencePotential, capsid_assembly, shell_strain
+from repro.md import LangevinThermostat, Simulation, TrajectoryRecorder, minimize
+
+def main() -> None:
+    print("1. assembling a solvated icosahedral capsid proxy ...")
+    capsid = capsid_assembly(radius=12.0, subdivisions=1, seed=7)
+    system = capsid.system
+    print(f"   {system.n_atoms} atoms ({capsid.n_shell_atoms} shell, "
+          f"rest water inside + outside), box {system.cell.lengths[0]:.0f} Å")
+    print(f"   (the paper's real capsid: 44,000,000 atoms on ≥512 Perlmutter nodes)")
+
+    reference = ReferencePotential()
+    print("2. relaxing the assembly ...")
+    res = minimize(system, reference, max_steps=60, force_tol=0.5)
+    print(f"   {res.n_iterations} iterations, max|F| = {res.max_force:.2f} eV/Å")
+
+    print("3. thermal dynamics at 300 K, tracking shell strain ...")
+    system.seed_velocities(300.0, np.random.default_rng(11))
+    recorder = TrajectoryRecorder(every=5)
+    sim = Simulation(
+        system,
+        reference,
+        dt=0.5,
+        thermostat=LangevinThermostat(300.0, friction=0.05, seed=13),
+        recorder=recorder,
+    )
+    result = sim.run(40)
+
+    print("\n   time (fs)   shell strain (Å)   T (K)")
+    for t, frame in zip(recorder.times, recorder.frames):
+        strain = shell_strain(capsid, frame)
+        idx = min(int(t / 0.5) - 1, len(result.temperatures) - 1)
+        print(f"   {t:8.1f}   {strain:14.3f}   {result.temperatures[idx]:6.0f}")
+    print(f"\n   throughput: {result.timesteps_per_second:.2f} timesteps/s "
+          f"({system.n_atoms} atoms, 1 CPU core; the paper: 8.73 steps/s "
+          "for 44M atoms on 5120 GPUs)")
+
+
+if __name__ == "__main__":
+    main()

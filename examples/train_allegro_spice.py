@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Full training pipeline: the §VI-D recipe on a SPICE-like dataset.
+
+Reproduces every ingredient of the paper's training setup at reduced scale:
+
+* SPICE-like dataset of drug-like molecules, force-filtered (the paper
+  drops frames with |F| > 0.25 Ha/Bohr),
+* train/val/test split with epoch-wise reshuffling,
+* per-ordered-species-pair cutoffs (H-centered pairs pruned, §V-B4),
+* force-only MSE loss with max-|F| target normalization,
+* Adam (lr 1e-3-scale), step LR schedule, EMA (decay 0.99),
+* ZBL core repulsion for MD stability,
+* model checkpointing via state dicts (numpy .npz).
+
+Run:  python examples/train_allegro_spice.py
+"""
+
+import numpy as np
+
+from repro.data import label_frames, molecule_dataset, split_frames
+from repro.data.reference import ATOMIC_NUMBERS, SPECIES_INDEX
+from repro.models import AllegroConfig, AllegroModel
+from repro.nn import TrainConfig, Trainer
+
+# The paper's force filter: 0.25 Ha/Bohr ≈ 12.86 eV/Å.  Our reference
+# potential produces smaller forces; scale the filter accordingly.
+MAX_FORCE_EV_A = 12.0
+
+
+def paper_style_cutoffs() -> np.ndarray:
+    """§VI-D cutoffs: H→H 3.0, H→{C,N,O} 1.25, O→H 3.0, others 3.5 Å."""
+    m = np.full((4, 4), 3.5)
+    H, C, N, O = (SPECIES_INDEX[s] for s in "HCNO")
+    m[H, H] = 3.0
+    m[H, C] = m[H, N] = m[H, O] = 1.25
+    m[O, H] = 3.0
+    return m
+
+
+def main() -> None:
+    print("1. building the SPICE-like dataset ...")
+    systems = molecule_dataset(60, n_heavy_range=(3, 7), seed=9)
+    frames = label_frames(systems, max_force=MAX_FORCE_EV_A)
+    train, val, test = split_frames(frames, (0.7, 0.15, 0.15), seed=1)
+    print(f"   {len(frames)} frames after force filtering "
+          f"-> {len(train)}/{len(val)}/{len(test)} train/val/test")
+
+    print("2. Allegro with per-pair cutoffs + ZBL ...")
+    model = AllegroModel(
+        AllegroConfig(
+            n_species=4,
+            lmax=2,
+            n_layers=2,
+            n_tensor=4,
+            latent_dim=32,
+            two_body_hidden=(32,),
+            latent_hidden=(48,),
+            edge_energy_hidden=(16,),
+            r_cut=3.5,
+            per_pair_cutoffs=paper_style_cutoffs(),
+            num_bessel=8,
+            avg_num_neighbors=10.0,
+            zbl=True,
+            atomic_numbers=ATOMIC_NUMBERS,
+        )
+    )
+    print(f"   {model.num_parameters():,} parameters")
+
+    print("3. training (force-only MSE, Adam, EMA, step LR schedule) ...")
+    config = TrainConfig(
+        lr=5e-3,
+        batch_size=8,
+        max_epochs=20,
+        ema_decay=0.99,
+        lr_schedule=lambda e: 5e-3 * (0.5 if e >= 14 else 1.0),
+        seed=3,
+    )
+    trainer = Trainer(model, train, val, config)
+    print(f"   force targets normalized by max |F| = {trainer.force_scale:.2f} eV/Å")
+    trainer.fit(verbose=True)
+
+    print("4. held-out test metrics with EMA weights ...")
+    metrics = trainer.evaluate(test, use_ema=True)
+    print(f"   force MAE  = {metrics['force_mae'] * 1000:.1f} meV/Å "
+          "(paper: 25.7 meV/Å on SPICE at full scale)")
+    print(f"   force RMSE = {metrics['force_rmse'] * 1000:.1f} meV/Å "
+          "(paper: 48.1 meV/Å)")
+
+    print("5. checkpointing ...")
+    state = model.state_dict()
+    np.savez("/tmp/allegro_spice_checkpoint.npz", **state)
+    restored = AllegroModel(model.config)
+    restored.load_state_dict(dict(np.load("/tmp/allegro_spice_checkpoint.npz")))
+    e0, _ = model.energy_and_forces(test[0].system)
+    e1, _ = restored.energy_and_forces(test[0].system)
+    assert e0 == e1
+    print("   checkpoint round-trip exact; saved to /tmp/allegro_spice_checkpoint.npz")
+
+
+if __name__ == "__main__":
+    main()

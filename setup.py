@@ -1,0 +1,6 @@
+"""Legacy setup shim: this environment has no `wheel` package and no network,
+so PEP 660 editable installs cannot build. Keeping a setup.py lets
+`pip install -e . --no-build-isolation` use the legacy develop path."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — reproduction of "Scaling the Leading Accuracy of Deep Equivariant
+Models to Biomolecular Simulations of Realistic Size" (SC '23).
+
+Subpackages
+-----------
+autodiff
+    Reverse-mode automatic differentiation on numpy (PyTorch substitute),
+    with Tensor-valued gradients so force-matching double backprop is exact.
+equivariant
+    O(3) irreps, Wigner 3j, spherical harmonics, the paper's strided layout
+    and fused tensor product (e3nn substitute + §V-B kernel innovations).
+nn
+    MLPs, radial bases, optimizers, EMA, the §VI-D force-matching trainer.
+models
+    The Allegro potential and its baselines (NequIP-style MPNN,
+    DeepMD-style invariant, classical FF, LJ/Morse/ZBL).
+md
+    Cells, neighbor lists, integrators, thermostats, observables,
+    trajectories — the single-process MD engine.
+parallel
+    Spatial domain decomposition over a byte-counting virtual cluster
+    (LAMMPS+MPI substitute) and the calibrated A100 performance model.
+perf
+    Mixed-precision emulation (Table IV), caching-allocator + padding
+    simulation (fig. 5), timing utilities.
+data
+    Synthetic water/ice/molecule/protein generators and the many-body
+    analytic reference potential that labels them (DFT substitute).
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "autodiff",
+    "equivariant",
+    "nn",
+    "models",
+    "md",
+    "parallel",
+    "perf",
+    "data",
+]

@@ -1,0 +1,80 @@
+"""Vectorized reverse-mode automatic differentiation on numpy arrays.
+
+This subpackage is the substrate that replaces PyTorch autograd in this
+reproduction.  It provides a :class:`Tensor` type that records a tape of
+operations and can backpropagate gradients through the full Allegro
+computational graph: spherical harmonics (polynomial ops), fused tensor
+products (einsum), MLPs (matmul + SiLU), and per-neighbor aggregation
+(gather / scatter-add).
+
+Design notes
+------------
+* Tensors wrap ``numpy.ndarray`` values; gradients are accumulated into
+  ``.grad`` by :meth:`Tensor.backward`.
+* Broadcasting follows numpy semantics; backward passes un-broadcast
+  gradients by summing over broadcast axes.
+* A module-level :class:`Config` carries the matmul precision hook used by
+  :mod:`repro.perf.precision` to emulate TF32 tensor-core arithmetic.
+"""
+
+from .tensor import Tensor, Config, config, no_grad, is_grad_enabled, astensor, grad
+from .functional import (
+    exp,
+    log,
+    sin,
+    cos,
+    sqrt,
+    tanh,
+    sigmoid,
+    silu,
+    softplus,
+    relu,
+    absolute,
+    clip,
+    maximum,
+    minimum,
+    where,
+    safe_norm,
+    erfc,
+    pow as fpow,
+)
+from .linalg import matmul, einsum
+from .indexing import gather, scatter_add, concatenate, stack, pad_rows
+from .gradcheck import gradcheck, numerical_grad
+
+__all__ = [
+    "Tensor",
+    "Config",
+    "config",
+    "no_grad",
+    "is_grad_enabled",
+    "astensor",
+    "grad",
+    "exp",
+    "log",
+    "sin",
+    "cos",
+    "sqrt",
+    "tanh",
+    "sigmoid",
+    "silu",
+    "softplus",
+    "relu",
+    "absolute",
+    "clip",
+    "maximum",
+    "minimum",
+    "where",
+    "safe_norm",
+    "erfc",
+    "fpow",
+    "matmul",
+    "einsum",
+    "gather",
+    "scatter_add",
+    "concatenate",
+    "stack",
+    "pad_rows",
+    "gradcheck",
+    "numerical_grad",
+]

@@ -1,0 +1,248 @@
+"""Differentiable elementwise functions and nonlinearities.
+
+Backward closures are expressed with Tensor operations so that **second
+derivatives are exact** — force-matching training differentiates the force
+(itself a gradient), which pulls in f'' of every nonlinearity.  SiLU is the
+nonlinearity used throughout Allegro's latent MLPs (paper §VI-D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, astensor, _unbroadcast
+
+
+def exp(x) -> Tensor:
+    """Elementwise e^x."""
+    x = astensor(x)
+    out_data = np.exp(x.data)
+
+    def backward(g: Tensor) -> None:
+        if x._track():
+            # d(exp)/dx = exp(x); rebuild as a Tensor op for higher orders.
+            x._accumulate(g * exp(x))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log(x) -> Tensor:
+    """Elementwise natural logarithm."""
+    x = astensor(x)
+
+    def backward(g: Tensor) -> None:
+        if x._track():
+            x._accumulate(g / x)
+
+    return Tensor._make(np.log(x.data), (x,), backward)
+
+
+def sin(x) -> Tensor:
+    """Elementwise sine."""
+    x = astensor(x)
+
+    def backward(g: Tensor) -> None:
+        if x._track():
+            x._accumulate(g * cos(x))
+
+    return Tensor._make(np.sin(x.data), (x,), backward)
+
+
+def cos(x) -> Tensor:
+    """Elementwise cosine."""
+    x = astensor(x)
+
+    def backward(g: Tensor) -> None:
+        if x._track():
+            x._accumulate(-(g * sin(x)))
+
+    return Tensor._make(np.cos(x.data), (x,), backward)
+
+
+def sqrt(x) -> Tensor:
+    """Elementwise square root."""
+    x = astensor(x)
+
+    def backward(g: Tensor) -> None:
+        if x._track():
+            x._accumulate(g * (x ** (-0.5)) * 0.5)
+
+    return Tensor._make(np.sqrt(x.data), (x,), backward)
+
+
+def sigmoid(x) -> Tensor:
+    """Numerically stable logistic function (compositional backward)."""
+    x = astensor(x)
+    out_data = _sigmoid_np(x.data)
+
+    def backward(g: Tensor) -> None:
+        if x._track():
+            s = sigmoid(x)
+            x._accumulate(g * s * (1.0 - s))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def _sigmoid_np(v: np.ndarray) -> np.ndarray:
+    out = np.empty_like(v)
+    pos = v >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-v[pos]))
+    ev = np.exp(v[~pos])
+    out[~pos] = ev / (1.0 + ev)
+    return out
+
+
+def tanh(x) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    x = astensor(x)
+    out_data = np.tanh(x.data)
+
+    def backward(g: Tensor) -> None:
+        if x._track():
+            t = tanh(x)
+            x._accumulate(g * (1.0 - t * t))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def silu(x) -> Tensor:
+    """SiLU / swish: x·sigmoid(x); derivative s(x)·(1 + x·(1 − s(x)))."""
+    x = astensor(x)
+    s_data = _sigmoid_np(x.data)
+    out_data = x.data * s_data
+
+    def backward(g: Tensor) -> None:
+        if x._track():
+            s = sigmoid(x)
+            x._accumulate(g * s * (x * (1.0 - s) + 1.0))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softplus(x) -> Tensor:
+    """Numerically stable log(1 + e^x)."""
+    x = astensor(x)
+    out_data = np.log1p(np.exp(-np.abs(x.data))) + np.maximum(x.data, 0.0)
+
+    def backward(g: Tensor) -> None:
+        if x._track():
+            x._accumulate(g * sigmoid(x))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def relu(x) -> Tensor:
+    """Elementwise max(x, 0)."""
+    x = astensor(x)
+    mask = (x.data > 0).astype(x.data.dtype)
+
+    def backward(g: Tensor) -> None:
+        if x._track():
+            x._accumulate(g * Tensor(mask))
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def absolute(x) -> Tensor:
+    """Elementwise |x| (subgradient sign(x) at 0)."""
+    x = astensor(x)
+    sign = np.sign(x.data)
+
+    def backward(g: Tensor) -> None:
+        if x._track():
+            x._accumulate(g * Tensor(sign))
+
+    return Tensor._make(np.abs(x.data), (x,), backward)
+
+
+def clip(x, lo: float, hi: float) -> Tensor:
+    """Clamp values to [lo, hi]; gradient is masked outside."""
+    x = astensor(x)
+    mask = ((x.data >= lo) & (x.data <= hi)).astype(x.data.dtype)
+
+    def backward(g: Tensor) -> None:
+        if x._track():
+            x._accumulate(g * Tensor(mask))
+
+    return Tensor._make(np.clip(x.data, lo, hi), (x,), backward)
+
+
+def pow(x, exponent: float) -> Tensor:
+    """Elementwise power with float exponent (alias for Tensor.__pow__)."""
+    return astensor(x) ** exponent
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise max with subgradient to the winning operand."""
+    a, b = astensor(a), astensor(b)
+    amask = (a.data >= b.data).astype(np.float64)
+
+    def backward(g: Tensor) -> None:
+        if a._track():
+            a._accumulate(_unbroadcast(g * Tensor(amask), a.shape))
+        if b._track():
+            b._accumulate(_unbroadcast(g * Tensor(1.0 - amask), b.shape))
+
+    return Tensor._make(np.maximum(a.data, b.data), (a, b), backward)
+
+
+def minimum(a, b) -> Tensor:
+    """Elementwise min with subgradient to the winning operand."""
+    a, b = astensor(a), astensor(b)
+    amask = (a.data <= b.data).astype(np.float64)
+
+    def backward(g: Tensor) -> None:
+        if a._track():
+            a._accumulate(_unbroadcast(g * Tensor(amask), a.shape))
+        if b._track():
+            b._accumulate(_unbroadcast(g * Tensor(1.0 - amask), b.shape))
+
+    return Tensor._make(np.minimum(a.data, b.data), (a, b), backward)
+
+
+def where(cond, a, b) -> Tensor:
+    """Select a where cond else b; cond is a non-differentiable mask."""
+    cond = np.asarray(cond.data if isinstance(cond, Tensor) else cond, dtype=bool)
+    a, b = astensor(a), astensor(b)
+    fmask = cond.astype(np.float64)
+
+    def backward(g: Tensor) -> None:
+        if a._track():
+            a._accumulate(_unbroadcast(g * Tensor(fmask), a.shape))
+        if b._track():
+            b._accumulate(_unbroadcast(g * Tensor(1.0 - fmask), b.shape))
+
+    return Tensor._make(np.where(cond, a.data, b.data), (a, b), backward)
+
+
+def safe_norm(x, axis: int = -1, keepdims: bool = False, eps: float = 1e-30) -> Tensor:
+    """Euclidean norm along ``axis`` with a gradient finite at 0.
+
+    Implemented compositionally (√(Σx² + ε)) so all derivative orders exist;
+    padded "fake" pairs (paper §V-C) produce zero vectors whose gradient
+    must stay NaN-free.
+    """
+    x = astensor(x)
+    sq = (x * x).sum(axis=axis, keepdims=True) + eps
+    out = sqrt(sq)
+    if not keepdims:
+        out = out.squeeze(axis)
+    return out
+
+
+def erfc(x) -> Tensor:
+    """Complementary error function (for Wolf/Ewald-style electrostatics).
+
+    d/dx erfc(x) = −(2/√π)·e^(−x²), expressed with Tensor ops so higher
+    derivatives (force training through electrostatics) stay exact.
+    """
+    from scipy.special import erfc as _erfc
+
+    x = astensor(x)
+    out_data = _erfc(x.data)
+
+    def backward(g: Tensor) -> None:
+        if x._track():
+            x._accumulate(g * exp(-(x * x)) * (-2.0 / np.sqrt(np.pi)))
+
+    return Tensor._make(out_data, (x,), backward)

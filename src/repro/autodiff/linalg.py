@@ -1,0 +1,114 @@
+"""Differentiable dense linear algebra: matmul and general einsum.
+
+These two ops carry nearly all of Allegro's FLOPs (latent MLPs and the fused
+tensor product contraction, paper §V-B2), so the TF32 emulation hooks of
+:mod:`repro.perf.precision` attach here: ``config.matmul_input_cast`` is
+applied to each operand (mantissa truncation) and ``config.matmul_precision``
+to the product, mirroring how tensor cores round inputs to TF32 but
+accumulate in float32.  The hooks shape forward values only; backward runs
+at working precision (the policies of Table IV are inference policies).
+
+Backward closures are written with Tensor ops, so gradients of gradients
+(force-matching training) are exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, astensor, config, _unbroadcast
+
+
+def _cast_in(arr: np.ndarray) -> np.ndarray:
+    return config.matmul_input_cast(arr) if config.matmul_input_cast else arr
+
+
+def _cast_out(arr: np.ndarray) -> np.ndarray:
+    return config.matmul_precision(arr) if config.matmul_precision else arr
+
+
+def matmul(a, b) -> Tensor:
+    """Matrix product with numpy @ semantics (batch broadcasting, 1-D rules)."""
+    a, b = astensor(a), astensor(b)
+    if a.ndim == 1 and b.ndim == 1:
+        return (a * b).sum()
+    if a.ndim == 1:
+        return _matmul2(a.expand_dims(0), b).squeeze(-2)
+    if b.ndim == 1:
+        return _matmul2(a, b.expand_dims(-1)).squeeze(-1)
+    return _matmul2(a, b)
+
+
+def _matmul2(a: Tensor, b: Tensor) -> Tensor:
+    """Core matmul for operands with ndim >= 2."""
+    out_data = _cast_out(_cast_in(a.data) @ _cast_in(b.data))
+
+    def backward(g: Tensor) -> None:
+        if a._track():
+            ga = matmul(g, b.swapaxes(-1, -2))
+            a._accumulate(_unbroadcast(ga, a.shape))
+        if b._track():
+            gb = matmul(a.swapaxes(-1, -2), g)
+            b._accumulate(_unbroadcast(gb, b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def _parse_spec(spec: str, n_ops: int) -> tuple[list[str], str]:
+    if "->" not in spec:
+        raise ValueError("einsum spec must be explicit (contain '->')")
+    lhs, out = spec.split("->")
+    subs = lhs.split(",")
+    if len(subs) != n_ops:
+        raise ValueError(f"spec has {len(subs)} operands, got {n_ops}")
+    for s in subs + [out]:
+        if "." in s:
+            raise NotImplementedError("ellipsis not supported")
+    for s in subs:
+        if len(set(s)) != len(s):
+            raise NotImplementedError("repeated index within one operand unsupported")
+    return subs, out
+
+
+def einsum(spec: str, *operands) -> Tensor:
+    """General tensor contraction with reverse-mode (and higher) gradients.
+
+    The gradient w.r.t. operand *i* is itself an einsum: contract the output
+    gradient with the other operands down to operand *i*'s subscripts.
+    Indices appearing only in operand *i* (pure reductions) broadcast back.
+    """
+    tensors = [astensor(op) for op in operands]
+    subs, out_sub = _parse_spec(spec, len(tensors))
+    out_data = _cast_out(
+        np.einsum(spec, *[_cast_in(t.data) for t in tensors], optimize=True)
+    )
+
+    def backward(g: Tensor) -> None:
+        for i, t in enumerate(tensors):
+            if not t._track():
+                continue
+            others = [tensors[j] for j in range(len(tensors)) if j != i]
+            other_subs = [subs[j] for j in range(len(tensors)) if j != i]
+            avail = set(out_sub) | set("".join(other_subs))
+            target = subs[i]
+            reduced = "".join(c for c in target if c in avail)
+            gspec = ",".join([out_sub] + other_subs) + "->" + reduced
+            gi = einsum(gspec, g, *others)
+            if reduced != target:
+                # Broadcast over indices that were purely summed in operand i.
+                shape = []
+                src_axis = 0
+                expand_axes = []
+                for k, c in enumerate(target):
+                    if c in avail:
+                        shape.append(gi.shape[src_axis])
+                        src_axis += 1
+                    else:
+                        shape.append(t.shape[k])
+                        expand_axes.append(k)
+                for ax in expand_axes:
+                    gi = gi.expand_dims(ax)
+                gi = gi.broadcast_to(tuple(shape))
+            t._accumulate(gi)
+
+    return Tensor._make(out_data, tuple(tensors), backward)

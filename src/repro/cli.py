@@ -1,0 +1,179 @@
+"""Command-line MD runner: the LAMMPS-input-script analogue.
+
+A JSON config fully describes a run — system, potential, thermodynamics,
+output — so simulations are reproducible artifacts rather than ad-hoc
+scripts (the role LAMMPS input files play in the paper's workflow):
+
+    python -m repro.cli run config.json
+    python -m repro.cli example-config > config.json
+
+Config schema (all lengths Å, times fs, temperatures K)::
+
+    {
+      "system":    {"kind": "water", "n_grid": 3, "seed": 0}
+                 | {"kind": "water_box", "reps": 2}
+                 | {"kind": "molecule", "n_heavy": 6}
+                 | {"kind": "protein", "n_residues": 4},
+      "potential": {"kind": "reference"}
+                 | {"kind": "lennard_jones", "epsilon": .., "sigma": .., "cutoff": ..}
+                 | {"kind": "allegro", "checkpoint": "model.npz", "config": {...}},
+      "md": {"steps": 100, "dt": 0.5, "temperature": 300.0,
+             "thermostat": "langevin" | "berendsen" | null,
+             "friction": 0.02, "seed": 0, "minimize_first": true},
+      "output": {"trajectory": "traj.xyz", "every": 10}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+EXAMPLE_CONFIG = {
+    "system": {"kind": "water", "n_grid": 3, "seed": 0},
+    "potential": {"kind": "reference"},
+    "md": {
+        "steps": 50,
+        "dt": 0.5,
+        "temperature": 300.0,
+        "thermostat": "langevin",
+        "friction": 0.02,
+        "seed": 0,
+        "minimize_first": False,
+    },
+    "output": {"trajectory": None, "every": 10},
+}
+
+
+def build_system(spec: dict):
+    from .data import random_molecule, solvated_protein, water_box, water_unit_cell
+
+    kind = spec.get("kind")
+    if kind == "water":
+        return water_unit_cell(seed=spec.get("seed", 0), n_grid=spec.get("n_grid", 4))
+    if kind == "water_box":
+        return water_box(reps=spec.get("reps", 1), seed=spec.get("seed", 0))
+    if kind == "molecule":
+        return random_molecule(n_heavy=spec.get("n_heavy", 6), seed=spec.get("seed", 0))
+    if kind == "protein":
+        return solvated_protein(
+            n_residues=spec.get("n_residues", 4), seed=spec.get("seed", 0)
+        ).system
+    raise ValueError(f"unknown system kind {kind!r}")
+
+
+def build_potential(spec: dict):
+    from .data import ReferencePotential
+    from .models import AllegroConfig, AllegroModel, LennardJones
+
+    kind = spec.get("kind")
+    if kind == "reference":
+        return ReferencePotential()
+    if kind == "lennard_jones":
+        return LennardJones(
+            epsilon=spec.get("epsilon", 0.01),
+            sigma=spec.get("sigma", 2.0),
+            cutoff=spec.get("cutoff", 4.0),
+            n_species=spec.get("n_species", 4),
+        )
+    if kind == "allegro":
+        cfg_dict = dict(spec.get("config", {}))
+        for key in ("per_pair_cutoffs", "atomic_numbers"):
+            if key in cfg_dict and cfg_dict[key] is not None:
+                cfg_dict[key] = np.asarray(cfg_dict[key], dtype=np.float64)
+        for key in ("two_body_hidden", "latent_hidden", "edge_energy_hidden"):
+            if key in cfg_dict:
+                cfg_dict[key] = tuple(cfg_dict[key])
+        model = AllegroModel(AllegroConfig(**cfg_dict))
+        ckpt = spec.get("checkpoint")
+        if ckpt:
+            model.load_state_dict(dict(np.load(ckpt)))
+        return model
+    raise ValueError(f"unknown potential kind {kind!r}")
+
+
+def run_config(config: dict, quiet: bool = False):
+    """Execute one configured MD run; returns the MDResult."""
+    from .md import (
+        BerendsenThermostat,
+        LangevinThermostat,
+        Simulation,
+        TrajectoryRecorder,
+        minimize,
+        stability_report,
+    )
+
+    def log(msg: str) -> None:
+        if not quiet:
+            print(msg)
+
+    system = build_system(config["system"])
+    potential = build_potential(config["potential"])
+    md = config.get("md", {})
+    out = config.get("output", {})
+
+    log(f"system: {system.n_atoms} atoms; potential: {config['potential']['kind']}")
+    if md.get("minimize_first"):
+        res = minimize(system, potential, max_steps=md.get("minimize_steps", 100))
+        log(f"minimized: {res.n_iterations} iterations, max|F| = {res.max_force:.3f}")
+
+    temperature = float(md.get("temperature", 300.0))
+    system.seed_velocities(temperature, np.random.default_rng(md.get("seed", 0)))
+    thermostat = None
+    kind = md.get("thermostat")
+    if kind == "langevin":
+        thermostat = LangevinThermostat(
+            temperature, friction=md.get("friction", 0.02), seed=md.get("seed", 0)
+        )
+    elif kind == "berendsen":
+        thermostat = BerendsenThermostat(temperature, tau=md.get("tau", 100.0))
+    elif kind is not None:
+        raise ValueError(f"unknown thermostat {kind!r}")
+
+    recorder = TrajectoryRecorder(
+        path=out.get("trajectory"), every=int(out.get("every", 10))
+    )
+    sim = Simulation(
+        system,
+        potential,
+        dt=float(md.get("dt", 0.5)),
+        thermostat=thermostat,
+        recorder=recorder,
+    )
+    result = sim.run(int(md.get("steps", 100)))
+    recorder.close()
+    report = stability_report(result, frames=recorder.frames or None)
+    log(str(report))
+    log(
+        f"{result.n_steps} steps at {result.timesteps_per_second:.2f} timesteps/s"
+    )
+    return result
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="Run MD from a JSON config."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    run_p = sub.add_parser("run", help="execute a config")
+    run_p.add_argument("config", type=Path)
+    run_p.add_argument("--quiet", action="store_true")
+    sub.add_parser("example-config", help="print a starter config to stdout")
+
+    args = parser.parse_args(argv)
+    if args.command == "example-config":
+        json.dump(EXAMPLE_CONFIG, sys.stdout, indent=2)
+        print()
+        return 0
+    config = json.loads(args.config.read_text())
+    run_config(config, quiet=args.quiet)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

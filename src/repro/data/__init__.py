@@ -1,0 +1,64 @@
+"""Synthetic datasets standing in for the paper's quantum reference data.
+
+The paper trains on DFT labels (SPICE for biomolecules, QM9/rMD17 for the
+accuracy tables, DFT water/ice for Table II).  None of those are available
+offline, so this package provides:
+
+* :mod:`reference` — an analytic many-body "ground truth" potential
+  (Morse pairs + Stillinger–Weber-style angular 3-body + species coupling)
+  whose exact energies/forces label every synthetic dataset.  Its 3-body
+  angular physics is what separates the model classes: pair-additive
+  classical forms cannot fit it, invariant descriptors fit it poorly, and
+  equivariant models fit it well — the same hierarchy as Tables I/II.
+* :mod:`water` / :mod:`ice` — the 192-atom water unit cell replicated
+  isotropically (§VII-B) and three ice-like polymorphs (Table II/IV rows).
+* :mod:`molecules` — drug-like molecule conformations (QM9/rMD17/SPICE
+  proxies for Table I).
+* :mod:`proteins` — protein-like solvated chains and the named benchmark
+  proxies (DHFR, factor IX, cellulose, STMV, HIV capsid) at true paper
+  sizes for scaling studies and reduced sizes for actual dynamics.
+* :mod:`datasets` — labeling + split/shuffle helpers producing
+  :class:`~repro.nn.training.LabeledFrame` lists.
+"""
+
+from .reference import ReferencePotential, default_species_params
+from .water import water_unit_cell, water_box, perturbed_water_frames
+from .ice import ice_polymorph, ice_frames, ICE_LABELS
+from .molecules import random_molecule, molecule_dataset, conformation_dataset
+from .proteins import (
+    protein_chain,
+    solvated_protein,
+    BENCHMARK_SYSTEMS,
+    benchmark_proxy,
+)
+from .capsid import CapsidSystem, capsid_assembly, icosahedron_vertices, shell_points, shell_strain
+from .cellulose import cellulose_chain, cellulose_fibril
+from .datasets import label_frames, split_frames, subsample
+
+__all__ = [
+    "ReferencePotential",
+    "default_species_params",
+    "water_unit_cell",
+    "water_box",
+    "perturbed_water_frames",
+    "ice_polymorph",
+    "ice_frames",
+    "ICE_LABELS",
+    "random_molecule",
+    "molecule_dataset",
+    "conformation_dataset",
+    "protein_chain",
+    "solvated_protein",
+    "BENCHMARK_SYSTEMS",
+    "benchmark_proxy",
+    "CapsidSystem",
+    "capsid_assembly",
+    "icosahedron_vertices",
+    "shell_points",
+    "shell_strain",
+    "cellulose_chain",
+    "cellulose_fibril",
+    "label_frames",
+    "split_frames",
+    "subsample",
+]

@@ -1,0 +1,68 @@
+"""Dataset assembly: labeling, splitting, subsampling.
+
+Mirrors the paper's data handling (§VI-D): frames are labeled by the
+reference potential (standing in for DFT), split into train/val/test, and
+the training subset can be subsampled for sample-efficiency studies
+(Table II trains Allegro on 133 frames vs DeepMD's 133,500).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..md.system import System
+from ..nn.training import LabeledFrame
+from .reference import ReferencePotential
+
+
+def label_frames(
+    systems: Sequence[System],
+    reference: Optional[ReferencePotential] = None,
+    max_force: Optional[float] = None,
+) -> List[LabeledFrame]:
+    """Label structures with reference energies/forces.
+
+    ``max_force`` filters out frames containing any force component larger
+    than the threshold, as the paper does with SPICE ("filter out all
+    structures that contain any force component larger than 0.25 Ha/Bohr").
+    """
+    reference = reference or ReferencePotential()
+    frames = []
+    for s in systems:
+        e, f = reference.label(s)
+        if max_force is not None and np.abs(f).max() > max_force:
+            continue
+        frames.append(LabeledFrame(system=s, energy=e, forces=f))
+    return frames
+
+
+def split_frames(
+    frames: Sequence[LabeledFrame],
+    fractions: Tuple[float, ...] = (0.8, 0.1, 0.1),
+    seed: int = 0,
+) -> Tuple[List[LabeledFrame], ...]:
+    """Shuffled split into len(fractions) parts (train/val/test by default)."""
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError("fractions must sum to 1")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(frames))
+    bounds = np.floor(np.cumsum(fractions) * len(frames)).astype(int)
+    parts: List[List[LabeledFrame]] = []
+    start = 0
+    for b in bounds:
+        parts.append([frames[k] for k in order[start:b]])
+        start = b
+    return tuple(parts)
+
+
+def subsample(
+    frames: Sequence[LabeledFrame], n: int, seed: int = 0
+) -> List[LabeledFrame]:
+    """Random subset of ``n`` frames (sample-efficiency experiments)."""
+    if n > len(frames):
+        raise ValueError(f"cannot subsample {n} from {len(frames)} frames")
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(len(frames), size=n, replace=False)
+    return [frames[k] for k in idx]

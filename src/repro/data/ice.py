@@ -1,0 +1,92 @@
+"""Ice-like polymorphs: three ordered water lattices (Table II / IV rows).
+
+The paper evaluates on liquid water plus three ice Ih cells labeled (b),
+(c), (d).  We build three structurally distinct ordered polymorphs — the
+point of the rows is that accuracy transfers across *different ordered
+phases* of the same chemistry, which these preserve:
+
+* ``b`` — hexagonal-ish: two interpenetrating offset lattices, lowest density.
+* ``c`` — cubic (fcc oxygen sublattice).
+* ``d`` — layered: compressed in z, expanded in-plane.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..md.cell import Cell
+from ..md.system import System
+from .reference import SPECIES, SPECIES_INDEX
+from .water import _water_molecule
+
+ICE_LABELS = ("b", "c", "d")
+
+
+def _lattice_points(label: str, n_cells: int) -> tuple[np.ndarray, np.ndarray]:
+    """(fractional O positions, box lengths) for ``n_cells³`` conventional cells."""
+    if label == "b":
+        # Two offset sublattices, low density (ice floats).
+        basis = np.array([[0.25, 0.25, 0.25], [0.75, 0.75, 0.60]])
+        edge = 4.60
+        lengths = np.array([edge, edge, edge * 1.08])
+    elif label == "c":
+        # fcc oxygen sublattice.
+        basis = np.array(
+            [[0.0, 0.0, 0.0], [0.0, 0.5, 0.5], [0.5, 0.0, 0.5], [0.5, 0.5, 0.0]]
+        )
+        edge = 6.36
+        lengths = np.array([edge, edge, edge])
+    elif label == "d":
+        # Layered: compressed stacking axis.
+        basis = np.array([[0.25, 0.25, 0.3], [0.75, 0.75, 0.7]])
+        edge = 4.9
+        lengths = np.array([edge * 1.1, edge * 1.1, edge * 0.85])
+    else:
+        raise ValueError(f"unknown ice label {label!r}; use one of {ICE_LABELS}")
+
+    cells = np.stack(
+        np.meshgrid(np.arange(n_cells), np.arange(n_cells), np.arange(n_cells), indexing="ij"),
+        axis=-1,
+    ).reshape(-1, 3)
+    frac = (cells[:, None, :] + basis[None, :, :]).reshape(-1, 3) / n_cells
+    return frac, lengths * n_cells
+
+
+def ice_polymorph(label: str, n_cells: int = 3, seed: int = 0) -> System:
+    """One ordered ice-like phase with full H₂O molecules on the O sites."""
+    rng = np.random.default_rng(seed + ord(label))
+    frac, lengths = _lattice_points(label, n_cells)
+    centers = frac * lengths
+    positions = []
+    species = []
+    o_idx, h_idx = SPECIES_INDEX["O"], SPECIES_INDEX["H"]
+    for c in centers:
+        positions.append(_water_molecule(c, rng))
+        species.extend([o_idx, h_idx, h_idx])
+    return System(
+        np.concatenate(positions, axis=0),
+        np.array(species),
+        Cell(lengths),
+        species_names=SPECIES,
+    )
+
+
+def ice_frames(
+    label: str,
+    n_frames: int,
+    seed: int = 0,
+    sigma: float = 0.05,
+    n_cells: int = 3,
+) -> List[System]:
+    """Thermally perturbed snapshots of one polymorph."""
+    rng = np.random.default_rng(seed + 1000 + ord(label))
+    base = ice_polymorph(label, n_cells=n_cells, seed=seed)
+    frames = []
+    for _ in range(n_frames):
+        s = base.copy()
+        s.positions = s.positions + rng.normal(scale=sigma, size=s.positions.shape)
+        s.wrap()
+        frames.append(s)
+    return frames

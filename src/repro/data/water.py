@@ -1,0 +1,106 @@
+"""Water systems: the 192-atom unit cell and its isotropic replications.
+
+The paper's weak/strong-scaling water systems are "replicated isotropically
+from a 192-atom unit cell" (§VII-B); we build the same thing: 64 H₂O
+molecules (192 atoms) at liquid density in a cubic cell, replicated
+``reps×reps×reps`` for larger boxes.  Training/validation frames are
+thermally perturbed snapshots labeled by the reference potential.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..md.cell import Cell
+from ..md.system import System
+from .reference import SPECIES, SPECIES_INDEX
+
+# 64 molecules / (12.42 Å)³ ≈ 33.4 molecules/nm³: liquid water density.
+UNIT_CELL_EDGE = 12.42
+MOLECULES_PER_CELL = 64
+ATOMS_PER_CELL = 3 * MOLECULES_PER_CELL  # 192, as in the paper
+
+_OH_BOND = 0.9572
+_HOH_ANGLE = np.deg2rad(104.52)
+
+
+def _water_molecule(center: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """O + 2 H with the right geometry in a random orientation."""
+    # Local frame: O at origin, H's in the xz-plane.
+    h1 = np.array([np.sin(_HOH_ANGLE / 2), 0.0, np.cos(_HOH_ANGLE / 2)]) * _OH_BOND
+    h2 = np.array([-np.sin(_HOH_ANGLE / 2), 0.0, np.cos(_HOH_ANGLE / 2)]) * _OH_BOND
+    # Random rotation via QR.
+    A = rng.normal(size=(3, 3))
+    Q, R = np.linalg.qr(A)
+    Q *= np.sign(np.diag(R))
+    if np.linalg.det(Q) < 0:
+        Q[:, 0] = -Q[:, 0]
+    return np.stack([center, center + h1 @ Q.T, center + h2 @ Q.T])
+
+
+def water_unit_cell(seed: int = 0, jitter: float = 0.0, n_grid: int = 4) -> System:
+    """A 3·n_grid³-atom water cell at liquid density (192 atoms at n_grid=4,
+    the paper's unit cell); smaller grids give affordable training cells."""
+    rng = np.random.default_rng(seed)
+    spacing = UNIT_CELL_EDGE / 4
+    positions = []
+    species = []
+    o_idx = SPECIES_INDEX["O"]
+    h_idx = SPECIES_INDEX["H"]
+    for ix in range(n_grid):
+        for iy in range(n_grid):
+            for iz in range(n_grid):
+                center = (np.array([ix, iy, iz]) + 0.5) * spacing
+                if jitter > 0:
+                    center = center + rng.normal(scale=jitter, size=3)
+                positions.append(_water_molecule(center, rng))
+                species.extend([o_idx, h_idx, h_idx])
+    pos = np.concatenate(positions, axis=0)
+    return System(
+        pos,
+        np.array(species),
+        Cell.cubic(spacing * n_grid),
+        species_names=SPECIES,
+    )
+
+
+def water_box(reps: int = 1, seed: int = 0, jitter: float = 0.05) -> System:
+    """Unit cell replicated ``reps`` per axis: 192·reps³ atoms."""
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    unit = water_unit_cell(seed=seed, jitter=jitter)
+    pos, cell = unit.cell.replicate(unit.positions, (reps, reps, reps))
+    species = np.tile(unit.species, reps**3)
+    return System(pos, species, cell, species_names=SPECIES)
+
+
+def water_box_with_atoms(n_atoms: int, seed: int = 0) -> System:
+    """Smallest replicated box with at least ``n_atoms`` atoms."""
+    reps = max(1, int(np.ceil((n_atoms / ATOMS_PER_CELL) ** (1.0 / 3.0))))
+    return water_box(reps=reps, seed=seed)
+
+
+def perturbed_water_frames(
+    n_frames: int,
+    seed: int = 0,
+    sigma: float = 0.08,
+    reps: int = 1,
+    n_grid: int = 4,
+) -> List[System]:
+    """Thermal-like snapshots: independent Gaussian displacements per frame."""
+    rng = np.random.default_rng(seed)
+    if n_grid == 4:
+        base = water_box(reps=reps, seed=seed)
+    else:
+        if reps != 1:
+            raise ValueError("custom n_grid only supports reps=1")
+        base = water_unit_cell(seed=seed, jitter=0.05, n_grid=n_grid)
+    frames = []
+    for _ in range(n_frames):
+        s = base.copy()
+        s.positions = s.positions + rng.normal(scale=sigma, size=s.positions.shape)
+        s.wrap()
+        frames.append(s)
+    return frames

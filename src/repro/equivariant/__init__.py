@@ -1,0 +1,51 @@
+"""Equivariant substrate: irreps of O(3), spherical harmonics, Wigner 3j,
+the strided feature layout, and the fused tensor product.
+
+This subpackage re-implements, from scratch, the e3nn functionality the
+paper depends on *plus* the paper's own kernel innovations:
+
+* **Strided layout** (§V-B1): all (ℓ, p) feature blocks live in one array
+  with inner dims ``[n_tensor, Σ(2ℓ+1)]``.
+* **Fused tensor product** (§V-B2): the entire set of symmetrically allowed
+  paths is a single 3-tensor contraction against a pre-fused sparse
+  Wigner-3j tensor with learned per-(ℓout, pout) path weights, including the
+  scalar-output specialization used in the final layer.
+"""
+
+from .irreps import Irrep, Irreps
+from .wigner import wigner_3j, su2_clebsch_gordan, rotation_to_wigner_d
+from .spherical_harmonics import spherical_harmonics, sh_normalization_constants
+from .layout import StridedLayout
+from .tensor_product import (
+    FusedTensorProduct,
+    UnfusedTensorProduct,
+    ScalarOutputTensorProduct,
+    enumerate_paths,
+    reachable_output_irreps,
+)
+from .validate import (
+    EquivarianceReport,
+    block_diagonal_rep,
+    check_feature_equivariance,
+    check_potential_invariance,
+)
+
+__all__ = [
+    "Irrep",
+    "Irreps",
+    "wigner_3j",
+    "su2_clebsch_gordan",
+    "rotation_to_wigner_d",
+    "spherical_harmonics",
+    "sh_normalization_constants",
+    "StridedLayout",
+    "FusedTensorProduct",
+    "UnfusedTensorProduct",
+    "ScalarOutputTensorProduct",
+    "enumerate_paths",
+    "reachable_output_irreps",
+    "EquivarianceReport",
+    "block_diagonal_rep",
+    "check_feature_equivariance",
+    "check_potential_invariance",
+]

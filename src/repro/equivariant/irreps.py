@@ -1,0 +1,176 @@
+"""Irreducible representations ("irreps") of O(3).
+
+An :class:`Irrep` is a pair (ℓ, p): rotation order ℓ = 0, 1, 2, … and parity
+p = ±1 (behaviour under point reflection).  An :class:`Irreps` is an ordered
+list of (multiplicity, Irrep) entries, e.g. ``Irreps("64x0e + 64x1o + 64x2e")``.
+
+These follow e3nn's string conventions so that hyperparameters read the same
+as in the Allegro papers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True, order=True)
+class Irrep:
+    """One irrep of O(3): rotation order ``l`` and parity ``p`` (+1 or -1)."""
+
+    l: int
+    p: int
+
+    def __post_init__(self) -> None:
+        if self.l < 0:
+            raise ValueError(f"l must be >= 0, got {self.l}")
+        if self.p not in (1, -1):
+            raise ValueError(f"p must be +1 or -1, got {self.p}")
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the irrep: 2ℓ + 1."""
+        return 2 * self.l + 1
+
+    def __repr__(self) -> str:
+        return f"{self.l}{'e' if self.p == 1 else 'o'}"
+
+    @classmethod
+    def parse(cls, s: str) -> "Irrep":
+        """Parse '1o', '2e', etc."""
+        m = re.fullmatch(r"(\d+)([eo])", s.strip())
+        if not m:
+            raise ValueError(f"cannot parse irrep {s!r}")
+        return cls(int(m.group(1)), 1 if m.group(2) == "e" else -1)
+
+    def __mul__(self, other: "Irrep") -> List["Irrep"]:
+        """Selection rule: irreps in the tensor product of self and other."""
+        p = self.p * other.p
+        return [
+            Irrep(l, p) for l in range(abs(self.l - other.l), self.l + other.l + 1)
+        ]
+
+    def is_scalar(self) -> bool:
+        """True for the trivial irrep 0e (the only one producing energies)."""
+        return self.l == 0 and self.p == 1
+
+
+IrrepsSpec = Union[str, "Irreps", Sequence[Tuple[int, Irrep]], Sequence[Tuple[int, Tuple[int, int]]]]
+
+
+class Irreps:
+    """An ordered direct sum of irreps with multiplicities.
+
+    Examples
+    --------
+    >>> Irreps("2x0e + 1x1o").dim
+    5
+    >>> [ir.dim for _, ir in Irreps("0e + 1o + 2e")]
+    [1, 3, 5]
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, spec: IrrepsSpec = "") -> None:
+        entries: List[Tuple[int, Irrep]] = []
+        if isinstance(spec, Irreps):
+            entries = list(spec._entries)
+        elif isinstance(spec, str):
+            if spec.strip():
+                for term in spec.split("+"):
+                    term = term.strip()
+                    if "x" in term:
+                        mul_s, ir_s = term.split("x")
+                        entries.append((int(mul_s), Irrep.parse(ir_s)))
+                    else:
+                        entries.append((1, Irrep.parse(term)))
+        else:
+            for mul, ir in spec:
+                if not isinstance(ir, Irrep):
+                    ir = Irrep(*ir)
+                entries.append((int(mul), ir))
+        for mul, _ in entries:
+            if mul < 0:
+                raise ValueError("multiplicity must be >= 0")
+        self._entries = tuple(entries)
+
+    # -- container protocol ----------------------------------------------------
+    def __iter__(self) -> Iterator[Tuple[int, Irrep]]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, i: int) -> Tuple[int, Irrep]:
+        return self._entries[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Irreps):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __add__(self, other: IrrepsSpec) -> "Irreps":
+        other = Irreps(other)
+        return Irreps(list(self._entries) + list(other._entries))
+
+    def __repr__(self) -> str:
+        return " + ".join(f"{mul}x{ir}" for mul, ir in self._entries) or "(empty)"
+
+    # -- properties --------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Total dimension Σ mul·(2ℓ+1)."""
+        return sum(mul * ir.dim for mul, ir in self._entries)
+
+    @property
+    def num_irreps(self) -> int:
+        """Total multiplicity Σ mul."""
+        return sum(mul for mul, _ in self._entries)
+
+    @property
+    def lmax(self) -> int:
+        if not self._entries:
+            raise ValueError("empty Irreps has no lmax")
+        return max(ir.l for _, ir in self._entries)
+
+    def slices(self) -> List[slice]:
+        """Flat slice per entry into a concatenated feature vector."""
+        out = []
+        offset = 0
+        for mul, ir in self._entries:
+            out.append(slice(offset, offset + mul * ir.dim))
+            offset += mul * ir.dim
+        return out
+
+    def simplify(self) -> "Irreps":
+        """Merge adjacent entries with identical irreps."""
+        merged: List[Tuple[int, Irrep]] = []
+        for mul, ir in self._entries:
+            if merged and merged[-1][1] == ir:
+                merged[-1] = (merged[-1][0] + mul, ir)
+            else:
+                merged.append((mul, ir))
+        return Irreps(merged)
+
+    def sort(self) -> "Irreps":
+        """Entries sorted by (l, -p): scalars first."""
+        return Irreps(sorted(self._entries, key=lambda e: (e[1].l, -e[1].p)))
+
+    def count(self, ir: Union[Irrep, str]) -> int:
+        """Total multiplicity of a given irrep."""
+        if isinstance(ir, str):
+            ir = Irrep.parse(ir)
+        return sum(mul for mul, i in self._entries if i == ir)
+
+    def filter(self, keep) -> "Irreps":
+        """Keep only entries whose irrep passes the predicate."""
+        return Irreps([(mul, ir) for mul, ir in self._entries if keep(ir)])
+
+    @staticmethod
+    def spherical_harmonics(lmax: int, p: int = -1) -> "Irreps":
+        """Irreps of Y_0..Y_lmax; p=-1 gives the physical parity (-1)^l."""
+        return Irreps([(1, Irrep(l, p**l)) for l in range(lmax + 1)])

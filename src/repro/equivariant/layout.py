@@ -1,0 +1,155 @@
+"""The strided memory layout for equivariant features (paper §V-B1).
+
+Previous equivariant codes either stored each (ℓ, p) block in its own array
+or concatenated blocks with per-block multiplicities, both of which need
+per-(ℓ, p) extraction code whose size grows with ℓmax.  The paper's strided
+layout keeps **all** tensor features in a single array whose innermost two
+dimensions are ``[n_tensor, Σ_{ℓ,p} (2ℓ+1)]`` with a *homogeneous* channel
+count ``n_tensor`` shared by every irrep — at most ``2·(ℓmax+1)²`` wide.
+
+:class:`StridedLayout` is the descriptor: which irreps are present, at which
+column offsets, with which shared multiplicity.  The fused tensor product
+consumes two layouts and produces a third with a single dense contraction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .irreps import Irrep, Irreps
+
+
+class StridedLayout:
+    """Descriptor of a strided equivariant feature array.
+
+    An array with this layout has shape ``[..., mul, dim]`` where ``dim`` is
+    the sum of (2ℓ+1) over the distinct irreps, each appearing exactly once
+    (the multiplicity lives in the shared channel axis).
+
+    Parameters
+    ----------
+    irreps:
+        The distinct irreps, e.g. ``"0e + 1o + 2e"`` (multiplicities in the
+        spec must be 1; the channel axis carries the shared multiplicity).
+    mul:
+        Shared channel multiplicity ``n_tensor``.
+    """
+
+    __slots__ = ("irreps", "mul", "_offsets")
+
+    def __init__(self, irreps, mul: int) -> None:
+        irreps = Irreps(irreps)
+        seen = set()
+        entries: List[Irrep] = []
+        for m, ir in irreps:
+            if m != 1:
+                raise ValueError(
+                    f"strided layout irreps must have multiplicity 1 (shared "
+                    f"channel axis carries it); got {m}x{ir}"
+                )
+            if ir in seen:
+                raise ValueError(f"duplicate irrep {ir} in strided layout")
+            seen.add(ir)
+            entries.append(ir)
+        if mul <= 0:
+            raise ValueError(f"mul must be positive, got {mul}")
+        self.irreps: Tuple[Irrep, ...] = tuple(entries)
+        self.mul = int(mul)
+        offs = []
+        o = 0
+        for ir in self.irreps:
+            offs.append(o)
+            o += ir.dim
+        self._offsets = tuple(offs)
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def spherical(cls, lmax: int, mul: int = 1, parity: int = -1) -> "StridedLayout":
+        """Layout of Y_0..Y_lmax with natural parity p = parity^ℓ."""
+        return cls(Irreps.spherical_harmonics(lmax, p=parity), mul)
+
+    @classmethod
+    def full_o3(cls, lmax: int, mul: int) -> "StridedLayout":
+        """Both parities for every ℓ ≤ ℓmax; dim = 2·(ℓmax+1)²."""
+        entries = []
+        for l in range(lmax + 1):
+            entries.append((1, Irrep(l, 1)))
+            entries.append((1, Irrep(l, -1)))
+        return cls(Irreps(entries), mul)
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Width of the strided axis: Σ (2ℓ+1) over present irreps."""
+        return sum(ir.dim for ir in self.irreps)
+
+    @property
+    def lmax(self) -> int:
+        return max(ir.l for ir in self.irreps)
+
+    def __len__(self) -> int:
+        return len(self.irreps)
+
+    def __iter__(self) -> Iterator[Irrep]:
+        return iter(self.irreps)
+
+    def __contains__(self, ir: Irrep) -> bool:
+        return ir in self.irreps
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StridedLayout):
+            return NotImplemented
+        return self.irreps == other.irreps and self.mul == other.mul
+
+    def __repr__(self) -> str:
+        irs = " + ".join(str(ir) for ir in self.irreps)
+        return f"StridedLayout({irs}; mul={self.mul}, dim={self.dim})"
+
+    def index_of(self, ir: Irrep) -> int:
+        try:
+            return self.irreps.index(ir)
+        except ValueError:
+            raise KeyError(f"{ir} not in layout {self}") from None
+
+    def slice_of(self, ir: Irrep) -> slice:
+        """Columns of the strided axis holding irrep ``ir``."""
+        i = self.index_of(ir)
+        return slice(self._offsets[i], self._offsets[i] + ir.dim)
+
+    def slices(self) -> List[slice]:
+        return [slice(o, o + ir.dim) for o, ir in zip(self._offsets, self.irreps)]
+
+    @property
+    def scalar_slice(self) -> slice:
+        """Columns of the invariant 0e block (energy-producing scalars)."""
+        return self.slice_of(Irrep(0, 1))
+
+    def has_scalars(self) -> bool:
+        return Irrep(0, 1) in self.irreps
+
+    def array_shape(self, *lead: int) -> Tuple[int, ...]:
+        """Full array shape for given leading dims."""
+        return tuple(lead) + (self.mul, self.dim)
+
+    def zeros(self, *lead: int, dtype=np.float64) -> np.ndarray:
+        return np.zeros(self.array_shape(*lead), dtype=dtype)
+
+    def restrict(self, keep_irreps: Iterable[Irrep]) -> "StridedLayout":
+        """Sub-layout with only the irreps in ``keep_irreps`` (order kept)."""
+        keep = set(keep_irreps)
+        kept = [(1, ir) for ir in self.irreps if ir in keep]
+        if not kept:
+            raise ValueError("restriction removes every irrep")
+        return StridedLayout(Irreps(kept), self.mul)
+
+    def extract(self, array, target: "StridedLayout"):
+        """Copy the columns of ``target``'s irreps out of ``array``.
+
+        Works on numpy arrays and autodiff Tensors (column fancy-indexing).
+        """
+        cols = np.concatenate(
+            [np.arange(self.slice_of(ir).start, self.slice_of(ir).stop) for ir in target.irreps]
+        )
+        return array[..., cols]

@@ -1,0 +1,132 @@
+"""Real spherical harmonics, differentiable and w3j-consistent by construction.
+
+Allegro embeds each neighbor direction in spherical harmonics Y_ℓ (paper
+eq. 2).  Rather than hard-coding polynomial tables whose sign conventions
+could drift from the Wigner-3j basis, we *define* the higher harmonics
+recursively through the 3j tensor itself:
+
+    Y_0 = 1,
+    Y_1 = √3 · (y, z, x) / r,
+    Y_{ℓ+1} = N_{ℓ+1} · einsum('abc,a,b->c', w3j(1, ℓ, ℓ+1), Y_1, Y_ℓ),
+
+with N_{ℓ+1} fixed so that |Y_ℓ(û)|² = 2ℓ+1 on the unit sphere ("component"
+normalization, the e3nn default used by Allegro).  Because each level is an
+equivariant contraction of equivariant inputs, consistency with every
+``wigner_3j`` block is guaranteed *by construction* — the property the fused
+tensor product relies on.
+
+Two evaluation paths share the recursion: a pure-numpy fast path (neighbor
+preprocessing, Wigner-D extraction) and an autodiff path (forces).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List, Sequence
+
+import numpy as np
+
+from .. import autodiff as ad
+from .wigner import wigner_3j
+
+_SQRT3 = np.sqrt(3.0)
+
+
+@functools.lru_cache(maxsize=None)
+def sh_normalization_constants(lmax: int) -> tuple:
+    """Recursion constants N_ℓ for ℓ = 2..lmax (N_0, N_1 are absorbed).
+
+    Computed once in numpy: evaluate the unnormalized recursion at a fixed
+    unit vector.  |Y_ℓ| is constant on the sphere (the construction is
+    equivariant and real Wigner-D matrices are orthogonal), so a single
+    evaluation point determines N_ℓ exactly.
+    """
+    consts: List[float] = []
+    v = np.array([0.2672612419124244, -0.5345224838248488, 0.8017837257372732])
+    y_prev = _SQRT3 * np.array([v[1], v[2], v[0]])
+    y1 = y_prev
+    for l in range(1, lmax):
+        w = wigner_3j(1, l, l + 1)
+        u = np.einsum("abc,a,b->c", w, y1, y_prev)
+        norm = np.linalg.norm(u)
+        n = np.sqrt(2 * (l + 1) + 1) / norm
+        consts.append(float(n))
+        y_prev = n * u
+    return tuple(consts)
+
+
+def _sh_numpy_single_l(l: int, unit_vecs: np.ndarray) -> np.ndarray:
+    """Numpy path: Y_l for pre-normalized vectors, shape [..., 2l+1]."""
+    if l == 0:
+        return np.ones(unit_vecs.shape[:-1] + (1,), dtype=unit_vecs.dtype)
+    y1 = _SQRT3 * unit_vecs[..., [1, 2, 0]]
+    if l == 1:
+        return y1
+    consts = sh_normalization_constants(l)
+    y = y1
+    for ll in range(1, l):
+        w = wigner_3j(1, ll, ll + 1)
+        y = consts[ll - 1] * np.einsum("abc,...a,...b->...c", w, y1, y)
+    return y
+
+
+def spherical_harmonics(
+    lmax: int,
+    vectors,
+    normalize: bool = True,
+    ls: Sequence[int] | None = None,
+):
+    """Concatenated real SH Y_0..Y_lmax of ``vectors``; shape [..., (lmax+1)²].
+
+    Parameters
+    ----------
+    lmax:
+        Highest rotation order.
+    vectors:
+        Displacement vectors, Tensor or ndarray, shape [..., 3].  Gradients
+        flow through normalization when a Tensor is given.
+    normalize:
+        Divide by the (safe) Euclidean norm first.  Allegro always embeds
+        unit vectors.
+    ls:
+        Optional subset of ℓ values to emit (still concatenated in order).
+    """
+    if ls is None:
+        ls = list(range(lmax + 1))
+    if isinstance(vectors, ad.Tensor) and vectors.requires_grad:
+        return _sh_autodiff(lmax, vectors, normalize, ls)
+    arr = vectors.data if isinstance(vectors, ad.Tensor) else np.asarray(vectors)
+    if normalize:
+        norms = np.sqrt(np.sum(arr * arr, axis=-1, keepdims=True) + 1e-30)
+        arr = arr / norms
+    blocks = [_sh_numpy_single_l(l, arr) for l in ls]
+    return ad.Tensor(np.concatenate(blocks, axis=-1))
+
+
+def _sh_autodiff(lmax: int, vectors: ad.Tensor, normalize: bool, ls) -> ad.Tensor:
+    if normalize:
+        norms = ad.safe_norm(vectors, axis=-1, keepdims=True)
+        unit = vectors / norms
+    else:
+        unit = vectors
+    return _sh_autodiff_impl(lmax, unit, ls)
+
+
+def _sh_autodiff_impl(lmax: int, unit: ad.Tensor, ls) -> ad.Tensor:
+    """Autodiff recursion on flattened [..., 3] -> [N, 3] vectors."""
+    lead_shape = unit.shape[:-1]
+    flat = unit.reshape((-1, 3))
+    y1 = flat[:, np.array([1, 2, 0])] * _SQRT3
+    per_l: dict[int, ad.Tensor] = {}
+    per_l[0] = ad.Tensor(np.ones((flat.shape[0], 1)))
+    if lmax >= 1:
+        per_l[1] = y1
+    if lmax >= 2:
+        consts = sh_normalization_constants(lmax)
+        y = y1
+        for ll in range(1, lmax):
+            w = wigner_3j(1, ll, ll + 1)
+            y = ad.einsum("abc,za,zb->zc", ad.Tensor(np.asarray(w)), y1, y) * consts[ll - 1]
+            per_l[ll + 1] = y
+    out = ad.concatenate([per_l[l] for l in ls], axis=-1)
+    return out.reshape(lead_shape + (out.shape[-1],))

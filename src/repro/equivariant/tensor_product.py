@@ -1,0 +1,285 @@
+"""The fused strided tensor product (paper §V-B2, fig. 3).
+
+The tensor product of representations is Allegro's only equivariant
+nonlinearity and its most expensive tensor-track operation.  A "path" is a
+symmetrically allowed triple (ℓ₁,p₁) ⊗ (ℓ₂,p₂) → (ℓout,pout) with
+|ℓ₁−ℓ₂| ≤ ℓout ≤ ℓ₁+ℓ₂ and pout = p₁p₂, contracted against the constant
+Wigner-3j block ``w3j[m1, m2, mout]``.
+
+Previous implementations loop over paths, paying per-path kernel overhead
+that grows with ℓmax.  With the strided layout the whole product becomes a
+*single* three-tensor contraction
+
+    out[z, u, c] = Σ_{a,b}  x[z, u, a] · y[z, u, b] · W[a, b, c]
+
+where ``W`` is the block-sparse union of all path w3j blocks, each scaled by
+a learned per-path weight (this paper replaces Allegro-v1's full linear
+mixture over paths×channels with exactly this weighted sum, §V-B2).  At
+inference the weights are frozen so ``W`` is precomputed once ("path
+fusion"); during training it is rebuilt as a cheap weighted sum so gradients
+reach the path weights.
+
+Three implementations share the path enumeration:
+
+* :class:`FusedTensorProduct` — the paper's optimized kernel.
+* :class:`UnfusedTensorProduct` — per-path loop, kept as the ablation
+  baseline (benchmarks/test_ablation_tensorproduct.py).
+* :class:`ScalarOutputTensorProduct` — last-layer specialization: only
+  ℓout = 0 paths survive, for which w3j is nonzero only at m₁ = m₂, so the
+  contraction collapses to block dot products with the redundant dimension
+  removed (paper §V-B2 last paragraph).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .. import autodiff as ad
+from .irreps import Irrep
+from .layout import StridedLayout
+from .wigner import wigner_3j
+
+
+@dataclass(frozen=True)
+class Path:
+    """One symmetrically allowed coupling (in1, in2) -> out."""
+
+    ir1: Irrep
+    ir2: Irrep
+    ir_out: Irrep
+
+    def __repr__(self) -> str:
+        return f"{self.ir1}⊗{self.ir2}→{self.ir_out}"
+
+
+def enumerate_paths(
+    layout1: StridedLayout,
+    layout2: StridedLayout,
+    output_irreps: Optional[Iterable[Irrep]] = None,
+) -> List[Path]:
+    """All allowed paths between two strided layouts.
+
+    ``output_irreps`` optionally restricts outputs (path pruning: Allegro
+    omits paths that cannot eventually contribute to the final scalars).
+    """
+    allowed: Optional[Set[Irrep]] = set(output_irreps) if output_irreps is not None else None
+    paths: List[Path] = []
+    for ir1 in layout1.irreps:
+        for ir2 in layout2.irreps:
+            for ir_out in ir1 * ir2:
+                if allowed is not None and ir_out not in allowed:
+                    continue
+                paths.append(Path(ir1, ir2, ir_out))
+    return paths
+
+
+def output_layout_for_paths(paths: Sequence[Path], mul: int) -> StridedLayout:
+    """Canonical output layout: distinct output irreps sorted by (ℓ, -p)."""
+    outs = sorted({p.ir_out for p in paths}, key=lambda ir: (ir.l, -ir.p))
+    if not outs:
+        raise ValueError("no allowed paths")
+    return StridedLayout([(1, ir) for ir in outs], mul)
+
+
+def reachable_output_irreps(
+    lmax: int,
+    layers_remaining: int,
+    env_irreps: Sequence[Irrep],
+) -> Set[Irrep]:
+    """Irreps from which the trivial scalar 0e is reachable.
+
+    After this layer there are ``layers_remaining`` further tensor products
+    with an environment whose irreps are ``env_irreps`` (spherical-harmonic
+    parities).  An irrep is kept only if some product chain of that length
+    can land on 0e — the path pruning rule of §V-B2 ("omitting all tensor
+    product paths that are not symmetrically allowed to eventually
+    contribute to the final scalar outputs").
+    """
+    targets: Set[Irrep] = {Irrep(0, 1)}
+    for _ in range(layers_remaining):
+        grown: Set[Irrep] = set(targets)
+        for tgt in targets:
+            for e in env_irreps:
+                # ir ⊗ e can reach tgt  <=>  tgt ∈ ir ⊗ e  <=>  ir ∈ tgt ⊗ e
+                for ir in tgt * e:
+                    if ir.l <= lmax:
+                        grown.add(ir)
+        targets = grown
+    return {ir for ir in targets if ir.l <= lmax}
+
+
+class _PathWeights:
+    """Learnable scalar weight per path, initialized to normalize variance.
+
+    Each output irrep receives contributions from ``k`` paths; weights start
+    at 1/√k so component magnitudes stay O(1) (the paper's normalization
+    discipline, §V-B3, is what makes float32/TF32 arithmetic safe).
+    """
+
+    def __init__(self, paths: Sequence[Path], rng: Optional[np.random.Generator] = None):
+        counts: dict[Irrep, int] = {}
+        for p in paths:
+            counts[p.ir_out] = counts.get(p.ir_out, 0) + 1
+        init = np.array([1.0 / math.sqrt(counts[p.ir_out]) for p in paths])
+        self.tensor = ad.Tensor(init, requires_grad=True, name="path_weights")
+
+    @property
+    def data(self) -> np.ndarray:
+        return self.tensor.data
+
+
+class _TPBase:
+    """Shared path/block machinery for the three TP implementations."""
+
+    def __init__(
+        self,
+        layout1: StridedLayout,
+        layout2: StridedLayout,
+        output_irreps: Optional[Iterable[Irrep]] = None,
+        layout_out: Optional[StridedLayout] = None,
+    ) -> None:
+        if layout1.mul != layout2.mul:
+            raise ValueError(
+                f"channel multiplicities must match: {layout1.mul} vs {layout2.mul}"
+            )
+        self.layout1 = layout1
+        self.layout2 = layout2
+        self.paths = enumerate_paths(layout1, layout2, output_irreps)
+        if not self.paths:
+            raise ValueError("no symmetrically allowed paths")
+        if layout_out is None:
+            layout_out = output_layout_for_paths(self.paths, layout1.mul)
+        self.layout_out = layout_out
+        self.weights = _PathWeights(self.paths)
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.paths)
+
+    def parameters(self) -> List[ad.Tensor]:
+        return [self.weights.tensor]
+
+    def _path_blocks(self) -> np.ndarray:
+        """Stacked dense [P, D1, D2, Dout] basis tensors, one per path."""
+        if not hasattr(self, "_blocks_cache"):
+            P = len(self.paths)
+            B = np.zeros((P, self.layout1.dim, self.layout2.dim, self.layout_out.dim))
+            for k, p in enumerate(self.paths):
+                s1 = self.layout1.slice_of(p.ir1)
+                s2 = self.layout2.slice_of(p.ir2)
+                so = self.layout_out.slice_of(p.ir_out)
+                B[k, s1, s2, so] = wigner_3j(p.ir1.l, p.ir2.l, p.ir_out.l)
+            B.setflags(write=False)
+            self._blocks_cache = B
+        return self._blocks_cache
+
+    def fuse(self) -> np.ndarray:
+        """Precompute the fused W = Σ_p w_p·B_p for frozen weights (inference)."""
+        return np.einsum("p,pabc->abc", self.weights.data, self._path_blocks())
+
+    def freeze(self) -> None:
+        """Cache the fused tensor for deployment (paper: path weights are
+        "efficiently pre-computed, eliminating the scaling of the tensor
+        product's inference cost with the number of paths")."""
+        self._frozen_W = self.fuse()
+
+    def unfreeze(self) -> None:
+        self._frozen_W = None
+
+    @property
+    def frozen_weights(self):
+        return getattr(self, "_frozen_W", None)
+
+
+class FusedTensorProduct(_TPBase):
+    """Single-contraction strided tensor product (the paper's kernel).
+
+    Call with two strided arrays of shape [z, mul, D1] and [z, mul, D2]
+    (z ranges over neighbor pairs); returns [z, mul, Dout].
+    """
+
+    def __call__(self, x, y, frozen: bool = False):
+        x = ad.astensor(x)
+        y = ad.astensor(y)
+        cached = self.frozen_weights
+        if cached is not None:
+            W = ad.Tensor(cached)
+        elif frozen or not ad.is_grad_enabled():
+            W = ad.Tensor(self.fuse())
+        else:
+            W = ad.einsum("p,pabc->abc", self.weights.tensor, ad.Tensor(self._path_blocks()))
+        return ad.einsum("zua,zub,abc->zuc", x, y, W)
+
+
+class UnfusedTensorProduct(_TPBase):
+    """Per-path loop implementation (pre-optimization baseline for ablation).
+
+    Mathematically identical to :class:`FusedTensorProduct`; pays one einsum
+    dispatch per path plus per-path slicing — the overhead the strided
+    layout + fusion eliminate.
+    """
+
+    def __call__(self, x, y, frozen: bool = False):
+        x = ad.astensor(x)
+        y = ad.astensor(y)
+        lead = x.shape[:-1]
+        out_parts: dict[Irrep, list] = {ir: [] for ir in self.layout_out.irreps}
+        for k, p in enumerate(self.paths):
+            s1 = self.layout1.slice_of(p.ir1)
+            s2 = self.layout2.slice_of(p.ir2)
+            w3 = wigner_3j(p.ir1.l, p.ir2.l, p.ir_out.l)
+            wk = self.weights.data[k] if frozen else self.weights.tensor[k]
+            term = ad.einsum("zua,zub,abc->zuc", x[..., s1], y[..., s2], ad.Tensor(w3))
+            out_parts[p.ir_out].append(term * wk)
+        blocks = []
+        for ir in self.layout_out.irreps:
+            parts = out_parts[ir]
+            total = parts[0]
+            for t in parts[1:]:
+                total = total + t
+            blocks.append(total)
+        return ad.concatenate(blocks, axis=-1)
+
+
+class ScalarOutputTensorProduct(_TPBase):
+    """Final-layer specialization: only scalar (ℓout = 0) outputs.
+
+    For ℓout = 0 the Wigner block requires ℓ₁ = ℓ₂ and is diagonal in
+    (m₁, m₂), so the contraction is a per-block dot product — the redundant
+    m₂ dimension is removed explicitly (paper §V-B2, final paragraph).
+    Output layout has one column per distinct output parity (0e, possibly 0o).
+    """
+
+    def __init__(self, layout1: StridedLayout, layout2: StridedLayout, even_only: bool = True):
+        allowed = {Irrep(0, 1)} if even_only else {Irrep(0, 1), Irrep(0, -1)}
+        super().__init__(layout1, layout2, output_irreps=allowed)
+        # Per path: diagonal value of w3j(l, l, 0) (constant across m).
+        self._diag = np.array(
+            [wigner_3j(p.ir1.l, p.ir2.l, 0)[0, 0, 0] if p.ir1.l == 0
+             else wigner_3j(p.ir1.l, p.ir2.l, 0)[1, 1, 0]
+             for p in self.paths]
+        )
+
+    def __call__(self, x, y, frozen: bool = False):
+        x = ad.astensor(x)
+        y = ad.astensor(y)
+        out_parts: dict[Irrep, list] = {ir: [] for ir in self.layout_out.irreps}
+        for k, p in enumerate(self.paths):
+            s1 = self.layout1.slice_of(p.ir1)
+            s2 = self.layout2.slice_of(p.ir2)
+            wk = self.weights.data[k] if frozen else self.weights.tensor[k]
+            # Σ_m x_m y_m · diag — no m2 axis, no w3j tensor in the hot loop.
+            dot = ad.einsum("zum,zum->zu", x[..., s1], y[..., s2])
+            out_parts[p.ir_out].append(dot * (wk * self._diag[k]))
+        blocks = []
+        for ir in self.layout_out.irreps:
+            parts = out_parts[ir]
+            total = parts[0]
+            for t in parts[1:]:
+                total = total + t
+            blocks.append(total.expand_dims(-1) if total.ndim == 2 else total)
+        return ad.concatenate(blocks, axis=-1)

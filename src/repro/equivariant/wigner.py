@@ -1,0 +1,150 @@
+"""Exact Wigner 3j symbols in the real spherical-harmonic basis.
+
+The Allegro tensor product contracts feature tensors against the constant
+Wigner-3j tensor ``w3j[m1, m2, mout]`` (paper §V-B2, fig. 3).  We compute it
+from scratch:
+
+1. SU(2) Clebsch–Gordan coefficients via the Racah formula using exact
+   rational arithmetic (``fractions.Fraction``), so no precision is lost for
+   the ℓ values used here.
+2. Change of basis from complex to real spherical harmonics (the same
+   convention as e3nn), which renders the tensor purely real.
+3. Division by √(2ℓ₃+1) to give the fully symmetric 3j normalization with
+   Σ w² = 1.
+
+``rotation_to_wigner_d`` recovers real Wigner-D matrices numerically from
+the spherical harmonics themselves; the equivariance test suite uses it to
+verify every equivariant operation under random O(3) elements.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from fractions import Fraction
+
+import numpy as np
+
+
+def _f(n: float) -> int:
+    """Factorial of a value that must be a non-negative integer."""
+    ni = round(n)
+    if abs(n - ni) > 1e-9 or ni < 0:
+        raise ValueError(f"factorial of non-integer or negative {n}")
+    return math.factorial(ni)
+
+
+def _su2_cg_coeff(j1: int, m1: int, j2: int, m2: int, j3: int, m3: int) -> float:
+    """One Clebsch–Gordan coefficient ⟨j1 m1 j2 m2 | j3 m3⟩ (Racah formula)."""
+    if m3 != m1 + m2:
+        return 0.0
+    if not (abs(j1 - j2) <= j3 <= j1 + j2):
+        return 0.0
+    if abs(m1) > j1 or abs(m2) > j2 or abs(m3) > j3:
+        return 0.0
+
+    # Squared prefactor as an exact rational.
+    pref2 = Fraction(
+        (2 * j3 + 1)
+        * _f(j3 + j1 - j2)
+        * _f(j3 - j1 + j2)
+        * _f(j1 + j2 - j3)
+        * _f(j3 + m3)
+        * _f(j3 - m3),
+        _f(j1 + j2 + j3 + 1) * _f(j1 - m1) * _f(j1 + m1) * _f(j2 - m2) * _f(j2 + m2),
+    )
+
+    vmin = max(-j1 + j2 + m3, -j1 + m1, 0)
+    vmax = min(j2 + j3 + m1, j3 - j1 + j2, j3 + m3)
+    total = Fraction(0)
+    for v in range(int(vmin), int(vmax) + 1):
+        total += Fraction(
+            (-1) ** (v + j2 + m2) * _f(j2 + j3 + m1 - v) * _f(j1 - m1 + v),
+            _f(v) * _f(j3 - j1 + j2 - v) * _f(j3 + m3 - v) * _f(v + j1 - j2 - m3),
+        )
+    return math.sqrt(pref2) * float(total)
+
+
+@functools.lru_cache(maxsize=None)
+def su2_clebsch_gordan(j1: int, j2: int, j3: int) -> np.ndarray:
+    """CG tensor ``C[j1+m1, j2+m2, j3+m3]`` in the complex (m) basis."""
+    C = np.zeros((2 * j1 + 1, 2 * j2 + 1, 2 * j3 + 1))
+    for m1 in range(-j1, j1 + 1):
+        for m2 in range(-j2, j2 + 1):
+            m3 = m1 + m2
+            if abs(m3) <= j3:
+                C[j1 + m1, j2 + m2, j3 + m3] = _su2_cg_coeff(j1, m1, j2, m2, j3, m3)
+    return C
+
+
+@functools.lru_cache(maxsize=None)
+def _change_basis_real_to_complex(l: int) -> np.ndarray:
+    """Unitary Q with Y_complex = Q @ Y_real (e3nn convention, incl. (-i)^l)."""
+    q = np.zeros((2 * l + 1, 2 * l + 1), dtype=np.complex128)
+    inv_sqrt2 = 1.0 / math.sqrt(2.0)
+    for m in range(-l, 0):
+        q[l + m, l + abs(m)] = inv_sqrt2
+        q[l + m, l - abs(m)] = -1j * inv_sqrt2
+    q[l, l] = 1.0
+    for m in range(1, l + 1):
+        q[l + m, l + abs(m)] = (-1) ** m * inv_sqrt2
+        q[l + m, l - abs(m)] = 1j * (-1) ** m * inv_sqrt2
+    return (-1j) ** l * q
+
+
+@functools.lru_cache(maxsize=None)
+def wigner_3j(l1: int, l2: int, l3: int) -> np.ndarray:
+    """Real-basis Wigner 3j tensor ``w[m1, m2, m3]`` with Σ w² = 1.
+
+    Equivariance property (verified in the test suite): for any rotation R
+    with real Wigner-D matrices D^l,
+    ``einsum('abc,ai,bj,ck->ijk', w, D1, D2, D3) == w``.
+    """
+    if not (abs(l1 - l2) <= l3 <= l1 + l2):
+        return np.zeros((2 * l1 + 1, 2 * l2 + 1, 2 * l3 + 1))
+    C = su2_clebsch_gordan(l1, l2, l3).astype(np.complex128)
+    Q1 = _change_basis_real_to_complex(l1)
+    Q2 = _change_basis_real_to_complex(l2)
+    Q3 = _change_basis_real_to_complex(l3)
+    # C_real[j,l,m] = Σ_{i,k,n} Q1[i,j] Q2[k,l] conj(Q3)[n,m] C[i,k,n]
+    C = np.einsum("ij,kl,nm,ikn->jlm", Q1, Q2, np.conj(Q3), C)
+    if np.abs(C.imag).max() > 1e-10:
+        raise RuntimeError(f"w3j({l1},{l2},{l3}) not real: {np.abs(C.imag).max()}")
+    w = C.real / math.sqrt(2 * l3 + 1)
+    w.setflags(write=False)
+    return w
+
+
+def random_rotation(rng: np.random.Generator) -> np.ndarray:
+    """Uniform random proper rotation matrix (via QR of a Gaussian)."""
+    A = rng.normal(size=(3, 3))
+    Q, R = np.linalg.qr(A)
+    Q = Q * np.sign(np.diag(R))
+    if np.linalg.det(Q) < 0:
+        Q[:, 0] = -Q[:, 0]
+    return Q
+
+
+def rotation_to_wigner_d(l: int, R: np.ndarray) -> np.ndarray:
+    """Real Wigner-D matrix for a proper rotation R, from the SH themselves.
+
+    Solves the overdetermined linear system ``Y_l(R r_k) = D Y_l(r_k)`` over
+    random unit vectors.  This avoids Euler-angle conventions entirely and is
+    exact to solver precision because the 2ℓ+1 SH components are linearly
+    independent functions on the sphere.
+    """
+    if abs(np.linalg.det(R) - 1.0) > 1e-8:
+        raise ValueError("rotation_to_wigner_d needs det(R) = +1")
+    if l == 0:
+        return np.ones((1, 1))
+    from .spherical_harmonics import _sh_numpy_single_l
+
+    rng = np.random.default_rng(12345 + l)
+    k = 8 * (2 * l + 1)
+    vecs = rng.normal(size=(k, 3))
+    vecs /= np.linalg.norm(vecs, axis=1, keepdims=True)
+    A = _sh_numpy_single_l(l, vecs)  # [k, 2l+1]
+    B = _sh_numpy_single_l(l, vecs @ R.T)  # [k, 2l+1]
+    # B = A @ D.T  =>  D.T = lstsq(A, B)
+    Dt, *_ = np.linalg.lstsq(A, B, rcond=None)
+    return Dt.T

@@ -1,0 +1,131 @@
+"""Holonomic bond constraints: SHAKE / RATTLE.
+
+Biomolecular production MD (including the AMBER benchmark systems the
+paper measures on) constrains bonds to hydrogen so the integration step
+can be 2 fs instead of 0.5 fs — a 4x throughput factor that the paper's
+timesteps/s numbers inherit.  SHAKE iteratively corrects positions after
+the drift to restore bond lengths; RATTLE projects the constraint
+components out of velocities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .system import System
+
+
+class BondConstraints:
+    """Fixed-length bond constraints solved by SHAKE/RATTLE iterations.
+
+    Parameters
+    ----------
+    pairs:
+        [M, 2] atom-index pairs to constrain.
+    lengths:
+        [M] target bond lengths in Å.
+    tol:
+        Relative length tolerance for convergence.
+    """
+
+    def __init__(
+        self,
+        pairs: np.ndarray,
+        lengths: np.ndarray,
+        tol: float = 1e-8,
+        max_iterations: int = 200,
+    ) -> None:
+        self.pairs = np.asarray(pairs, dtype=np.int64)
+        self.lengths = np.asarray(lengths, dtype=np.float64)
+        if self.pairs.ndim != 2 or self.pairs.shape[1] != 2:
+            raise ValueError("pairs must be [M, 2]")
+        if self.lengths.shape != (len(self.pairs),):
+            raise ValueError("one length per pair required")
+        if (self.lengths <= 0).any():
+            raise ValueError("bond lengths must be positive")
+        self.tol = float(tol)
+        self.max_iterations = int(max_iterations)
+
+    @classmethod
+    def rigid_water(cls, species: np.ndarray, o_index: int, h_index: int,
+                    oh: float = 0.9572, hh: float = 1.5139) -> "BondConstraints":
+        """Constraints for O-H-H ordered water triplets (the generator layout)."""
+        species = np.asarray(species)
+        pairs = []
+        lengths = []
+        i = 0
+        n = len(species)
+        while i < n:
+            if (
+                i + 2 < n
+                and species[i] == o_index
+                and species[i + 1] == h_index
+                and species[i + 2] == h_index
+            ):
+                pairs += [[i, i + 1], [i, i + 2], [i + 1, i + 2]]
+                lengths += [oh, oh, hh]
+                i += 3
+            else:
+                i += 1
+        if not pairs:
+            raise ValueError("no O-H-H water triplets found")
+        return cls(np.asarray(pairs), np.asarray(lengths))
+
+    # -- SHAKE ----------------------------------------------------------------
+    def apply_positions(
+        self, system: System, reference_positions: np.ndarray, dt: float
+    ) -> int:
+        """SHAKE: correct ``system.positions`` so every bond has its target
+        length, using constraint directions from ``reference_positions``
+        (the pre-drift coordinates).  Velocities receive the matching
+        correction (Δr/dt) so the half-kick bookkeeping stays consistent.
+        Returns the iteration count.
+        """
+        pos = system.positions
+        ref = np.asarray(reference_positions)
+        inv_m = 1.0 / system.masses
+        i, j = self.pairs[:, 0], self.pairs[:, 1]
+        d_ref = ref[j] - ref[i]
+        target2 = self.lengths**2
+        for iteration in range(1, self.max_iterations + 1):
+            d = pos[j] - pos[i]
+            diff = (d * d).sum(axis=1) - target2
+            if np.abs(diff).max() < self.tol * target2.min():
+                break
+            # Gauss-Seidel style vectorized update (Jacobi with damping).
+            denom = 2.0 * (d * d_ref).sum(axis=1) * (inv_m[i] + inv_m[j])
+            g = np.where(np.abs(denom) > 1e-12, diff / denom, 0.0) * 0.5
+            corr = g[:, None] * d_ref
+            np.add.at(pos, i, corr * inv_m[i, None])
+            np.add.at(pos, j, -corr * inv_m[j, None])
+            if dt > 0:
+                np.add.at(system.velocities, i, corr * inv_m[i, None] / dt)
+                np.add.at(system.velocities, j, -corr * inv_m[j, None] / dt)
+        return iteration
+
+    # -- RATTLE -----------------------------------------------------------------
+    def apply_velocities(self, system: System) -> int:
+        """RATTLE: remove velocity components along constrained bonds."""
+        pos = system.positions
+        vel = system.velocities
+        inv_m = 1.0 / system.masses
+        i, j = self.pairs[:, 0], self.pairs[:, 1]
+        for iteration in range(1, self.max_iterations + 1):
+            d = pos[j] - pos[i]
+            rv = (d * (vel[j] - vel[i])).sum(axis=1)
+            if np.abs(rv).max() < self.tol:
+                break
+            denom = (d * d).sum(axis=1) * (inv_m[i] + inv_m[j])
+            k = np.where(denom > 1e-12, rv / denom, 0.0) * 0.5
+            corr = k[:, None] * d
+            np.add.at(vel, i, corr * inv_m[i, None])
+            np.add.at(vel, j, -corr * inv_m[j, None])
+        return iteration
+
+    def max_violation(self, positions: np.ndarray) -> float:
+        """Largest relative bond-length error (diagnostic)."""
+        i, j = self.pairs[:, 0], self.pairs[:, 1]
+        d = np.linalg.norm(positions[j] - positions[i], axis=1)
+        return float(np.abs(d - self.lengths).max() / self.lengths.min())

@@ -1,0 +1,50 @@
+"""Time integrators: velocity Verlet (the standard MD propagator).
+
+Forces are in eV/Å, masses in amu, velocities in Å/fs, time in fs; the
+conversion constant lives in :mod:`repro.md.system`.  Velocity Verlet is
+symplectic, so NVE energy conservation is the canonical correctness check
+for any potential's forces (tested for every model in the suite).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from .system import ACCEL_CONV, System
+
+
+class VelocityVerlet:
+    """Symplectic velocity-Verlet integrator.
+
+    Usage: ``half_kick`` → ``drift`` → (recompute forces) → ``half_kick``.
+    The :class:`~repro.md.simulation.Simulation` driver sequences this.
+    """
+
+    def __init__(self, dt: float) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.dt = float(dt)
+
+    def half_kick(self, system: System, forces: np.ndarray) -> None:
+        """v += (dt/2)·F/m."""
+        accel = forces / system.masses[:, None] * ACCEL_CONV
+        system.velocities += 0.5 * self.dt * accel
+
+    def drift(self, system: System) -> None:
+        """r += dt·v (positions are wrapped by the simulation driver)."""
+        system.positions += self.dt * system.velocities
+
+    def step(
+        self,
+        system: System,
+        forces: np.ndarray,
+        force_fn: Callable[[System], Tuple[float, np.ndarray]],
+    ) -> Tuple[float, np.ndarray]:
+        """One full step; returns the new (energy, forces)."""
+        self.half_kick(system, forces)
+        self.drift(system)
+        energy, new_forces = force_fn(system)
+        self.half_kick(system, new_forces)
+        return energy, new_forces

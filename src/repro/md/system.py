@@ -1,0 +1,138 @@
+"""The :class:`System` container: atoms, species, cell, velocities.
+
+A ``System`` is the unit every other subsystem exchanges: training frames,
+MD state, domain-decomposition shards, and benchmark workloads are all
+Systems.  Species are small integer type indices (0..S-1) that map
+one-to-one to chemical species, exactly as in the paper's model (§VI-D
+"atom types in the model correspond one-to-one with chemical species").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .cell import Cell
+
+# Masses in AMU for the species used by the synthetic biomolecular systems.
+DEFAULT_MASSES: Dict[str, float] = {
+    "H": 1.008,
+    "C": 12.011,
+    "N": 14.007,
+    "O": 15.999,
+    "S": 32.06,
+    "P": 30.974,
+}
+
+# Boltzmann constant in eV/K (energies in eV, temperatures in K).
+KB_EV = 8.617333262e-5
+
+# Conversion so that (eV / (Å·amu)) integrates with time in femtoseconds:
+# acceleration [Å/fs²] = F[eV/Å] / m[amu] · ACCEL_CONV.
+ACCEL_CONV = 9.64853321e-3
+
+
+class System:
+    """Mutable collection of atoms with an optional periodic cell.
+
+    Parameters
+    ----------
+    positions:
+        [N, 3] cartesian coordinates in Å.
+    species:
+        [N] integer type indices.
+    cell:
+        Periodic box, or None for open boundaries.
+    species_names:
+        Optional mapping index → chemical symbol (for masses and I/O).
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        species: np.ndarray,
+        cell: Optional[Cell] = None,
+        velocities: Optional[np.ndarray] = None,
+        masses: Optional[np.ndarray] = None,
+        species_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.positions = np.array(positions, dtype=np.float64)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError(f"positions must be [N, 3], got {self.positions.shape}")
+        self.species = np.array(species, dtype=np.int64)
+        if self.species.shape != (len(self.positions),):
+            raise ValueError("species must be a length-N integer array")
+        if (self.species < 0).any():
+            raise ValueError("species indices must be non-negative")
+        self.cell = cell
+        self.species_names = list(species_names) if species_names is not None else None
+        if velocities is None:
+            velocities = np.zeros_like(self.positions)
+        self.velocities = np.array(velocities, dtype=np.float64)
+        if self.velocities.shape != self.positions.shape:
+            raise ValueError("velocities must match positions shape")
+        if masses is None:
+            if self.species_names is not None:
+                table = np.array(
+                    [DEFAULT_MASSES.get(nm, 12.0) for nm in self.species_names]
+                )
+                masses = table[self.species]
+            else:
+                masses = np.ones(len(self.positions))
+        self.masses = np.asarray(masses, dtype=np.float64)
+        if self.masses.shape != (len(self.positions),):
+            raise ValueError("masses must be a length-N array")
+
+    # -- basic properties ---------------------------------------------------
+    @property
+    def n_atoms(self) -> int:
+        return len(self.positions)
+
+    @property
+    def n_species(self) -> int:
+        return int(self.species.max()) + 1 if len(self.species) else 0
+
+    def copy(self) -> "System":
+        return System(
+            self.positions.copy(),
+            self.species.copy(),
+            self.cell,
+            self.velocities.copy(),
+            self.masses.copy(),
+            self.species_names,
+        )
+
+    # -- thermodynamics --------------------------------------------------------
+    def kinetic_energy(self) -> float:
+        """Total kinetic energy in eV."""
+        v2 = np.sum(self.velocities**2, axis=1)
+        # v in Å/fs, m in amu: KE[eV] = 0.5 m v² / ACCEL_CONV
+        return float(0.5 * np.sum(self.masses * v2) / ACCEL_CONV)
+
+    def temperature(self) -> float:
+        """Instantaneous temperature in K (3N degrees of freedom)."""
+        dof = 3 * self.n_atoms
+        if dof == 0:
+            return 0.0
+        return 2.0 * self.kinetic_energy() / (dof * KB_EV)
+
+    def seed_velocities(self, temperature: float, rng: np.random.Generator) -> None:
+        """Maxwell–Boltzmann velocities at ``temperature`` K, zero net momentum."""
+        sigma = np.sqrt(KB_EV * temperature * ACCEL_CONV / self.masses)
+        self.velocities = rng.normal(size=(self.n_atoms, 3)) * sigma[:, None]
+        # Remove center-of-mass drift.
+        p = (self.masses[:, None] * self.velocities).sum(axis=0)
+        self.velocities -= p / self.masses.sum()
+
+    def wrap(self) -> None:
+        """Wrap positions into the periodic cell (no-op without a cell)."""
+        if self.cell is not None:
+            self.positions = self.cell.wrap(self.positions)
+
+    def __repr__(self) -> str:
+        return (
+            f"System(n_atoms={self.n_atoms}, n_species={self.n_species}, "
+            f"cell={self.cell})"
+        )

@@ -1,0 +1,93 @@
+"""Thermostats for NVT dynamics.
+
+The paper's stability runs (fig. 4) hold solvated proteins at 300 K; we
+provide the two standard weak-coupling choices:
+
+* :class:`LangevinThermostat` — stochastic friction + noise (correct
+  canonical sampling; used for the fig. 4 reproduction).
+* :class:`BerendsenThermostat` — velocity rescaling toward the target
+  (fast equilibration; not canonical, kept for equilibration phases).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .system import ACCEL_CONV, KB_EV, System
+
+
+class LangevinThermostat:
+    """BAOAB-style Ornstein–Uhlenbeck velocity update.
+
+    Applied once per step after the integrator: v ← c·v + √(1−c²)·σ·ξ with
+    c = exp(−γ·dt) and σ the Maxwell–Boltzmann width per atom.
+    """
+
+    def __init__(
+        self,
+        temperature: float,
+        friction: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if temperature < 0:
+            raise ValueError("temperature must be non-negative")
+        if friction <= 0:
+            raise ValueError("friction must be positive (1/fs)")
+        self.temperature = float(temperature)
+        self.friction = float(friction)
+        self.rng = np.random.default_rng(seed)
+
+    def apply(self, system: System, dt: float) -> None:
+        c = np.exp(-self.friction * dt)
+        sigma = np.sqrt(KB_EV * self.temperature * ACCEL_CONV / system.masses)
+        noise = self.rng.normal(size=system.velocities.shape) * sigma[:, None]
+        system.velocities *= c
+        system.velocities += np.sqrt(1.0 - c * c) * noise
+
+
+class BerendsenThermostat:
+    """Weak-coupling velocity rescaling: λ = √(1 + dt/τ·(T₀/T − 1))."""
+
+    def __init__(self, temperature: float, tau: float = 100.0) -> None:
+        if tau <= 0:
+            raise ValueError("tau must be positive (fs)")
+        self.temperature = float(temperature)
+        self.tau = float(tau)
+
+    def apply(self, system: System, dt: float) -> None:
+        t_now = system.temperature()
+        if t_now <= 0:
+            return
+        lam2 = 1.0 + dt / self.tau * (self.temperature / t_now - 1.0)
+        system.velocities *= np.sqrt(max(lam2, 0.0))
+
+
+class NoseHooverThermostat:
+    """Single Nosé–Hoover thermostat (deterministic canonical sampling).
+
+    The friction variable ξ follows dξ/dt = (2·KE − g·k_B·T₀)/Q with
+    g = 3N degrees of freedom and coupling mass Q = g·k_B·T₀·τ²; velocities
+    are damped/boosted by exp(−ξ·dt) each step.  Unlike Langevin it is
+    deterministic and time-reversible (the production choice when dynamics
+    must not be stochastically perturbed); unlike Berendsen it samples the
+    true canonical ensemble.
+    """
+
+    def __init__(self, temperature: float, tau: float = 50.0) -> None:
+        if temperature < 0:
+            raise ValueError("temperature must be non-negative")
+        if tau <= 0:
+            raise ValueError("tau must be positive (fs)")
+        self.temperature = float(temperature)
+        self.tau = float(tau)
+        self.xi = 0.0
+
+    def apply(self, system: System, dt: float) -> None:
+        g = 3 * system.n_atoms
+        kt = KB_EV * self.temperature
+        q = g * kt * self.tau**2
+        ke = system.kinetic_energy()
+        self.xi += dt * (2.0 * ke - g * kt) / q
+        system.velocities *= np.exp(-self.xi * dt)

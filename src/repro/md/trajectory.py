@@ -1,0 +1,93 @@
+"""Trajectory I/O: extended-XYZ writing/reading and in-memory recording.
+
+The paper measures "whole application including I/O"; the simulation driver
+can stream frames to an extended-XYZ file (the lingua franca of atomistic
+tools) at a configurable interval, and the benchmarks account dump time the
+same way LAMMPS profiling does.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO, Union
+
+import numpy as np
+
+from .cell import Cell
+from .system import System
+
+
+def write_xyz_frame(
+    fh: TextIO,
+    system: System,
+    comment_fields: Optional[dict] = None,
+) -> None:
+    """Append one extended-XYZ frame."""
+    names = system.species_names or [str(i) for i in range(system.n_species)]
+    fields = dict(comment_fields or {})
+    if system.cell is not None:
+        L = system.cell.lengths
+        fields["Lattice"] = f'"{L[0]} 0 0 0 {L[1]} 0 0 0 {L[2]}"'
+    comment = " ".join(f"{k}={v}" for k, v in fields.items())
+    fh.write(f"{system.n_atoms}\n{comment}\n")
+    for sp, (x, y, z) in zip(system.species, system.positions):
+        fh.write(f"{names[sp]} {x:.8f} {y:.8f} {z:.8f}\n")
+
+
+def read_xyz(path: Union[str, Path], species_names: Sequence[str]) -> List[System]:
+    """Read all frames of an (extended-)XYZ file written by this module."""
+    name_to_idx = {nm: i for i, nm in enumerate(species_names)}
+    frames: List[System] = []
+    with open(path) as fh:
+        while True:
+            header = fh.readline()
+            if not header.strip():
+                break
+            n = int(header)
+            comment = fh.readline()
+            cell = None
+            if "Lattice=" in comment:
+                lat = comment.split('Lattice="')[1].split('"')[0].split()
+                vals = [float(v) for v in lat]
+                cell = Cell((vals[0], vals[4], vals[8]))
+            pos = np.zeros((n, 3))
+            spec = np.zeros(n, dtype=np.int64)
+            for k in range(n):
+                parts = fh.readline().split()
+                spec[k] = name_to_idx[parts[0]]
+                pos[k] = [float(v) for v in parts[1:4]]
+            frames.append(System(pos, spec, cell, species_names=list(species_names)))
+    return frames
+
+
+@dataclass
+class TrajectoryRecorder:
+    """In-memory and/or on-disk trajectory sink for the MD driver."""
+
+    path: Optional[Union[str, Path]] = None
+    every: int = 1
+    keep_in_memory: bool = True
+    frames: List[np.ndarray] = field(default_factory=list)
+    times: List[float] = field(default_factory=list)
+    _fh: Optional[TextIO] = None
+
+    def open(self) -> None:
+        if self.path is not None and self._fh is None:
+            self._fh = open(self.path, "w")
+
+    def record(self, step: int, time_fs: float, system: System) -> None:
+        if step % self.every != 0:
+            return
+        if self.keep_in_memory:
+            self.frames.append(system.positions.copy())
+            self.times.append(time_fs)
+        if self.path is not None:
+            self.open()
+            write_xyz_frame(self._fh, system, {"time_fs": f"{time_fs:.3f}"})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

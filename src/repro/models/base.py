@@ -1,0 +1,143 @@
+"""The :class:`Potential` interface shared by every interatomic model.
+
+A potential maps (positions, species, neighbor list) to per-atom energies;
+forces come for free as −∂E/∂r through the autodiff tape — the same route
+the paper takes through PyTorch autograd.  The per-species scale/shift of
+the total-energy decomposition E = Σ_i σ_{Z_i}·E_i + μ_{Z_i} (paper §V-A)
+is applied in float64 regardless of the working precision (§V-B3: "we
+conduct the shifting, scaling, and summation of the atomic energies in
+double precision").
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..md.neighborlist import NeighborList, neighbor_list
+from ..md.system import System
+from ..nn.module import Module
+
+
+class PerSpeciesScaleShift(Module):
+    """E_i → σ_{Z_i}·E_i + μ_{Z_i}, computed in float64.
+
+    σ initialized to ``scale_init`` (typically the force RMS of the training
+    set), μ to per-species mean energies.
+    """
+
+    def __init__(
+        self,
+        n_species: int,
+        scale_init: float = 1.0,
+        shift_init: Optional[np.ndarray] = None,
+        trainable: bool = True,
+    ) -> None:
+        self.n_species = int(n_species)
+        self.scales = ad.Tensor(
+            np.full(n_species, float(scale_init)), requires_grad=trainable, name="sigma"
+        )
+        shifts = (
+            np.zeros(n_species)
+            if shift_init is None
+            else np.asarray(shift_init, dtype=np.float64)
+        )
+        if shifts.shape != (n_species,):
+            raise ValueError("shift_init must have one entry per species")
+        self.shifts = ad.Tensor(shifts, requires_grad=trainable, name="mu")
+
+    def __call__(self, atomic_energies: ad.Tensor, species: np.ndarray) -> ad.Tensor:
+        species = np.asarray(species)
+        dtype = ad.config.final_dtype
+        e_final = atomic_energies.astype(dtype)
+        sigma = ad.gather(self.scales, species).astype(dtype)
+        mu = ad.gather(self.shifts, species).astype(dtype)
+        return e_final * sigma + mu
+
+
+class Potential(Module):
+    """Base class: implement :meth:`atomic_energies`; the rest is provided."""
+
+    #: Maximum interaction cutoff in Å (used to build neighbor lists).
+    cutoff: float = 0.0
+
+    def atomic_energies(
+        self, positions: ad.Tensor, species: np.ndarray, nl: NeighborList
+    ) -> ad.Tensor:
+        """Per-atom energies [N] in eV (float64, already scaled/shifted)."""
+        raise NotImplementedError
+
+    # -- generic API ----------------------------------------------------------
+    def total_energy(
+        self, positions: ad.Tensor, species: np.ndarray, nl: NeighborList
+    ) -> ad.Tensor:
+        """Scalar total energy; the final sum stays in float64."""
+        return self.atomic_energies(positions, species, nl).sum()
+
+    def energy_and_forces(
+        self,
+        system: System,
+        nl: Optional[NeighborList] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """Convenience numpy API: (E [eV], F [N,3] eV/Å) for a system."""
+        if nl is None:
+            nl = neighbor_list(system, self.cutoff)
+        pos = ad.Tensor(system.positions, requires_grad=True)
+        energy = self.total_energy(pos, system.species, nl)
+        energy.backward()
+        # A graph with no geometric dependence (e.g. empty neighbor list)
+        # leaves no gradient; forces are then exactly zero.
+        forces = -pos.grad.data if pos.grad is not None else np.zeros_like(pos.data)
+        return float(energy.data), forces
+
+    @contextlib.contextmanager
+    def inference_mode(self) -> Iterator[None]:
+        """Deployment context: parameters stop requiring gradients.
+
+        Forces still flow (positions keep their tape), but the backward
+        graph no longer extends into the weights — the same effect as
+        deploying a compiled TorchScript model in pair_allegro: smaller
+        tape, faster force evaluation, identical numbers.  Tensor products
+        additionally pre-fuse their path weights.
+        """
+        params = self.parameters()
+        old = [p.requires_grad for p in params]
+        tps = [
+            tp
+            for tp in vars(self).get("tps", [])
+            if hasattr(tp, "freeze")
+        ]
+        for p in params:
+            p.requires_grad = False
+        for tp in tps:
+            tp.freeze()
+        try:
+            yield
+        finally:
+            for p, flag in zip(params, old):
+                p.requires_grad = flag
+            for tp in tps:
+                tp.unfreeze()
+
+    def predict_batch(
+        self,
+        positions: np.ndarray,
+        species: np.ndarray,
+        nl: NeighborList,
+        batch_index: np.ndarray,
+        n_structures: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-structure energies and all forces for a concatenated batch.
+
+        Structures are concatenated along the atom axis with edges kept
+        intra-structure; a single backward pass yields every force because
+        the structures are independent.
+        """
+        pos = ad.Tensor(positions, requires_grad=True)
+        e_atoms = self.atomic_energies(pos, species, nl)
+        e_struct = ad.scatter_add(e_atoms, batch_index, n_structures)
+        e_struct.sum().backward()
+        return e_struct.data.copy(), -pos.grad.data

@@ -1,0 +1,95 @@
+"""Simple analytic pair potentials: Lennard-Jones and Morse.
+
+These serve three roles: fast potentials for exercising the MD engine and
+domain decomposition with exactly known physics, ingredients of the
+classical force field baseline, and components of the synthetic reference
+potential that labels training data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..md.neighborlist import NeighborList
+from ..nn.radial import PolynomialCutoff
+from .base import Potential
+
+
+class LennardJones(Potential):
+    """12-6 Lennard-Jones with per-species-pair ε and σ, smoothly cut off.
+
+    E_ij = 4ε[(σ/r)¹² − (σ/r)⁶] · u(r/r_c); each ordered pair carries half
+    the bond energy so per-atom energies sum to the usual total.
+    """
+
+    def __init__(
+        self,
+        epsilon: np.ndarray | float = 1.0,
+        sigma: np.ndarray | float = 1.0,
+        cutoff: float = 2.5,
+        n_species: int = 1,
+    ) -> None:
+        eps = np.asarray(epsilon, dtype=np.float64)
+        sig = np.asarray(sigma, dtype=np.float64)
+        if eps.ndim == 0:
+            eps = np.full((n_species, n_species), float(eps))
+        if sig.ndim == 0:
+            sig = np.full((n_species, n_species), float(sig))
+        if eps.shape != (n_species, n_species) or sig.shape != (n_species, n_species):
+            raise ValueError("epsilon/sigma must be scalars or [S, S] matrices")
+        self.eps_table = eps
+        self.sigma_table = sig
+        self.cutoff = float(cutoff)
+        self.envelope = PolynomialCutoff(6)
+
+    def atomic_energies(self, positions, species, nl: NeighborList):
+        i, j = nl.edge_index
+        disp = ad.gather(positions, j) + ad.Tensor(nl.shifts) - ad.gather(positions, i)
+        r = ad.safe_norm(disp, axis=-1)
+        eps = ad.Tensor(self.eps_table[species[i], species[j]])
+        sig = ad.Tensor(self.sigma_table[species[i], species[j]])
+        x6 = (sig / r) ** 6
+        e_pair = eps * (x6 * x6 - x6) * 4.0
+        u = self.envelope(r * (1.0 / self.cutoff))
+        # Half per ordered pair: each unordered bond appears twice.
+        e_edge = e_pair * u * 0.5
+        return ad.scatter_add(e_edge, i, positions.shape[0])
+
+
+class MorsePotential(Potential):
+    """Morse pairs: D·[(1 − e^{−a(r−r0)})² − 1] with per-species-pair params.
+
+    Smooth, strongly anharmonic, and species-sensitive — used inside the
+    synthetic quantum reference potential (:mod:`repro.data.reference`).
+    """
+
+    def __init__(
+        self,
+        D: np.ndarray,
+        a: np.ndarray,
+        r0: np.ndarray,
+        cutoff: float = 4.0,
+    ) -> None:
+        self.D = np.asarray(D, dtype=np.float64)
+        self.a = np.asarray(a, dtype=np.float64)
+        self.r0 = np.asarray(r0, dtype=np.float64)
+        if not (self.D.shape == self.a.shape == self.r0.shape) or self.D.ndim != 2:
+            raise ValueError("D, a, r0 must be [S, S] matrices of equal shape")
+        self.cutoff = float(cutoff)
+        self.envelope = PolynomialCutoff(6)
+
+    def atomic_energies(self, positions, species, nl: NeighborList):
+        i, j = nl.edge_index
+        disp = ad.gather(positions, j) + ad.Tensor(nl.shifts) - ad.gather(positions, i)
+        r = ad.safe_norm(disp, axis=-1)
+        D = ad.Tensor(self.D[species[i], species[j]])
+        a = ad.Tensor(self.a[species[i], species[j]])
+        r0 = ad.Tensor(self.r0[species[i], species[j]])
+        decay = ad.exp(-(a * (r - r0)))
+        e_pair = D * ((1.0 - decay) ** 2 - 1.0)
+        u = self.envelope(r * (1.0 / self.cutoff))
+        e_edge = e_pair * u * 0.5
+        return ad.scatter_add(e_edge, i, positions.shape[0])

@@ -1,0 +1,61 @@
+"""Ziegler–Biersack–Littmark universal repulsion.
+
+The paper adds a repulsive ZBL term to the trained Allegro potential "as a
+means to improve the stability of the potential" (§VI-D): it guarantees a
+physically correct steep core repulsion even where training data are
+sparse, preventing atom overlap during long MD runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..md.neighborlist import NeighborList
+from ..nn.radial import PolynomialCutoff
+from .base import Potential
+
+# Coulomb constant e²/(4πε₀) in eV·Å.
+COULOMB_EV_A = 14.399645
+
+_PHI_C = np.array([0.18175, 0.50986, 0.28022, 0.02817])
+_PHI_A = np.array([3.19980, 0.94229, 0.40290, 0.20162])
+
+
+class ZBLRepulsion(Potential):
+    """Screened-Coulomb core repulsion between ordered pairs.
+
+    E_ij = ½ · (Z_i Z_j e²/4πε₀ r) · φ(r/a(Z_i,Z_j)) · u(r/r_c),
+    a = 0.46850 / (Z_i^0.23 + Z_j^0.23) Å.
+
+    Parameters
+    ----------
+    atomic_numbers:
+        [S] map from model species index to element atomic number.
+    cutoff:
+        Envelope cutoff; ZBL is short-ranged so a small cutoff suffices.
+    """
+
+    def __init__(self, atomic_numbers: np.ndarray, cutoff: float = 2.0) -> None:
+        self.atomic_numbers = np.asarray(atomic_numbers, dtype=np.float64)
+        if self.atomic_numbers.ndim != 1 or (self.atomic_numbers <= 0).any():
+            raise ValueError("atomic_numbers must be positive, one per species")
+        self.cutoff = float(cutoff)
+        self.envelope = PolynomialCutoff(6)
+
+    def atomic_energies(self, positions, species, nl: NeighborList):
+        i, j = nl.edge_index
+        disp = ad.gather(positions, j) + ad.Tensor(nl.shifts) - ad.gather(positions, i)
+        r = ad.safe_norm(disp, axis=-1)
+        zi = self.atomic_numbers[species[i]]
+        zj = self.atomic_numbers[species[j]]
+        a = 0.46850 / (zi**0.23 + zj**0.23)
+        pref = ad.Tensor(COULOMB_EV_A * zi * zj)
+        x = r / ad.Tensor(a)
+        phi = None
+        for c, alpha in zip(_PHI_C, _PHI_A):
+            term = ad.exp(x * (-alpha)) * c
+            phi = term if phi is None else phi + term
+        u = self.envelope(r * (1.0 / self.cutoff))
+        e_edge = pref / r * phi * u * 0.5
+        return ad.scatter_add(e_edge, i, positions.shape[0])

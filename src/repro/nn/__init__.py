@@ -1,0 +1,36 @@
+"""Neural-network building blocks on the autodiff substrate.
+
+Mirrors the pieces the Allegro training stack takes from PyTorch: linear
+layers and MLPs with e3nn-style forward normalization (weights and
+activations stay O(1), the property that makes TF32/F32 arithmetic safe,
+paper §V-B3), trainable Bessel radial bases with polynomial cutoff
+envelopes (§VI-D), Adam, exponential moving averages of weights, and a
+force-matching training loop.
+"""
+
+from .module import Module, ParameterList
+from .mlp import Linear, MLP
+from .radial import BesselBasis, PolynomialCutoff, PerPairBesselBasis
+from .optim import SGD, Adam, ExponentialMovingAverage
+from .loss import mse_force_loss, weighted_energy_force_loss, mae, rmse
+from .training import Trainer, TrainConfig, EpochStats
+
+__all__ = [
+    "Module",
+    "ParameterList",
+    "Linear",
+    "MLP",
+    "BesselBasis",
+    "PolynomialCutoff",
+    "PerPairBesselBasis",
+    "SGD",
+    "Adam",
+    "ExponentialMovingAverage",
+    "mse_force_loss",
+    "weighted_energy_force_loss",
+    "mae",
+    "rmse",
+    "Trainer",
+    "TrainConfig",
+    "EpochStats",
+]

@@ -1,0 +1,54 @@
+"""Losses and error metrics for force/energy regression.
+
+The paper trains with a *force-only* MSE loss (§VI-D) with force targets
+normalized by the maximum absolute force component of the training set.
+Energy-and-force weighting is provided for the baselines that need it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import autodiff as ad
+
+
+def mse_force_loss(pred_forces: ad.Tensor, target_forces: np.ndarray, scale: float = 1.0):
+    """Mean squared error over force components, optionally pre-scaled.
+
+    ``scale`` divides both prediction and target (the paper normalizes by
+    the max |F| component over the training set so the loss is O(1)).
+    """
+    target = ad.Tensor(np.asarray(target_forces))
+    diff = (pred_forces - target) * (1.0 / scale)
+    return (diff * diff).mean()
+
+
+def weighted_energy_force_loss(
+    pred_energy: ad.Tensor,
+    pred_forces: ad.Tensor,
+    target_energy: float | np.ndarray,
+    target_forces: np.ndarray,
+    n_atoms: int,
+    energy_weight: float = 1.0,
+    force_weight: float = 1.0,
+):
+    """λ_E·MSE(E/N) + λ_F·MSE(F): the standard MLIP loss shape."""
+    e_t = ad.Tensor(np.asarray(target_energy, dtype=np.float64))
+    de = (pred_energy - e_t) * (1.0 / n_atoms)
+    e_term = (de * de).mean()
+    f_t = ad.Tensor(np.asarray(target_forces))
+    df = pred_forces - f_t
+    f_term = (df * df).mean()
+    return e_term * energy_weight + f_term * force_weight
+
+
+def mae(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute error over all components."""
+    pred = pred.data if isinstance(pred, ad.Tensor) else np.asarray(pred)
+    return float(np.mean(np.abs(pred - np.asarray(target))))
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error over all components."""
+    pred = pred.data if isinstance(pred, ad.Tensor) else np.asarray(pred)
+    return float(np.sqrt(np.mean((pred - np.asarray(target)) ** 2)))

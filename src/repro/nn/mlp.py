@@ -1,0 +1,136 @@
+"""Linear layers and MLPs with e3nn-style forward normalization.
+
+The paper's training discipline (§V-B3) keeps every weight and activation
+at O(1) magnitude so that float32/TF32 arithmetic loses nothing.  We follow
+the e3nn/Allegro convention: weights are drawn from a unit-variance uniform
+distribution (§VI-D: "initialized according to a uniform distribution of
+unit variance") and the forward pass divides by √fan_in, so unit-variance
+inputs produce unit-variance pre-activations at init.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .. import autodiff as ad
+from .module import Module
+
+_SQRT3 = math.sqrt(3.0)
+
+
+def uniform_unit_variance(rng: np.random.Generator, shape) -> np.ndarray:
+    """U(-√3, √3): zero mean, unit variance."""
+    return rng.uniform(-_SQRT3, _SQRT3, size=shape)
+
+
+class Linear(Module):
+    """y = x @ W / √fan_in (+ b); W entries unit variance at init."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = ad.Tensor(
+            uniform_unit_variance(rng, (in_features, out_features)),
+            requires_grad=True,
+            name="linear.weight",
+        )
+        self.bias = (
+            ad.Tensor(np.zeros(out_features), requires_grad=True, name="linear.bias")
+            if bias
+            else None
+        )
+        self._norm = 1.0 / math.sqrt(in_features)
+
+    def __call__(self, x):
+        out = ad.matmul(ad.astensor(x), self.weight) * self._norm
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+_NONLINEARITIES: dict[str, Callable] = {
+    "silu": ad.silu,
+    "tanh": ad.tanh,
+    "relu": ad.relu,
+    "sigmoid": ad.sigmoid,
+    "identity": lambda x: x,
+}
+
+# Second-moment correction so post-activation variance stays ~1 for
+# standard-normal pre-activations (e3nn's `normalize2mom`).
+_ACT_GAIN: dict[str, float] = {}
+
+
+def _act_gain(name: str) -> float:
+    if name not in _ACT_GAIN:
+        fn = _NONLINEARITIES[name]
+        x = np.linspace(-6, 6, 200001)
+        w = np.exp(-0.5 * x * x) / math.sqrt(2 * math.pi)
+        with ad.no_grad():
+            y = fn(ad.Tensor(x)).data
+        second = float(np.trapezoid(y * y * w, x))
+        _ACT_GAIN[name] = 1.0 / math.sqrt(second) if second > 0 else 1.0
+    return _ACT_GAIN[name]
+
+
+class MLP(Module):
+    """Dense network: Linear → act → … → Linear (no final nonlinearity).
+
+    Parameters
+    ----------
+    dims:
+        Layer widths including input and output, e.g. ``[16, 128, 256, 64]``.
+    nonlinearity:
+        Name of the hidden activation ('silu' throughout Allegro); scaled by
+        a second-moment gain so activations keep unit variance.
+    bias:
+        Biases on every layer (Allegro's latent MLPs use none).
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        nonlinearity: str = "silu",
+        bias: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        rng = rng or np.random.default_rng()
+        if nonlinearity not in _NONLINEARITIES:
+            raise ValueError(f"unknown nonlinearity {nonlinearity!r}")
+        self.dims = tuple(int(d) for d in dims)
+        self.layers = [
+            Linear(dims[i], dims[i + 1], bias=bias, rng=rng)
+            for i in range(len(dims) - 1)
+        ]
+        self.nonlinearity = nonlinearity
+        self._act = _NONLINEARITIES[nonlinearity]
+        self._gain = _act_gain(nonlinearity)
+
+    def __call__(self, x):
+        h = ad.astensor(x)
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            h = layer(h)
+            if i != last:
+                h = self._act(h) * self._gain
+        return h
+
+    @property
+    def in_features(self) -> int:
+        return self.dims[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.dims[-1]

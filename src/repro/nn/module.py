@@ -1,0 +1,101 @@
+"""Minimal module system: parameter discovery, state dicts, train/eval mode.
+
+A :class:`Module` owns :class:`~repro.autodiff.Tensor` parameters directly
+as attributes and/or child modules; :meth:`Module.parameters` walks the tree.
+State dicts are flat ``{dotted.path: ndarray}`` maps so models can be saved
+with ``np.savez`` and restored exactly (used by EMA swaps and the precision
+ablation, which must evaluate the *same* trained weights under different
+compute policies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .. import autodiff as ad
+
+
+class ParameterList:
+    """Explicit container for a homogeneous list of parameters/modules."""
+
+    def __init__(self, items=()):
+        self.items = list(items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, i):
+        return self.items[i]
+
+    def append(self, item) -> None:
+        self.items.append(item)
+
+
+class Module:
+    """Base class with recursive parameter discovery.
+
+    Subclasses assign parameters (``ad.Tensor`` with ``requires_grad``),
+    child Modules, or :class:`ParameterList`s as attributes; no registration
+    calls are needed.
+    """
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, ad.Tensor]]:
+        for name, value in vars(self).items():
+            path = f"{prefix}{name}"
+            yield from _walk(path, value)
+
+    def parameters(self) -> List[ad.Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (the paper's model has 7.85M)."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise KeyError(f"state dict mismatch: missing={missing}, extra={extra}")
+        for name, p in own.items():
+            src = np.asarray(state[name])
+            if src.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {src.shape} vs {p.data.shape}"
+                )
+            p.data = src.astype(p.data.dtype, copy=True)
+
+
+def _walk(path: str, value) -> Iterator[Tuple[str, ad.Tensor]]:
+    if isinstance(value, ad.Tensor):
+        if value.requires_grad:
+            yield path, value
+    elif isinstance(value, Module):
+        yield from value.named_parameters(prefix=path + ".")
+    elif isinstance(value, ParameterList):
+        for i, item in enumerate(value):
+            yield from _walk(f"{path}.{i}", item)
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            if isinstance(item, (Module, ad.Tensor, ParameterList)):
+                yield from _walk(f"{path}.{i}", item)
+    elif isinstance(value, dict):
+        for k, item in value.items():
+            if isinstance(item, (Module, ad.Tensor, ParameterList)):
+                yield from _walk(f"{path}.{k}", item)
+    elif hasattr(value, "parameters") and hasattr(value, "weights"):
+        # Tensor-product objects expose .parameters() without being Modules.
+        for i, p in enumerate(value.parameters()):
+            yield f"{path}.p{i}", p

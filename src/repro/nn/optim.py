@@ -1,0 +1,129 @@
+"""Optimizers and the exponential moving average used for evaluation.
+
+The paper trains with Adam (default PyTorch settings, lr 1e-3, batch 16)
+and keeps an EMA of the weights with decay 0.99 for validation and the
+final model (§VI-D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .. import autodiff as ad
+
+
+class SGD:
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, params: Sequence[ad.Tensor], lr: float = 1e-2, momentum: float = 0.0):
+        self.params = list(params)
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self._vel = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._vel):
+            if p.grad is None:
+                continue
+            g = p.grad.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * g
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+
+class Adam:
+    """Adam (Kingma & Ba) with PyTorch default hyperparameters."""
+
+    def __init__(
+        self,
+        params: Sequence[ad.Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        self.params = list(params)
+        self.lr = float(lr)
+        self.beta1, self.beta2 = betas
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self.t
+        bias2 = 1.0 - b2**self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad.data
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def set_lr(self, lr: float) -> None:
+        """LR schedule hook (the paper halves lr after 119 epochs)."""
+        self.lr = float(lr)
+
+
+class ExponentialMovingAverage:
+    """EMA of parameter values; swap in for evaluation, swap out to resume.
+
+    decay 0.99 as in the paper.  ``swap()`` exchanges live weights and the
+    average in place, so the same call restores training weights.
+    """
+
+    def __init__(self, params: Sequence[ad.Tensor], decay: float = 0.99):
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        self.params = list(params)
+        self.decay = float(decay)
+        self.shadow = [p.data.copy() for p in self.params]
+
+    def update(self) -> None:
+        d = self.decay
+        for s, p in zip(self.shadow, self.params):
+            s *= d
+            s += (1 - d) * p.data
+
+    def swap(self) -> None:
+        for s, p in zip(self.shadow, self.params):
+            tmp = p.data.copy()
+            p.data[...] = s
+            s[...] = tmp
+
+    class _SwapContext:
+        def __init__(self, ema: "ExponentialMovingAverage"):
+            self.ema = ema
+
+        def __enter__(self):
+            self.ema.swap()
+            return self.ema
+
+        def __exit__(self, *exc):
+            self.ema.swap()
+            return False
+
+    def average_weights(self) -> "_SwapContext":
+        """Context manager: evaluate with the EMA weights, then restore."""
+        return ExponentialMovingAverage._SwapContext(self)

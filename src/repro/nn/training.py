@@ -1,0 +1,267 @@
+"""Force-matching training loop (paper §VI-D).
+
+The paper trains Allegro with a force-only MSE loss, Adam (lr 1e-3, batch
+16, default settings), force targets normalized by the maximum absolute
+force component of the training set, an EMA of the weights (decay 0.99)
+for evaluation, epoch-wise reshuffling, and a step-down LR schedule.  The
+:class:`Trainer` reproduces that loop on any :class:`~repro.models.base.Potential`.
+
+Force loss gradients require double backprop: forces are −∂E/∂r, so
+∂loss/∂w goes through the gradient graph — ``ad.grad(..., create_graph=True)``
+provides exactly that.
+
+Batches concatenate structures along the atom axis with per-frame neighbor
+lists (precomputed once) offset into the combined index space; one backward
+pass produces every force in the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..md.neighborlist import NeighborList
+from ..md.system import System
+from .loss import mae, rmse
+from .optim import Adam, ExponentialMovingAverage
+
+
+@dataclass
+class LabeledFrame:
+    """One training structure with reference labels."""
+
+    system: System
+    energy: float
+    forces: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.forces = np.asarray(self.forces, dtype=np.float64)
+        if self.forces.shape != self.system.positions.shape:
+            raise ValueError("forces must match positions shape")
+
+
+@dataclass
+class TrainConfig:
+    lr: float = 1e-3
+    batch_size: int = 16
+    max_epochs: int = 10
+    force_weight: float = 1.0
+    energy_weight: float = 0.0
+    ema_decay: float = 0.99
+    #: map epoch -> lr; None keeps lr constant (paper: halve after 119 epochs)
+    lr_schedule: Optional[Callable[[int], float]] = None
+    shuffle: bool = True
+    seed: int = 0
+    #: Initialize per-species energy shifts μ_Z by least squares over the
+    #: training energies and scales σ_Z by the force RMS — the standard
+    #: MLIP normalization that keeps the regression target O(1) (§V-B3).
+    init_reference_energies: bool = True
+
+
+@dataclass
+class EpochStats:
+    epoch: int
+    train_loss: float
+    val_force_mae: Optional[float] = None
+    val_force_rmse: Optional[float] = None
+
+
+class _Batch:
+    """Concatenated structures with a merged neighbor list."""
+
+    __slots__ = (
+        "positions",
+        "species",
+        "nl",
+        "batch_index",
+        "n_structures",
+        "energies",
+        "forces",
+        "n_atoms_per",
+    )
+
+    def __init__(self, frames: Sequence[LabeledFrame], nls: Sequence[NeighborList]):
+        pos, spec, bidx, edges, shifts = [], [], [], [], []
+        offset = 0
+        for k, (f, nl) in enumerate(zip(frames, nls)):
+            n = f.system.n_atoms
+            pos.append(f.system.positions)
+            spec.append(f.system.species)
+            bidx.append(np.full(n, k))
+            edges.append(nl.edge_index + offset)
+            shifts.append(nl.shifts)
+            offset += n
+        self.positions = np.concatenate(pos, axis=0)
+        self.species = np.concatenate(spec)
+        self.batch_index = np.concatenate(bidx).astype(np.int64)
+        self.nl = NeighborList(
+            np.concatenate(edges, axis=1), np.concatenate(shifts, axis=0)
+        )
+        self.n_structures = len(frames)
+        self.energies = np.array([f.energy for f in frames])
+        self.forces = np.concatenate([f.forces for f in frames], axis=0)
+        self.n_atoms_per = np.array([f.system.n_atoms for f in frames])
+
+
+class Trainer:
+    """Force-matching trainer for any Potential."""
+
+    def __init__(
+        self,
+        model,
+        train_frames: Sequence[LabeledFrame],
+        val_frames: Sequence[LabeledFrame] = (),
+        config: Optional[TrainConfig] = None,
+    ) -> None:
+        self.model = model
+        self.config = config or TrainConfig()
+        self.train_frames = list(train_frames)
+        self.val_frames = list(val_frames)
+        if not self.train_frames:
+            raise ValueError("need at least one training frame")
+
+        self._train_nls = [self._neighbors(f.system) for f in self.train_frames]
+        self._val_nls = [self._neighbors(f.system) for f in self.val_frames]
+
+        # Paper: "normalize the force targets by the maximum absolute force
+        # component computed over the training set".
+        self.force_scale = max(
+            float(np.abs(f.forces).max()) for f in self.train_frames
+        )
+        if self.force_scale == 0.0:
+            self.force_scale = 1.0
+
+        if self.config.init_reference_energies:
+            self._init_scale_shift()
+
+        self.optimizer = Adam(self.model.parameters(), lr=self.config.lr)
+        self.ema = ExponentialMovingAverage(
+            self.model.parameters(), decay=self.config.ema_decay
+        )
+        self.history: List[EpochStats] = []
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def _init_scale_shift(self) -> None:
+        """Regress μ_Z (per-species reference energies) and set σ_Z.
+
+        Solves min ‖E_frame − Σ_s n_s(frame)·μ_s‖² over the training set and
+        writes the solution into the model's PerSpeciesScaleShift, with
+        σ_Z set to the force RMS — so the network only has to learn O(1)
+        residuals (the normalization discipline of §V-B3).
+        """
+        ss = getattr(self.model, "scale_shift", None)
+        if ss is None:
+            return
+        n_species = ss.n_species
+        counts = np.zeros((len(self.train_frames), n_species))
+        energies = np.zeros(len(self.train_frames))
+        for k, f in enumerate(self.train_frames):
+            counts[k] = np.bincount(f.system.species, minlength=n_species)
+            energies[k] = f.energy
+        # Ridge-regularized for species absent from the training set.
+        A = counts.T @ counts + 1e-8 * np.eye(n_species)
+        mu = np.linalg.solve(A, counts.T @ energies)
+        ss.shifts.data = mu
+        frms = np.sqrt(
+            np.mean(np.concatenate([f.forces.ravel() for f in self.train_frames]) ** 2)
+        )
+        if frms > 0:
+            ss.scales.data = np.full(n_species, frms)
+
+    def _neighbors(self, system: System) -> NeighborList:
+        if hasattr(self.model, "prepare_neighbors"):
+            return self.model.prepare_neighbors(system)
+        from ..md.neighborlist import neighbor_list
+
+        return neighbor_list(system, self.model.cutoff)
+
+    # -- core steps -----------------------------------------------------------
+    def _batch_loss(self, batch: _Batch) -> ad.Tensor:
+        cfg = self.config
+        pos = ad.Tensor(batch.positions, requires_grad=True)
+        e_atoms = self.model.atomic_energies(pos, batch.species, batch.nl)
+        e_struct = ad.scatter_add(e_atoms, batch.batch_index, batch.n_structures)
+        total = e_struct.sum()
+        (gpos,) = ad.grad(total, [pos], create_graph=True)
+        forces = -gpos
+
+        diff = (forces - ad.Tensor(batch.forces)) * (1.0 / self.force_scale)
+        loss = (diff * diff).mean() * cfg.force_weight
+        if cfg.energy_weight > 0:
+            de = (e_struct - ad.Tensor(batch.energies)) / ad.Tensor(
+                batch.n_atoms_per.astype(np.float64)
+            )
+            loss = loss + (de * de).mean() * cfg.energy_weight
+        return loss
+
+    def train_epoch(self, epoch: int) -> float:
+        cfg = self.config
+        if cfg.lr_schedule is not None:
+            self.optimizer.set_lr(cfg.lr_schedule(epoch))
+        order = np.arange(len(self.train_frames))
+        if cfg.shuffle:
+            self._rng.shuffle(order)
+        losses = []
+        for start in range(0, len(order), cfg.batch_size):
+            idx = order[start : start + cfg.batch_size]
+            batch = _Batch(
+                [self.train_frames[k] for k in idx],
+                [self._train_nls[k] for k in idx],
+            )
+            loss = self._batch_loss(batch)
+            self.model.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            self.ema.update()
+            losses.append(float(loss.data))
+        return float(np.mean(losses))
+
+    def fit(self, epochs: Optional[int] = None, verbose: bool = False) -> List[EpochStats]:
+        epochs = epochs if epochs is not None else self.config.max_epochs
+        for e in range(epochs):
+            train_loss = self.train_epoch(e)
+            stats = EpochStats(epoch=e, train_loss=train_loss)
+            if self.val_frames:
+                with self.ema.average_weights():
+                    metrics = self.evaluate(self.val_frames, self._val_nls)
+                stats.val_force_mae = metrics["force_mae"]
+                stats.val_force_rmse = metrics["force_rmse"]
+            self.history.append(stats)
+            if verbose:
+                msg = f"epoch {e}: loss={train_loss:.5f}"
+                if stats.val_force_rmse is not None:
+                    msg += f" val F rmse={stats.val_force_rmse:.5f}"
+                print(msg)
+        return self.history
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(
+        self,
+        frames: Sequence[LabeledFrame],
+        nls: Optional[Sequence[NeighborList]] = None,
+        use_ema: bool = False,
+    ) -> Dict[str, float]:
+        """Force/energy MAE & RMSE over frames (units of the labels)."""
+        if nls is None:
+            nls = [self._neighbors(f.system) for f in frames]
+        if use_ema:
+            with self.ema.average_weights():
+                return self.evaluate(frames, nls, use_ema=False)
+        pf, tf, pe, te = [], [], [], []
+        for f, nl in zip(frames, nls):
+            e, forces = self.model.energy_and_forces(f.system, nl)
+            pf.append(forces)
+            tf.append(f.forces)
+            pe.append(e / f.system.n_atoms)
+            te.append(f.energy / f.system.n_atoms)
+        pf = np.concatenate(pf, axis=0)
+        tf = np.concatenate(tf, axis=0)
+        return {
+            "force_mae": mae(pf, tf),
+            "force_rmse": rmse(pf, tf),
+            "energy_per_atom_mae": mae(np.array(pe), np.array(te)),
+            "energy_per_atom_rmse": rmse(np.array(pe), np.array(te)),
+        }

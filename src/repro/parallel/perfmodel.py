@@ -1,0 +1,201 @@
+"""Analytic cluster performance model (A100 nodes, Perlmutter-like).
+
+The scaling experiments of the paper (fig. 6, fig. 7, Table III) ran on up
+to 1280 Perlmutter nodes; here the same curves are regenerated from a
+small, explicit analytic model of one timestep:
+
+    t_step = max(t_floor, atoms_per_gpu / κ)                    [compute]
+           + halo_bytes / (B_total / n_ranks)                   [halo]
+           + n_msgs·α + c_sync·log₂(n_ranks)                    [latency/sync]
+
+* κ (atoms/s/GPU) is the Allegro throughput of the paper's 7.85M-weight
+  model on one A100 with TF32; it is **calibrated once** against Table III
+  (1.12M-atom water: 6.28 steps/s on 16 nodes ⇒ κ ≈ 1.1·10⁵).
+* t_floor is the undersaturated-GPU floor — the paper observes throughput
+  saturating at ~100 steps/s once atoms/GPU < 500 (§VII-B), i.e. a
+  ~5–10 ms/step kernel-launch + fixed-cost floor.
+* halo volume is geometric: each GPU's brick of volume (atoms/ρ) gains a
+  shell of thickness r_cut; shell atoms × 24 B × 2 directions move per step.
+* B_total/n_ranks models the effective per-rank bandwidth degradation of
+  staged (non-CUDA-aware) MPI at scale — the paper explicitly disabled
+  GPU-aware MPI (§VI-B), "which may hurt scalability for the largest
+  numbers of nodes".
+
+Every constant is exposed on :class:`ClusterSpec`; the benchmark harness
+prints paper-reported numbers next to modeled ones so the calibration is
+auditable.  Workload inputs (atom counts, density, cutoff, pairs/atom) come
+from the actual synthetic systems and measured neighbor statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ClusterSpec:
+    """Hardware + model-throughput constants (Perlmutter A100 calibration)."""
+
+    gpus_per_node: int = 4
+    #: Allegro (7.85M weights, TF32) throughput per A100, atoms/s.
+    atoms_per_second_per_gpu: float = 1.10e5
+    #: fixed per-step GPU cost when undersaturated (kernel launches, JIT'd
+    #: graph dispatch); sets the ~100 steps/s saturation plateau observed
+    #: for every system in fig. 6.
+    kernel_floor_s: float = 6.5e-3
+    #: point-to-point message latency (staged MPI through host memory).
+    latency_s: float = 2.0e-5
+    #: aggregate network bandwidth budget; per-rank share is B/n_ranks,
+    #: modeling contention of staged (non-GPU-aware) MPI at scale.
+    total_bandwidth_Bps: float = 4.5e10
+    #: halo messages per step (6 directions, forward + reverse).
+    messages_per_step: int = 12
+    #: global synchronization cost coefficient (×log₂ ranks).
+    sync_coeff_s: float = 1.0e-4
+    #: GPU memory bound: bytes of model state per atom (40 GB A100 hosts
+    #: ~21k atoms of the big Allegro model: pair tensors dominate).
+    mem_bytes_per_atom: float = 1.9e6
+    gpu_memory_bytes: float = 40e9
+
+
+@dataclass
+class StepBreakdown:
+    """Per-step time decomposition in seconds."""
+
+    compute: float
+    halo: float
+    latency: float
+    sync: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.halo + self.latency + self.sync
+
+
+class PerfModel:
+    """Timesteps/s for a workload (n_atoms, density, cutoff) on n nodes."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec | None = None,
+        density: float = 0.10,
+        cutoff: float = 4.0,
+    ) -> None:
+        self.spec = spec or ClusterSpec()
+        if density <= 0 or cutoff <= 0:
+            raise ValueError("density and cutoff must be positive")
+        self.density = float(density)  # atoms / Å³
+        self.cutoff = float(cutoff)
+
+    # -- building blocks ---------------------------------------------------
+    def halo_atoms_per_gpu(self, atoms_per_gpu: float) -> float:
+        """Shell of thickness r_cut around a cubic brick of the GPU's atoms."""
+        if atoms_per_gpu <= 0:
+            return 0.0
+        volume = atoms_per_gpu / self.density
+        a = volume ** (1.0 / 3.0)
+        shell = (a + 2 * self.cutoff) ** 3 - a**3
+        return shell * self.density
+
+    def min_nodes(self, n_atoms: int) -> int:
+        """Memory-bound minimum node count (start of each fig. 6 curve)."""
+        s = self.spec
+        per_gpu_capacity = s.gpu_memory_bytes / s.mem_bytes_per_atom
+        gpus = math.ceil(n_atoms / per_gpu_capacity)
+        return max(1, math.ceil(gpus / s.gpus_per_node))
+
+    def step_breakdown(self, n_atoms: int, n_nodes: int) -> StepBreakdown:
+        s = self.spec
+        n_ranks = max(1, n_nodes * s.gpus_per_node)
+        apg = n_atoms / n_ranks
+        compute = max(s.kernel_floor_s, apg / s.atoms_per_second_per_gpu)
+        if n_ranks == 1:
+            return StepBreakdown(compute, 0.0, 0.0, 0.0)
+        halo_bytes = self.halo_atoms_per_gpu(apg) * 24.0 * 2.0
+        bw_per_rank = s.total_bandwidth_Bps / n_ranks
+        halo = halo_bytes / bw_per_rank
+        latency = s.messages_per_step * s.latency_s
+        sync = s.sync_coeff_s * math.log2(n_ranks)
+        return StepBreakdown(compute, halo, latency, sync)
+
+    def timesteps_per_second(self, n_atoms: int, n_nodes: int) -> float:
+        return 1.0 / self.step_breakdown(n_atoms, n_nodes).total
+
+    # -- calibration -----------------------------------------------------------
+    def calibrate_throughput(
+        self, pairs_per_second_measured: float, pairs_per_atom: float, speedup: float
+    ) -> None:
+        """Set κ from a measured kernel rate.
+
+        ``pairs_per_second_measured`` is this repository's own single-process
+        throughput (pairs/s); ``speedup`` is the declared hardware factor
+        between the measurement platform and an A100 (documented in
+        EXPERIMENTS.md), and ``pairs_per_atom`` converts to atoms/s.
+        """
+        if min(pairs_per_second_measured, pairs_per_atom, speedup) <= 0:
+            raise ValueError("calibration inputs must be positive")
+        self.spec.atoms_per_second_per_gpu = (
+            pairs_per_second_measured * speedup / pairs_per_atom
+        )
+
+
+def strong_scaling_curve(
+    model: PerfModel,
+    n_atoms: int,
+    node_counts: Sequence[int],
+    clamp_to_memory: bool = True,
+) -> List[Tuple[int, float]]:
+    """[(nodes, timesteps/s)] over ``node_counts`` (fig. 6 series)."""
+    out = []
+    n_min = model.min_nodes(n_atoms) if clamp_to_memory else 1
+    for nodes in node_counts:
+        if nodes < n_min:
+            continue
+        out.append((nodes, model.timesteps_per_second(n_atoms, nodes)))
+    return out
+
+
+def weak_scaling_curve(
+    model: PerfModel,
+    atoms_per_node: int,
+    node_counts: Sequence[int],
+) -> List[Tuple[int, float, float]]:
+    """[(nodes, timesteps/s, efficiency)] with efficiency vs the 1-node rate
+    (fig. 7 series)."""
+    base = model.timesteps_per_second(atoms_per_node, 1)
+    out = []
+    for nodes in node_counts:
+        rate = model.timesteps_per_second(atoms_per_node * nodes, nodes)
+        out.append((nodes, rate, rate / base))
+    return out
+
+
+#: Paper-reported reference numbers used by the benchmark harness to print
+#: "paper vs model" tables (Table III row and fig. 6 peak rates).
+PAPER_REFERENCE: Dict[str, object] = {
+    # Table III: ~1.12M-atom water, timesteps/s at node counts.
+    "table3_water_steps_per_s": {16: 6.28, 32: 11.9, 64: 20.3, 1024: 104.2},
+    "table3_tight_binding": {16: 0.010, 32: 0.012, 64: 0.020},
+    "table3_n_atoms": 1_119_744,
+    # Fig. 6 peak performance per system (timesteps/s).
+    "fig6_peaks": {
+        "dhfr": 100.0,
+        "factor_ix": 100.0,
+        "cellulose": 100.0,
+        "stmv": 106.0,
+        "stmv10": 23.0,
+        "capsid": 8.73,
+        "water_10m": 36.3,
+        "water_100m": 4.32,
+    },
+    # Desmond single-GPU classical-FF comparison (§VII-B).
+    "desmond_stmv": 268.0,
+    "desmond_stmv10": 24.0,
+    # HIV capsid at quantum accuracy, prior work [32].
+    "capsid_tight_binding_steps_per_s": 0.0005,
+    "weak_scaling_target_efficiency": 0.70,
+}

@@ -1,0 +1,106 @@
+"""Process grids: mapping ranks onto spatial subdomains.
+
+LAMMPS factorizes the rank count into a 3D grid that minimizes the total
+subdomain surface area (communication is proportional to surface); the
+same heuristic is used here.  Each rank owns an axis-aligned brick of the
+periodic box and talks to its six face neighbors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..md.cell import Cell
+
+
+def _factor_triplets(p: int) -> List[Tuple[int, int, int]]:
+    out = []
+    for px in range(1, p + 1):
+        if p % px:
+            continue
+        rem = p // px
+        for py in range(1, rem + 1):
+            if rem % py:
+                continue
+            out.append((px, py, rem // py))
+    return out
+
+
+class ProcessGrid:
+    """A (px, py, pz) decomposition of ``n_ranks`` over a periodic box."""
+
+    def __init__(self, dims: Tuple[int, int, int], cell: Cell) -> None:
+        dims = tuple(int(d) for d in dims)
+        if any(d < 1 for d in dims):
+            raise ValueError("grid dims must be positive")
+        self.dims = dims
+        self.cell = cell
+        self.n_ranks = int(np.prod(dims))
+
+    @classmethod
+    def create(cls, n_ranks: int, cell: Cell) -> "ProcessGrid":
+        """Surface-minimizing factorization for the given box shape."""
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        L = cell.lengths
+        best, best_cost = None, np.inf
+        for dims in _factor_triplets(n_ranks):
+            sub = L / np.asarray(dims)
+            # Total surface area over all subdomains.
+            cost = n_ranks * 2 * (sub[0] * sub[1] + sub[1] * sub[2] + sub[0] * sub[2])
+            if cost < best_cost - 1e-12:
+                best, best_cost = dims, cost
+        return cls(best, cell)
+
+    # -- rank <-> coordinates -------------------------------------------------
+    def coords_of(self, rank: int) -> Tuple[int, int, int]:
+        px, py, pz = self.dims
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range")
+        return (rank // (py * pz), (rank // pz) % py, rank % pz)
+
+    def rank_of(self, coords: Tuple[int, int, int]) -> int:
+        px, py, pz = self.dims
+        cx, cy, cz = (c % d for c, d in zip(coords, self.dims))
+        return (cx * py + cy) * pz + cz
+
+    def neighbor(self, rank: int, axis: int, direction: int) -> int:
+        """Face neighbor along ±axis with periodic wrap."""
+        c = list(self.coords_of(rank))
+        c[axis] += direction
+        return self.rank_of(tuple(c))
+
+    # -- geometry ---------------------------------------------------------------
+    def domain_bounds(self, rank: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(lo, hi) corner of the rank's brick."""
+        c = np.asarray(self.coords_of(rank))
+        sub = self.cell.lengths / np.asarray(self.dims)
+        return c * sub, (c + 1) * sub
+
+    @property
+    def subdomain_lengths(self) -> np.ndarray:
+        return self.cell.lengths / np.asarray(self.dims)
+
+    def owner_of(self, positions: np.ndarray) -> np.ndarray:
+        """Rank owning each (wrapped) position."""
+        pos = self.cell.wrap(positions)
+        sub = self.subdomain_lengths
+        coords = np.minimum((pos / sub).astype(int), np.asarray(self.dims) - 1)
+        px, py, pz = self.dims
+        return (coords[:, 0] * py + coords[:, 1]) * pz + coords[:, 2]
+
+    def validate_cutoff(self, cutoff: float) -> None:
+        """Halo exchange needs each subdomain to span at least the cutoff."""
+        sub = self.subdomain_lengths
+        for ax in range(3):
+            if self.dims[ax] > 1 and sub[ax] < cutoff:
+                raise ValueError(
+                    f"subdomain length {sub[ax]:.2f} Å along axis {ax} is below "
+                    f"the cutoff {cutoff:.2f} Å; use fewer ranks along this axis"
+                )
+
+    def __repr__(self) -> str:
+        return f"ProcessGrid(dims={self.dims}, n_ranks={self.n_ranks})"

@@ -1,0 +1,145 @@
+"""Mixed-precision emulation (paper §V-B3, Table IV).
+
+A policy is the triple the paper writes as "Final, Weights, Compute":
+
+* **Final** — dtype of the shifting/scaling/summation of atomic energies
+  (the paper keeps this float64 to absorb the large magnitudes of total
+  energies; emulated through ``autodiff.config.final_dtype``).
+* **Weights** — storage precision of parameters (float32 rounding applied
+  in place, reversibly, around evaluation).
+* **Compute** — matmul/einsum arithmetic: ``tf32`` truncates each operand
+  mantissa to 10 bits then accumulates in float32, exactly the behaviour
+  of A100 tensor cores; ``f32`` rounds operands and results to float32;
+  ``f64`` leaves everything alone.
+
+Accuracy numbers from these emulations are *real* (bit-true rounding on the
+actual model); the **speed** row of Table IV cannot be measured without the
+GPU, so :func:`policy_speed_factor` models it from A100 throughput ratios
+(TF32 tensor core ≈ 8× FP32 CUDA-core matmul; FP64 ≈ ½ bandwidth-bound
+rate) with a calibrated matmul time fraction.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+import numpy as np
+
+from .. import autodiff as ad
+
+
+def round_f32(arr: np.ndarray) -> np.ndarray:
+    """Round values to the nearest float32 (returned as float64)."""
+    return arr.astype(np.float32).astype(np.float64)
+
+
+def truncate_tf32(arr: np.ndarray) -> np.ndarray:
+    """Round values to TF32: 8 exponent bits, 10 mantissa bits.
+
+    Implemented by round-to-nearest on the float32 bit pattern, clearing
+    the 13 low mantissa bits — the same operand rounding A100 tensor cores
+    perform before their FP32-accumulated product.
+    """
+    f32 = arr.astype(np.float32)
+    bits = f32.view(np.uint32)
+    rounded = (bits + np.uint32(0x1000)) & np.uint32(0xFFFFE000)
+    out = rounded.view(np.float32).astype(np.float64)
+    # Preserve non-finite values exactly.
+    bad = ~np.isfinite(arr)
+    if bad.any():
+        out[bad] = arr[bad]
+    return out
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """(final, weights, compute) dtypes; names follow Table IV columns."""
+
+    name: str
+    final: str  # 'f64' | 'f32'
+    weights: str  # 'f64' | 'f32'
+    compute: str  # 'f64' | 'f32' | 'tf32'
+
+    def __post_init__(self):
+        if self.final not in ("f64", "f32"):
+            raise ValueError(f"bad final dtype {self.final}")
+        if self.weights not in ("f64", "f32"):
+            raise ValueError(f"bad weights dtype {self.weights}")
+        if self.compute not in ("f64", "f32", "tf32"):
+            raise ValueError(f"bad compute dtype {self.compute}")
+
+
+#: The five schemes of Table IV; F64,F32,TF32 is the production choice.
+POLICIES: Dict[str, PrecisionPolicy] = {
+    "F32,F32,TF32": PrecisionPolicy("F32,F32,TF32", "f32", "f32", "tf32"),
+    "F32,F32,F32": PrecisionPolicy("F32,F32,F32", "f32", "f32", "f32"),
+    "F64,F32,TF32": PrecisionPolicy("F64,F32,TF32", "f64", "f32", "tf32"),
+    "F64,F32,F32": PrecisionPolicy("F64,F32,F32", "f64", "f32", "f32"),
+    "F64,F64,F64": PrecisionPolicy("F64,F64,F64", "f64", "f64", "f64"),
+}
+
+
+@contextlib.contextmanager
+def apply_policy(model, policy: PrecisionPolicy) -> Iterator[None]:
+    """Evaluate ``model`` under a precision policy; fully restores state.
+
+    Weight rounding is applied in place (original float64 values stashed
+    and restored), compute hooks are installed on the autodiff config, and
+    the final-stage dtype is switched.
+    """
+    params = model.parameters()
+    stash = None
+    if policy.weights == "f32":
+        stash = [p.data.copy() for p in params]
+        for p in params:
+            p.data = round_f32(p.data)
+
+    old_in = ad.config.matmul_input_cast
+    old_out = ad.config.matmul_precision
+    old_final = getattr(ad.config, "final_dtype", np.float64)
+    try:
+        if policy.compute == "tf32":
+            ad.config.matmul_input_cast = truncate_tf32
+            ad.config.matmul_precision = round_f32  # FP32 accumulate
+        elif policy.compute == "f32":
+            ad.config.matmul_input_cast = round_f32
+            ad.config.matmul_precision = round_f32
+        else:
+            ad.config.matmul_input_cast = None
+            ad.config.matmul_precision = None
+        ad.config.final_dtype = np.float32 if policy.final == "f32" else np.float64
+        yield
+    finally:
+        ad.config.matmul_input_cast = old_in
+        ad.config.matmul_precision = old_out
+        ad.config.final_dtype = old_final
+        if stash is not None:
+            for p, orig in zip(params, stash):
+                p.data = orig
+
+
+# -- A100 speed model ----------------------------------------------------------
+
+#: Fraction of Allegro inference time spent in matmul-shaped work (latent
+#: MLPs + fused tensor product); calibrated so the modeled factors land on
+#: the paper's measured row (0.98/0.37/1.0/0.37/0.26).
+_MATMUL_FRACTION = 0.72
+#: Relative matmul rates on A100 (TF32 tensor core : FP32 : FP64).
+_MATMUL_RATE = {"tf32": 8.0, "f32": 1.0, "f64": 0.75}
+#: Relative rates of the remaining (bandwidth-bound) work by storage width.
+_OTHER_RATE = {"f32": 1.0, "f64": 0.5}
+
+
+def policy_speed_factor(policy: PrecisionPolicy) -> float:
+    """Modeled speed relative to the production F64,F32,TF32 policy."""
+    def step_time(p: PrecisionPolicy) -> float:
+        other_width = "f64" if p.weights == "f64" else "f32"
+        compute = p.compute if p.weights != "f64" else "f64"
+        return (
+            _MATMUL_FRACTION / _MATMUL_RATE[compute]
+            + (1.0 - _MATMUL_FRACTION) / _OTHER_RATE[other_width]
+        )
+
+    return step_time(POLICIES["F64,F32,TF32"]) / step_time(policy)

@@ -1,0 +1,39 @@
+"""Wall-clock timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.elapsed``."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.elapsed = time.perf_counter() - self._t0
+        return False
+
+
+def time_callable(
+    fn: Callable[[], object], repeat: int = 3, warmup: int = 1
+) -> Tuple[float, object]:
+    """(best seconds per call, last result) over ``repeat`` timed calls."""
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    result = None
+    for _ in range(warmup):
+        result = fn()
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result

@@ -1,0 +1,113 @@
+"""Edge cases of the autodiff engine: dtype flow, graph topology, memory."""
+
+import numpy as np
+import pytest
+
+import repro.autodiff as ad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(173)
+
+
+class TestDtypeFlow:
+    def test_final_dtype_config_controls_cast(self):
+        x = ad.Tensor(np.ones(3), requires_grad=True)
+        try:
+            ad.config.final_dtype = np.float32
+            y = x.astype(ad.config.final_dtype)
+            assert y.dtype == np.float32
+        finally:
+            ad.config.final_dtype = np.float64
+        y.sum().backward()
+        assert x.grad.data.dtype == np.float64  # gradient cast back
+
+    def test_float32_graph_stays_float32(self, rng):
+        x = ad.Tensor(rng.normal(size=4).astype(np.float32), requires_grad=True)
+        y = (x * x).sum()
+        assert y.dtype == np.float32
+
+    def test_mixed_op_promotes_like_numpy(self, rng):
+        a = ad.Tensor(rng.normal(size=3).astype(np.float32))
+        b = ad.Tensor(rng.normal(size=3))
+        assert (a + b).dtype == np.float64
+
+
+class TestGraphTopology:
+    def test_diamond_graph_gradients(self):
+        """x feeds two branches that rejoin: gradient must accumulate once
+        per path (the classic diamond-double-count check)."""
+        x = ad.Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = x * 5.0
+        y = a * b  # y = 15 x², dy/dx = 30x = 60
+        y.backward()
+        assert np.allclose(x.grad.data, [60.0])
+
+    def test_shared_subexpression(self, rng):
+        x = ad.Tensor(rng.normal(size=4), requires_grad=True)
+        s = ad.sin(x)
+        y = (s * s).sum() + s.sum()
+        y.backward()
+        expected = (2 * np.sin(x.data) + 1) * np.cos(x.data)
+        assert np.allclose(x.grad.data, expected)
+
+    def test_backward_twice_accumulates(self):
+        x = ad.Tensor(np.ones(2), requires_grad=True)
+        y = (x * 3.0).sum()
+        y.backward()
+        y2 = (x * 3.0).sum()
+        y2.backward()
+        assert np.allclose(x.grad.data, [6.0, 6.0])
+
+    def test_grad_of_nonscalar_with_seed(self, rng):
+        x = ad.Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        y = x * 2.0
+        seed = rng.normal(size=(2, 3))
+        y.backward(seed)
+        assert np.allclose(x.grad.data, 2.0 * seed)
+
+    def test_intermediate_grads_freed(self, rng):
+        """backward() frees non-leaf gradients to bound memory."""
+        x = ad.Tensor(rng.normal(size=4), requires_grad=True)
+        mid = x * 2.0
+        out = (mid * mid).sum()
+        out.backward()
+        assert x.grad is not None
+        assert mid.grad is None  # freed after use
+
+    def test_create_graph_keeps_differentiable_grad(self, rng):
+        x = ad.Tensor(rng.normal(size=3), requires_grad=True)
+        (x**3).sum().backward(create_graph=True)
+        g = x.grad  # 3x², itself on the tape
+        assert g.requires_grad
+        x.grad = None
+        g.sum().backward()
+        assert np.allclose(x.grad.data, 6.0 * x.data)
+
+
+class TestNumericalRobustness:
+    def test_no_nan_in_allegro_style_chain_with_padded_zero_edges(self):
+        """Zero displacement vectors (padding fake pairs) stay NaN-free."""
+        disp = ad.Tensor(np.zeros((4, 3)), requires_grad=True)
+        r = ad.safe_norm(disp, axis=-1)
+        y = (ad.sin(r) / (r + 1e-12)).sum()
+        y.backward()
+        assert np.isfinite(disp.grad.data).all()
+
+    def test_large_graph_memory_sanity(self, rng):
+        """A few thousand ops backward without recursion/memory failure."""
+        x = ad.Tensor(rng.normal(size=64), requires_grad=True)
+        y = x
+        for _ in range(1000):
+            y = ad.silu(y) * 1.001
+        y.sum().backward()
+        assert np.isfinite(x.grad.data).all()
+
+    def test_no_grad_inside_backward_of_first_order(self):
+        """First-order backward must not grow the tape."""
+        x = ad.Tensor(np.ones(3), requires_grad=True)
+        y = (x * x).sum()
+        y.backward()
+        assert not x.grad.requires_grad

@@ -1,0 +1,103 @@
+"""Unit tests for gather/scatter/concat/stack/pad — the neighbor-sum primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.autodiff as ad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(13)
+
+
+class TestGatherScatter:
+    def test_gather_forward(self, rng):
+        x = rng.normal(size=(5, 3))
+        idx = np.array([0, 4, 4, 2])
+        assert np.allclose(ad.gather(x, idx).data, x[idx])
+
+    def test_gather_gradcheck(self, rng):
+        idx = np.array([0, 2, 2, 1])
+        ad.gradcheck(lambda a: ad.gather(a, idx), [rng.normal(size=(3, 4))])
+
+    def test_scatter_add_forward(self, rng):
+        src = rng.normal(size=(4, 2))
+        idx = np.array([0, 1, 0, 2])
+        out = ad.scatter_add(src, idx, 3).data
+        expected = np.zeros((3, 2))
+        np.add.at(expected, idx, src)
+        assert np.allclose(out, expected)
+
+    def test_scatter_add_gradcheck(self, rng):
+        idx = np.array([0, 1, 0, 2, 1])
+        ad.gradcheck(lambda a: ad.scatter_add(a, idx, 3), [rng.normal(size=(5, 2))])
+
+    def test_scatter_gather_adjoint(self, rng):
+        """⟨scatter(x), y⟩ == ⟨x, gather(y)⟩ — the adjoint identity."""
+        idx = rng.integers(0, 4, size=10)
+        x = rng.normal(size=(10, 3))
+        y = rng.normal(size=(4, 3))
+        lhs = float((ad.scatter_add(x, idx, 4).data * y).sum())
+        rhs = float((x * ad.gather(y, idx).data).sum())
+        assert np.isclose(lhs, rhs)
+
+    def test_scatter_rejects_bad_index_shape(self):
+        with pytest.raises(ValueError):
+            ad.scatter_add(np.ones((3, 2)), np.array([0, 1]), 2)
+
+    def test_index_must_be_integer(self):
+        with pytest.raises(TypeError):
+            ad.gather(np.ones((3, 2)), np.array([0.5, 1.5]))
+
+    @given(st.integers(1, 8), st.integers(1, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_scatter_preserves_sum(self, n_bins, n_rows):
+        rng = np.random.default_rng(n_bins * 100 + n_rows)
+        src = rng.normal(size=(n_rows, 2))
+        idx = rng.integers(0, n_bins, size=n_rows)
+        out = ad.scatter_add(src, idx, n_bins).data
+        assert np.allclose(out.sum(axis=0), src.sum(axis=0))
+
+
+class TestAssembly:
+    def test_concatenate_gradcheck(self, rng):
+        ad.gradcheck(
+            lambda a, b: ad.concatenate([a, b], axis=-1),
+            [rng.normal(size=(3, 2)), rng.normal(size=(3, 4))],
+        )
+        ad.gradcheck(
+            lambda a, b: ad.concatenate([a, b], axis=0),
+            [rng.normal(size=(2, 3)), rng.normal(size=(4, 3))],
+        )
+
+    def test_stack_gradcheck(self, rng):
+        ad.gradcheck(
+            lambda a, b: ad.stack([a, b], axis=0),
+            [rng.normal(size=(2, 3)), rng.normal(size=(2, 3))],
+        )
+        ad.gradcheck(
+            lambda a, b: ad.stack([a, b], axis=-1),
+            [rng.normal(size=(2, 3)), rng.normal(size=(2, 3))],
+        )
+
+    def test_pad_rows_forward_and_grad(self, rng):
+        x = rng.normal(size=(3, 2))
+        out = ad.pad_rows(x, 5, fill=7.0)
+        assert out.shape == (5, 2)
+        assert np.allclose(out.data[3:], 7.0)
+        ad.gradcheck(lambda a: ad.pad_rows(a, 6), [x])
+
+    def test_pad_rows_noop_and_error(self, rng):
+        x = ad.Tensor(rng.normal(size=(3, 2)))
+        assert ad.pad_rows(x, 3) is x
+        with pytest.raises(ValueError):
+            ad.pad_rows(x, 2)
+
+    def test_pad_rows_gradient_ignores_padding(self):
+        x = ad.Tensor(np.ones((2, 2)), requires_grad=True)
+        y = ad.pad_rows(x, 4)
+        (y * y).sum().backward()
+        assert np.allclose(x.grad.data, 2.0)

@@ -1,0 +1,113 @@
+"""Unit tests for matmul and einsum, including the precision hooks."""
+
+import numpy as np
+import pytest
+
+import repro.autodiff as ad
+from repro.autodiff.tensor import config
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestMatmul:
+    def test_forward_matches_numpy(self, rng):
+        for sa, sb in [((3, 4), (4, 5)), ((2, 3, 4), (4, 5)), ((2, 3, 4), (2, 4, 5))]:
+            a, b = rng.normal(size=sa), rng.normal(size=sb)
+            assert np.allclose(ad.matmul(a, b).data, a @ b)
+
+    def test_vector_cases(self, rng):
+        a, b = rng.normal(size=4), rng.normal(size=4)
+        assert np.allclose(ad.matmul(a, b).data, a @ b)
+        M = rng.normal(size=(4, 5))
+        assert np.allclose(ad.matmul(a, M).data, a @ M)
+        assert np.allclose(ad.matmul(M.T, a).data, M.T @ a)
+
+    @pytest.mark.parametrize(
+        "sa,sb",
+        [
+            ((3, 4), (4, 5)),
+            ((2, 3, 4), (4, 5)),
+            ((2, 3, 4), (2, 4, 5)),
+            ((4,), (4, 5)),
+            ((3, 4), (4,)),
+            ((4,), (4,)),
+        ],
+    )
+    def test_gradcheck(self, sa, sb, rng):
+        ad.gradcheck(ad.matmul, [rng.normal(size=sa), rng.normal(size=sb)])
+
+    def test_operator_form(self, rng):
+        a = ad.Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = ad.Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad is not None and b.grad is not None
+
+
+class TestEinsum:
+    def test_forward_matches_numpy(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        assert np.allclose(ad.einsum("ij,jk->ik", a, b).data, np.einsum("ij,jk->ik", a, b))
+
+    @pytest.mark.parametrize(
+        "spec,shapes",
+        [
+            ("ij,jk->ik", [(3, 4), (4, 5)]),
+            ("zua,zub,abc->zuc", [(5, 2, 4), (5, 2, 3), (4, 3, 6)]),
+            ("zij->z", [(4, 2, 3)]),
+            ("ij->ji", [(3, 4)]),
+            ("zi,zj->zij", [(4, 2), (4, 3)]),
+            ("p,pabc->abc", [(3,), (3, 2, 2, 2)]),
+            ("znl,ld->znd", [(4, 2, 3), (3, 5)]),
+        ],
+    )
+    def test_gradcheck(self, spec, shapes, rng):
+        ad.gradcheck(lambda *ops: ad.einsum(spec, *ops), [rng.normal(size=s) for s in shapes])
+
+    def test_pure_reduction_broadcast_backward(self, rng):
+        # Index appearing only in one operand must broadcast back in grad.
+        x = ad.Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        ad.einsum("ij->i", x).sum().backward()
+        assert np.allclose(x.grad.data, 1.0)
+
+    def test_requires_explicit_output(self):
+        with pytest.raises(ValueError):
+            ad.einsum("ij,jk", np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_rejects_repeated_index_in_operand(self):
+        with pytest.raises(NotImplementedError):
+            ad.einsum("ii->i", np.ones((2, 2)))
+
+    def test_rejects_ellipsis(self):
+        with pytest.raises(NotImplementedError):
+            ad.einsum("...i->...", np.ones((2, 2)))
+
+    def test_operand_count_mismatch(self):
+        with pytest.raises(ValueError):
+            ad.einsum("ij,jk->ik", np.ones((2, 2)))
+
+
+class TestPrecisionHooks:
+    def test_input_cast_applied(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        try:
+            config.matmul_input_cast = lambda x: np.zeros_like(x)
+            out = ad.matmul(a, b)
+            assert np.allclose(out.data, 0.0)
+        finally:
+            config.matmul_input_cast = None
+
+    def test_output_cast_applied(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        try:
+            config.matmul_precision = lambda x: np.round(x)
+            out = ad.einsum("ij,jk->ik", a, b)
+            assert np.allclose(out.data, np.round(a @ b))
+        finally:
+            config.matmul_precision = None
+
+    def test_hooks_do_not_leak(self, rng):
+        a, b = rng.normal(size=(2, 2)), rng.normal(size=(2, 2))
+        assert np.allclose(ad.matmul(a, b).data, a @ b)

@@ -1,0 +1,196 @@
+"""Unit tests for the core autodiff Tensor type and arithmetic ops."""
+
+import numpy as np
+import pytest
+
+import repro.autodiff as ad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestTensorBasics:
+    def test_construction_from_array(self, rng):
+        arr = rng.normal(size=(3, 4))
+        t = ad.Tensor(arr)
+        assert t.shape == (3, 4)
+        assert t.ndim == 2
+        assert t.size == 12
+        assert not t.requires_grad
+
+    def test_construction_from_tensor_shares_data(self):
+        t1 = ad.Tensor(np.ones(3))
+        t2 = ad.Tensor(t1)
+        assert t2.data is t1.data
+
+    def test_requires_grad_casts_ints_to_float(self):
+        t = ad.Tensor(np.array([1, 2, 3]), requires_grad=True)
+        assert t.dtype.kind == "f"
+
+    def test_astensor_passthrough(self):
+        t = ad.Tensor(np.ones(3))
+        assert ad.astensor(t) is t
+
+    def test_item_and_len(self):
+        assert ad.Tensor(np.array(2.5)).item() == 2.5
+        assert len(ad.Tensor(np.zeros(7))) == 7
+
+    def test_detach_cuts_tape(self):
+        x = ad.Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+
+    def test_repr_mentions_grad(self):
+        t = ad.Tensor(np.ones(2), requires_grad=True)
+        assert "requires_grad" in repr(t)
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        x = ad.Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = ad.Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (x + y).sum().backward()
+        assert np.allclose(x.grad.data, [1, 1])
+        assert np.allclose(y.grad.data, [1, 1])
+
+    def test_mul_backward(self):
+        x = ad.Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = ad.Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (x * y).sum().backward()
+        assert np.allclose(x.grad.data, [3, 4])
+        assert np.allclose(y.grad.data, [1, 2])
+
+    def test_div_backward(self, rng):
+        ad.gradcheck(lambda a, b: a / b, [rng.normal(size=4), 1.0 + rng.random(4)])
+
+    def test_sub_and_neg(self, rng):
+        ad.gradcheck(lambda a, b: a - b, [rng.normal(size=4), rng.normal(size=4)])
+        ad.gradcheck(lambda a: -a, [rng.normal(size=(2, 3))])
+
+    def test_pow_backward(self, rng):
+        ad.gradcheck(lambda a: a**3, [1.0 + rng.random(5)])
+        ad.gradcheck(lambda a: a**-1.5, [1.0 + rng.random(5)])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            ad.Tensor(np.ones(2)) ** ad.Tensor(np.ones(2))
+
+    def test_scalar_broadcasting(self):
+        x = ad.Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (2.0 * x + 1.0).sum().backward()
+        assert np.allclose(x.grad.data, [2, 2])
+
+    def test_radd_rsub_rtruediv(self, rng):
+        ad.gradcheck(lambda a: 3.0 - a, [rng.normal(size=3)])
+        ad.gradcheck(lambda a: 2.0 / a, [1.0 + rng.random(3)])
+
+    def test_broadcast_unbroadcast_gradients(self, rng):
+        # (3, 1) * (4,) broadcasts to (3, 4); grads must fold back.
+        a = ad.Tensor(rng.normal(size=(3, 1)), requires_grad=True)
+        b = ad.Tensor(rng.normal(size=(4,)), requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad.data.shape == (3, 1)
+        assert b.grad.data.shape == (4,)
+        ad.gradcheck(lambda x, y: x * y, [rng.normal(size=(3, 1)), rng.normal(size=4)])
+
+    def test_gradient_accumulation_across_uses(self):
+        x = ad.Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3.0 + x * 4.0  # x used twice
+        y.backward()
+        assert np.allclose(x.grad.data, [7.0])
+
+    def test_comparisons_return_numpy(self):
+        x = ad.Tensor(np.array([1.0, 5.0]))
+        assert (x > 2.0).dtype == bool
+        assert (x <= 5.0).all()
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self, rng):
+        ad.gradcheck(lambda a: a.sum(axis=0), [rng.normal(size=(3, 4))])
+        ad.gradcheck(lambda a: a.sum(axis=1, keepdims=True), [rng.normal(size=(3, 4))])
+        ad.gradcheck(lambda a: a.sum(axis=(0, 2)), [rng.normal(size=(2, 3, 4))])
+
+    def test_mean(self, rng):
+        x = ad.Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad.data, np.full((4, 5), 1 / 20))
+        ad.gradcheck(lambda a: a.mean(axis=1), [rng.normal(size=(3, 4))])
+
+    def test_reshape_transpose(self, rng):
+        ad.gradcheck(lambda a: a.reshape(6, 2), [rng.normal(size=(3, 4))])
+        ad.gradcheck(lambda a: a.transpose(1, 0, 2), [rng.normal(size=(2, 3, 4))])
+        ad.gradcheck(lambda a: a.T, [rng.normal(size=(3, 4))])
+        ad.gradcheck(lambda a: a.swapaxes(-1, -2), [rng.normal(size=(2, 3, 4))])
+
+    def test_getitem_basic_and_fancy(self, rng):
+        ad.gradcheck(lambda a: a[1:], [rng.normal(size=(4, 3))])
+        ad.gradcheck(lambda a: a[np.array([0, 2, 2])], [rng.normal(size=(4, 3))])
+        ad.gradcheck(lambda a: a[:, 1], [rng.normal(size=(4, 3))])
+
+    def test_getitem_duplicate_indices_accumulate(self):
+        x = ad.Tensor(np.arange(3.0), requires_grad=True)
+        y = x[np.array([1, 1, 1])]
+        y.sum().backward()
+        assert np.allclose(x.grad.data, [0, 3, 0])
+
+    def test_expand_squeeze(self, rng):
+        ad.gradcheck(lambda a: a.expand_dims(1), [rng.normal(size=(3, 4))])
+        ad.gradcheck(lambda a: a.expand_dims(-1), [rng.normal(size=(3,))])
+        ad.gradcheck(lambda a: a.expand_dims(0).squeeze(0), [rng.normal(size=(3,))])
+
+    def test_broadcast_to(self, rng):
+        ad.gradcheck(lambda a: a.broadcast_to((5, 3)), [rng.normal(size=(3,))])
+
+    def test_astype_roundtrip_gradient(self):
+        x = ad.Tensor(np.ones(3), requires_grad=True)
+        y = x.astype(np.float32) * 2.0
+        y.sum().backward()
+        assert x.grad.data.dtype == np.float64
+        assert np.allclose(x.grad.data, 2.0)
+
+
+class TestBackwardMachinery:
+    def test_backward_requires_matching_seed(self):
+        x = ad.Tensor(np.ones((2, 2)), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(ValueError):
+            y.backward(np.ones(3))
+
+    def test_no_grad_blocks_tape(self):
+        x = ad.Tensor(np.ones(3), requires_grad=True)
+        with ad.no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+        assert ad.is_grad_enabled()
+
+    def test_deep_chain_no_recursion_error(self):
+        x = ad.Tensor(np.ones(2), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.sum().backward()
+        assert np.allclose(x.grad.data, [1, 1])
+
+    def test_grad_functional_does_not_pollute(self):
+        x = ad.Tensor(np.ones(3), requires_grad=True)
+        w = ad.Tensor(np.full(3, 2.0), requires_grad=True)
+        y = (x * w).sum()
+        (gx,) = ad.grad(y, [x])
+        assert np.allclose(gx.data, 2.0)
+        assert x.grad is None and w.grad is None
+
+    def test_grad_unused_input_returns_zeros(self):
+        x = ad.Tensor(np.ones(3), requires_grad=True)
+        z = ad.Tensor(np.ones(2), requires_grad=True)
+        (gz,) = ad.grad((x * 2).sum(), [z])
+        assert np.allclose(gz.data, 0.0)
+
+    def test_zero_grad(self):
+        x = ad.Tensor(np.ones(2), requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None

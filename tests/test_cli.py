@@ -1,0 +1,99 @@
+"""Tests for the command-line MD runner."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import EXAMPLE_CONFIG, build_potential, build_system, main, run_config
+
+
+class TestBuilders:
+    def test_build_each_system_kind(self):
+        assert build_system({"kind": "water", "n_grid": 2}).n_atoms == 24
+        assert build_system({"kind": "water_box", "reps": 1}).n_atoms == 192
+        assert build_system({"kind": "molecule", "n_heavy": 3}).n_atoms > 3
+        assert build_system({"kind": "protein", "n_residues": 3}).n_atoms > 30
+
+    def test_unknown_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            build_system({"kind": "quantum_computer"})
+        with pytest.raises(ValueError):
+            build_potential({"kind": "magic"})
+
+    def test_build_reference_and_lj(self):
+        assert build_potential({"kind": "reference"}).cutoff > 0
+        lj = build_potential({"kind": "lennard_jones", "cutoff": 3.0})
+        assert lj.cutoff == 3.0
+
+    def test_build_allegro_with_checkpoint(self, tmp_path):
+        cfg = {
+            "n_species": 4,
+            "n_tensor": 2,
+            "latent_dim": 8,
+            "two_body_hidden": [8],
+            "latent_hidden": [8],
+            "edge_energy_hidden": [4],
+            "r_cut": 3.0,
+            "avg_num_neighbors": 8.0,
+        }
+        m1 = build_potential({"kind": "allegro", "config": cfg})
+        path = tmp_path / "ckpt.npz"
+        np.savez(path, **m1.state_dict())
+        m2 = build_potential(
+            {"kind": "allegro", "config": cfg, "checkpoint": str(path)}
+        )
+        s = build_system({"kind": "molecule", "n_heavy": 3})
+        e1, _ = m1.energy_and_forces(s)
+        e2, _ = m2.energy_and_forces(s)
+        assert e1 == e2
+
+
+class TestRunConfig:
+    def _config(self, **md_overrides):
+        cfg = json.loads(json.dumps(EXAMPLE_CONFIG))  # deep copy
+        cfg["system"] = {"kind": "water", "n_grid": 3, "seed": 1}
+        cfg["md"].update({"steps": 5, "dt": 0.5}, **md_overrides)
+        return cfg
+
+    def test_langevin_run(self):
+        result = run_config(self._config(), quiet=True)
+        assert result.n_steps == 5
+        assert np.isfinite(result.total_energies).all()
+
+    def test_berendsen_and_nve(self):
+        run_config(self._config(thermostat="berendsen"), quiet=True)
+        run_config(self._config(thermostat=None), quiet=True)
+
+    def test_minimize_first(self):
+        result = run_config(self._config(minimize_first=True), quiet=True)
+        assert np.isfinite(result.potential_energies).all()
+
+    def test_unknown_thermostat(self):
+        with pytest.raises(ValueError):
+            run_config(self._config(thermostat="nose-hoover-42"), quiet=True)
+
+    def test_trajectory_written(self, tmp_path):
+        cfg = self._config()
+        path = tmp_path / "out.xyz"
+        cfg["output"] = {"trajectory": str(path), "every": 2}
+        run_config(cfg, quiet=True)
+        assert path.exists()
+        assert path.read_text().startswith("81\n")
+
+
+class TestMain:
+    def test_example_config_roundtrip(self, capsys):
+        assert main(["example-config"]) == 0
+        printed = capsys.readouterr().out
+        assert json.loads(printed)["system"]["kind"] == "water"
+
+    def test_run_from_file(self, tmp_path, capsys):
+        cfg = json.loads(json.dumps(EXAMPLE_CONFIG))
+        cfg["system"] = {"kind": "water", "n_grid": 3}
+        cfg["md"]["steps"] = 3
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps(cfg))
+        assert main(["run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "timesteps/s" in out

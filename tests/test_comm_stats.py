@@ -1,0 +1,63 @@
+"""Tests for communication statistics and accounting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import CommStats, VirtualCluster
+
+
+class TestCommStats:
+    def test_record_and_totals(self):
+        s = CommStats()
+        s.record("halo", 100)
+        s.record("halo", 50)
+        s.record("migrate", 10)
+        assert s.messages["halo"] == 2
+        assert s.bytes["halo"] == 150
+        assert s.total_messages() == 3
+        assert s.total_bytes() == 160
+
+    def test_reset(self):
+        s = CommStats()
+        s.record("x", 10)
+        s.reset()
+        assert s.total_bytes() == 0
+        assert s.total_messages() == 0
+
+    def test_summary_lists_categories(self):
+        s = CommStats()
+        s.record("forward", 1_000_000)
+        s.record("reverse", 500)
+        text = s.summary()
+        assert "forward" in text and "reverse" in text
+        assert "1.000 MB" in text
+
+    def test_empty_summary(self):
+        assert "no traffic" in CommStats().summary()
+
+
+class TestVirtualClusterOrdering:
+    def test_fifo_per_channel(self):
+        c = VirtualCluster(2)
+        c.send(0, 1, "t", (np.array([1.0]),))
+        c.send(0, 1, "t", (np.array([2.0]),))
+        (a,) = c.recv(1, 0, "t")
+        (b,) = c.recv(1, 0, "t")
+        assert a[0] == 1.0 and b[0] == 2.0
+
+    def test_tags_are_independent_channels(self):
+        c = VirtualCluster(2)
+        c.send(0, 1, "t", (np.array([1.0]),), tag=7)
+        c.send(0, 1, "t", (np.array([2.0]),), tag=9)
+        (b,) = c.recv(1, 0, "t", tag=9)
+        (a,) = c.recv(1, 0, "t", tag=7)
+        assert a[0] == 1.0 and b[0] == 2.0
+
+    def test_multiple_payload_arrays_counted(self):
+        c = VirtualCluster(2)
+        c.send(0, 1, "t", (np.zeros(4), np.zeros((2, 3))))
+        assert c.stats.bytes["t"] == 4 * 8 + 6 * 8
+
+    def test_needs_at_least_one_rank(self):
+        with pytest.raises(ValueError):
+            VirtualCluster(0)

@@ -1,0 +1,102 @@
+"""Shape/consistency tests for dataset containers and generator statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    ReferencePotential,
+    molecule_dataset,
+    perturbed_water_frames,
+    water_box,
+    water_unit_cell,
+)
+from repro.data.reference import SPECIES_INDEX
+from repro.md import neighbor_list
+
+
+class TestWaterStatistics:
+    def test_liquid_density(self):
+        """192-atom cell at liquid water density (~0.1 atoms/Å³)."""
+        w = water_unit_cell()
+        density = w.n_atoms / w.cell.volume
+        assert 0.08 < density < 0.12
+
+    def test_neighbor_count_scales_with_cutoff_cubed(self):
+        w = water_box(2, seed=1)
+        n3 = neighbor_list(w, 3.0).n_edges
+        n6 = neighbor_list(w, 6.0).n_edges
+        assert 5.0 < n6 / n3 < 12.0  # ideal (6/3)³ = 8 ± structure
+
+    @given(st.integers(2, 4))
+    @settings(max_examples=3, deadline=None)
+    def test_grid_sizes(self, n_grid):
+        w = water_unit_cell(n_grid=n_grid)
+        assert w.n_atoms == 3 * n_grid**3
+
+    def test_frames_share_composition(self):
+        frames = perturbed_water_frames(3, n_grid=2, seed=9)
+        ref = frames[0].species
+        for f in frames[1:]:
+            assert np.array_equal(f.species, ref)
+
+
+class TestMoleculeStatistics:
+    def test_species_restricted_to_hcno(self):
+        for mol in molecule_dataset(5, seed=31):
+            assert mol.species.max() <= 3
+
+    def test_hydrogen_fraction_reasonable(self):
+        """Organic molecules are roughly half hydrogen."""
+        fracs = []
+        for mol in molecule_dataset(10, seed=33):
+            h = (mol.species == SPECIES_INDEX["H"]).sum()
+            fracs.append(h / mol.n_atoms)
+        assert 0.3 < np.mean(fracs) < 0.75
+
+    def test_bond_lengths_physical(self):
+        """Nearest-neighbor distances fall in covalent range (0.7–1.8 Å)."""
+        from scipy.spatial.distance import pdist, squareform
+
+        mol = molecule_dataset(1, seed=35)[0]
+        d = squareform(pdist(mol.positions))
+        np.fill_diagonal(d, np.inf)
+        nearest = d.min(axis=0)
+        assert nearest.min() > 0.6
+        assert nearest.max() < 2.2
+
+
+class TestReferenceEnergyScale:
+    def test_cohesive_energies_negative(self):
+        """Bound structures sit below the dissociated-atom limit (E = 0).
+
+        Randomly grown molecules can carry construction strain, so they are
+        briefly relaxed first; the claim is about (near-)equilibrium
+        structures.
+        """
+        from repro.md import minimize
+
+        ref = ReferencePotential()
+        systems = [water_unit_cell(n_grid=3)] + molecule_dataset(2, seed=37)
+        for system in systems[1:]:
+            minimize(system, ref, max_steps=80, force_tol=0.3)
+        for system in systems:
+            e, _ = ref.label(system)
+            assert e < 0.0
+
+    def test_energy_per_atom_magnitude(self):
+        """eV-scale per-atom energies, like real cohesive energies."""
+        ref = ReferencePotential()
+        w = water_unit_cell(n_grid=3)
+        e, _ = ref.label(w)
+        assert 0.05 < abs(e) / w.n_atoms < 10.0
+
+    def test_force_scale_thermally_reasonable(self):
+        """Forces on near-equilibrium thermal frames are sub-eV/Å scale."""
+        ref = ReferencePotential()
+        frames = perturbed_water_frames(2, n_grid=3, sigma=0.03, seed=39)
+        for f in frames:
+            _, forces = ref.label(f)
+            assert np.abs(forces).max() < 20.0
+            assert np.sqrt((forces**2).mean()) < 5.0

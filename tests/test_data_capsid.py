@@ -1,0 +1,92 @@
+"""Tests for the icosahedral capsid assembly (fig. 1a proxy)."""
+
+import numpy as np
+import pytest
+
+from repro.data import capsid_assembly, icosahedron_vertices, shell_points, shell_strain
+from repro.data.capsid import icosahedron_faces
+
+
+class TestIcosahedronGeometry:
+    def test_twelve_unit_vertices(self):
+        v = icosahedron_vertices()
+        assert v.shape == (12, 3)
+        assert np.allclose(np.linalg.norm(v, axis=1), 1.0)
+
+    def test_twenty_faces(self):
+        assert len(icosahedron_faces()) == 20
+
+    def test_shell_points_on_sphere(self):
+        pts = shell_points(10.0, subdivisions=2)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 10.0, atol=1e-9)
+
+    def test_subdivision_increases_coverage(self):
+        n1 = len(shell_points(10.0, subdivisions=1))
+        n3 = len(shell_points(10.0, subdivisions=3))
+        assert n3 > 2 * n1
+
+    def test_points_quasi_uniform(self):
+        """No two shell sites coincide; nearest-neighbor spread is modest."""
+        pts = shell_points(10.0, subdivisions=2)
+        d = np.linalg.norm(pts[:, None] - pts[None, :], axis=-1)
+        np.fill_diagonal(d, np.inf)
+        nn = d.min(axis=0)
+        assert nn.min() > 0.5
+        assert nn.max() / nn.min() < 3.0
+
+
+class TestCapsidAssembly:
+    @pytest.fixture(scope="class")
+    def capsid(self):
+        return capsid_assembly(radius=12.0, subdivisions=1, seed=3)
+
+    def test_shell_and_solvent_present(self, capsid):
+        assert capsid.n_shell_atoms > 50
+        assert capsid.system.n_atoms > 3 * capsid.n_shell_atoms  # mostly water
+
+    def test_water_inside_and_outside(self, capsid):
+        """The real capsid contains water — so must the proxy."""
+        center = capsid.system.cell.lengths / 2
+        wat = np.delete(capsid.system.positions, capsid.shell_indices, axis=0)
+        r = np.linalg.norm(wat - center, axis=1)
+        assert (r < capsid.radius - 3.0).any(), "no interior water"
+        assert (r > capsid.radius + 3.0).any(), "no exterior water"
+
+    def test_shell_sits_at_radius(self, capsid):
+        center = capsid.system.cell.lengths / 2
+        shell = capsid.system.positions[capsid.shell_indices]
+        r = np.linalg.norm(shell - center, axis=1)
+        assert abs(np.median(r) - capsid.radius) < 2.5
+
+    def test_no_steric_disasters(self, capsid):
+        from scipy.spatial.distance import pdist
+
+        sub = capsid.system.positions[:: max(1, capsid.system.n_atoms // 400)]
+        assert pdist(sub).min() > 0.5
+
+    def test_unsolvated_variant(self):
+        dry = capsid_assembly(radius=10.0, subdivisions=1, solvate=False)
+        assert dry.system.n_atoms == dry.n_shell_atoms
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            capsid_assembly(radius=-1.0)
+
+
+class TestShellStrain:
+    def test_zero_for_uniform_radial_scaling_of_sphere(self):
+        cap = capsid_assembly(radius=10.0, subdivisions=1, solvate=False, seed=1)
+        base = shell_strain(cap, cap.system.positions)
+        # Radial compression moves every radius equally -> strain unchanged
+        # only if shell were perfectly spherical; with subunit thickness it
+        # still shrinks proportionally.
+        center = cap.system.positions.mean(axis=0)
+        squeezed = center + 0.9 * (cap.system.positions - center)
+        assert shell_strain(cap, squeezed) == pytest.approx(0.9 * base, rel=1e-6)
+
+    def test_rupture_increases_strain(self):
+        cap = capsid_assembly(radius=10.0, subdivisions=1, solvate=False, seed=1)
+        base = shell_strain(cap, cap.system.positions)
+        ruptured = cap.system.positions.copy()
+        ruptured[: cap.n_shell_atoms // 4] *= 1.4  # blow out one patch
+        assert shell_strain(cap, ruptured) > 2 * base

@@ -1,0 +1,233 @@
+"""Tests for the synthetic dataset generators and the reference potential."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import pdist
+
+from repro.data import (
+    BENCHMARK_SYSTEMS,
+    ICE_LABELS,
+    ReferencePotential,
+    benchmark_proxy,
+    conformation_dataset,
+    ice_frames,
+    ice_polymorph,
+    label_frames,
+    molecule_dataset,
+    perturbed_water_frames,
+    random_molecule,
+    solvated_protein,
+    split_frames,
+    subsample,
+    water_box,
+    water_unit_cell,
+)
+from repro.data.molecules import _VALENCE
+from repro.data.reference import SPECIES, SPECIES_INDEX, default_species_params
+from repro.equivariant.wigner import random_rotation
+from repro.md import System, neighbor_list
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(97)
+
+
+class TestWater:
+    def test_unit_cell_is_192_atoms(self):
+        w = water_unit_cell()
+        assert w.n_atoms == 192  # paper §VII-B
+        assert np.isclose(w.cell.volume ** (1 / 3), 12.42)
+
+    def test_composition(self):
+        w = water_unit_cell()
+        counts = np.bincount(w.species, minlength=4)
+        assert counts[SPECIES_INDEX["O"]] == 64
+        assert counts[SPECIES_INDEX["H"]] == 128
+
+    def test_oh_geometry(self):
+        w = water_unit_cell()
+        o = w.positions[0]
+        h1, h2 = w.positions[1], w.positions[2]
+        assert np.isclose(np.linalg.norm(h1 - o), 0.9572, atol=1e-6)
+        cos = (h1 - o) @ (h2 - o) / (np.linalg.norm(h1 - o) * np.linalg.norm(h2 - o))
+        assert np.isclose(np.degrees(np.arccos(cos)), 104.52, atol=0.1)
+
+    def test_replication(self):
+        wb = water_box(2)
+        assert wb.n_atoms == 192 * 8
+        assert np.allclose(wb.cell.lengths, 2 * 12.42)
+
+    def test_perturbed_frames_distinct(self):
+        frames = perturbed_water_frames(3, sigma=0.05)
+        assert len(frames) == 3
+        assert not np.allclose(frames[0].positions, frames[1].positions)
+
+    def test_deterministic(self):
+        w1, w2 = water_unit_cell(seed=4), water_unit_cell(seed=4)
+        assert np.allclose(w1.positions, w2.positions)
+
+
+class TestIce:
+    @pytest.mark.parametrize("label", ICE_LABELS)
+    def test_polymorphs_build(self, label):
+        ice = ice_polymorph(label, n_cells=2)
+        assert ice.n_atoms % 3 == 0
+        assert ice.n_atoms > 0
+
+    def test_distinct_densities(self):
+        dens = []
+        for label in ICE_LABELS:
+            ice = ice_polymorph(label, n_cells=2)
+            dens.append(ice.n_atoms / ice.cell.volume)
+        assert len({round(d, 4) for d in dens}) == 3
+
+    def test_frames(self):
+        frames = ice_frames("b", 2, n_cells=2)
+        assert len(frames) == 2
+
+    def test_unknown_label(self):
+        with pytest.raises(ValueError):
+            ice_polymorph("x")
+
+
+class TestMolecules:
+    def test_valence_saturation(self, rng):
+        mol = random_molecule(n_heavy=6, seed=11)
+        # Count bonds by proximity: every heavy atom's neighbors within 1.8 Å
+        # should match its valence approximately; at minimum, H count > 0 and
+        # no atom is isolated.
+        nl = neighbor_list(System(mol.positions, mol.species), 1.8)
+        degrees = np.bincount(nl.edge_index[0], minlength=mol.n_atoms)
+        assert (degrees > 0).all()
+
+    def test_no_severe_clashes(self):
+        for seed in range(5):
+            mol = random_molecule(n_heavy=7, seed=seed)
+            assert pdist(mol.positions).min() > 0.6
+
+    def test_heavy_atom_count(self):
+        mol = random_molecule(n_heavy=5, seed=3)
+        heavy = (mol.species != SPECIES_INDEX["H"]).sum()
+        assert heavy == 5
+
+    def test_molecule_dataset_sizes(self):
+        mols = molecule_dataset(4, n_heavy_range=(3, 5), seed=2)
+        assert len(mols) == 4
+
+    def test_conformations_share_topology(self):
+        frames = conformation_dataset(3, n_heavy=4, seed=5, sigma=0.05)
+        assert all(f.n_atoms == frames[0].n_atoms for f in frames)
+        assert all((f.species == frames[0].species).all() for f in frames)
+
+    def test_rejects_zero_heavy(self):
+        with pytest.raises(ValueError):
+            random_molecule(n_heavy=0)
+
+
+class TestProteins:
+    def test_solvated_protein_structure(self):
+        ps = solvated_protein(n_residues=4, seed=1)
+        assert ps.system.n_atoms > 100
+        assert len(ps.backbone_indices) == 4
+        assert ps.system.cell is not None
+        # waters carved away from the protein
+        prot = ps.system.positions[ps.protein_indices]
+        wat = np.delete(ps.system.positions, ps.protein_indices, axis=0)
+        from scipy.spatial.distance import cdist
+
+        assert cdist(prot, wat).min() > 0.8
+
+    def test_benchmark_registry_matches_paper(self):
+        assert BENCHMARK_SYSTEMS["stmv"] > 1_000_000
+        assert BENCHMARK_SYSTEMS["capsid"] == 44_000_000
+        assert BENCHMARK_SYSTEMS["dhfr"] < 25_000
+
+    def test_benchmark_proxy(self):
+        ps = benchmark_proxy("dhfr", max_atoms=400)
+        assert 100 < ps.system.n_atoms < 2000
+        with pytest.raises(KeyError):
+            benchmark_proxy("nonexistent")
+
+
+class TestReferencePotential:
+    def test_e3_symmetries(self, rng):
+        ref = ReferencePotential()
+        mol = random_molecule(n_heavy=4, seed=7)
+        E0, F0 = ref.label(mol)
+        R = random_rotation(rng)
+        rot = System(mol.positions @ R.T + 3.0, mol.species, None)
+        E1, F1 = ref.label(rot)
+        assert E1 == pytest.approx(E0, abs=1e-9)
+        assert np.allclose(F1, F0 @ R.T, atol=1e-8)
+
+    def test_forces_match_numeric_gradient(self):
+        ref = ReferencePotential()
+        mol = random_molecule(n_heavy=3, seed=9)
+        nl = neighbor_list(mol, ref.cutoff)
+        _, F = ref.label(mol, nl)
+        eps = 1e-6
+        for atom, ax in [(0, 0), (2, 1)]:
+            p = mol.copy()
+            p.positions[atom, ax] += eps
+            m = mol.copy()
+            m.positions[atom, ax] -= eps
+            ep, _ = ref.label(p, nl)
+            em, _ = ref.label(m, nl)
+            assert -(ep - em) / (2 * eps) == pytest.approx(F[atom, ax], abs=1e-5)
+
+    def test_three_body_term_is_not_pair_additive(self):
+        """The angular 3-body energy cannot be absorbed into pair terms:
+        E_full − E_pair-only varies with the bond angle at fixed bond
+        lengths — the many-body physics pair potentials cannot represent."""
+        full = ReferencePotential()
+        params = default_species_params()
+        params.three_body_lambda[:] = 0.0
+        pair_only = ReferencePotential(params=params)
+        r = 1.4
+
+        def three_body_part(theta):
+            pos = np.array(
+                [
+                    [0.0, 0.0, 0.0],
+                    [r, 0.0, 0.0],
+                    [r * np.cos(theta), r * np.sin(theta), 0.0],
+                ]
+            )
+            s = System(pos, np.array([SPECIES_INDEX["C"]] * 3), None)
+            return full.label(s)[0] - pair_only.label(s)[0]
+
+        vals = [three_body_part(np.deg2rad(d)) for d in (90.0, 109.5, 150.0)]
+        assert max(vals) - min(vals) > 0.05
+
+    def test_hydrogen_has_no_angular_preference(self):
+        params = default_species_params()
+        assert params.three_body_lambda[SPECIES_INDEX["H"]] == 0.0
+
+    def test_label_frames_and_filter(self):
+        frames = label_frames(conformation_dataset(4, n_heavy=3, seed=13))
+        assert len(frames) == 4
+        strict = label_frames(
+            conformation_dataset(4, n_heavy=3, seed=13), max_force=1e-9
+        )
+        assert len(strict) == 0  # everything filtered
+
+
+class TestDatasetUtils:
+    def test_split_partitions(self):
+        frames = label_frames(conformation_dataset(10, n_heavy=3, seed=17))
+        tr, va, te = split_frames(frames, (0.6, 0.2, 0.2), seed=1)
+        assert len(tr) + len(va) + len(te) == 10
+        ids = {id(f) for f in tr} | {id(f) for f in va} | {id(f) for f in te}
+        assert len(ids) == 10
+
+    def test_split_validates_fractions(self):
+        with pytest.raises(ValueError):
+            split_frames([], (0.5, 0.6))
+
+    def test_subsample(self):
+        frames = label_frames(conformation_dataset(6, n_heavy=3, seed=19))
+        sub = subsample(frames, 3, seed=2)
+        assert len(sub) == 3
+        with pytest.raises(ValueError):
+            subsample(frames, 99)

@@ -1,0 +1,101 @@
+"""Unit tests for the Irrep/Irreps algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.equivariant import Irrep, Irreps
+
+
+class TestIrrep:
+    def test_dim(self):
+        assert Irrep(0, 1).dim == 1
+        assert Irrep(1, -1).dim == 3
+        assert Irrep(3, 1).dim == 7
+
+    def test_parse_roundtrip(self):
+        for s in ["0e", "1o", "2e", "5o"]:
+            assert str(Irrep.parse(s)) == s
+
+    def test_parse_rejects_garbage(self):
+        for bad in ["e0", "1x", "-1e", "1", ""]:
+            with pytest.raises(ValueError):
+                Irrep.parse(bad)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Irrep(-1, 1)
+        with pytest.raises(ValueError):
+            Irrep(1, 0)
+
+    def test_selection_rule(self):
+        prods = Irrep(1, -1) * Irrep(1, -1)
+        assert prods == [Irrep(0, 1), Irrep(1, 1), Irrep(2, 1)]
+        prods = Irrep(2, 1) * Irrep(1, -1)
+        assert [p.l for p in prods] == [1, 2, 3]
+        assert all(p.p == -1 for p in prods)
+
+    def test_is_scalar(self):
+        assert Irrep(0, 1).is_scalar()
+        assert not Irrep(0, -1).is_scalar()
+        assert not Irrep(1, 1).is_scalar()
+
+    def test_ordering_and_hash(self):
+        assert Irrep(0, 1) < Irrep(1, -1)
+        assert len({Irrep(1, 1), Irrep(1, 1), Irrep(1, -1)}) == 2
+
+
+class TestIrreps:
+    def test_parse_string(self):
+        irr = Irreps("2x0e + 1x1o + 2e")
+        assert irr.dim == 2 + 3 + 5
+        assert irr.num_irreps == 4
+        assert irr.lmax == 2
+
+    def test_empty(self):
+        irr = Irreps("")
+        assert irr.dim == 0
+        with pytest.raises(ValueError):
+            _ = irr.lmax
+
+    def test_slices(self):
+        irr = Irreps("2x0e + 1x1o")
+        assert irr.slices() == [slice(0, 2), slice(2, 5)]
+
+    def test_simplify(self):
+        irr = Irreps("1x0e + 1x0e + 1x1o")
+        assert irr.simplify() == Irreps("2x0e + 1x1o")
+
+    def test_sort(self):
+        irr = Irreps("1x2e + 1x0e + 1x1o").sort()
+        assert [ir.l for _, ir in irr] == [0, 1, 2]
+
+    def test_count_and_filter(self):
+        irr = Irreps("2x0e + 3x1o + 1x0e")
+        assert irr.count("0e") == 3
+        assert irr.filter(lambda ir: ir.l == 0).dim == 3
+
+    def test_add(self):
+        assert (Irreps("0e") + Irreps("1o")).dim == 4
+
+    def test_spherical_harmonics(self):
+        sh = Irreps.spherical_harmonics(2)
+        assert [str(ir) for _, ir in sh] == ["0e", "1o", "2e"]
+        assert sh.dim == 9
+
+    def test_from_tuples(self):
+        irr = Irreps([(2, Irrep(0, 1)), (1, (1, -1))])
+        assert irr == Irreps("2x0e + 1x1o")
+
+    def test_negative_multiplicity_rejected(self):
+        with pytest.raises(ValueError):
+            Irreps([(-1, Irrep(0, 1))])
+
+    @given(st.integers(0, 4), st.sampled_from([1, -1]))
+    @settings(max_examples=20, deadline=None)
+    def test_product_dims_conserve(self, l, p):
+        """Σ dim(l_out) over l1⊗l2 equals dim(l1)·dim(l2)."""
+        a, b = Irrep(l, p), Irrep(2, 1)
+        total = sum(ir.dim for ir in a * b)
+        assert total == a.dim * b.dim

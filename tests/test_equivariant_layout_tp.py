@@ -1,0 +1,226 @@
+"""Tests for the strided layout and the three tensor-product implementations."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+import repro.autodiff as ad
+from repro.equivariant import (
+    FusedTensorProduct,
+    Irrep,
+    ScalarOutputTensorProduct,
+    StridedLayout,
+    UnfusedTensorProduct,
+    enumerate_paths,
+    reachable_output_irreps,
+)
+from repro.equivariant.tensor_product import output_layout_for_paths
+from repro.equivariant.wigner import random_rotation, rotation_to_wigner_d
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(41)
+
+
+def block_wigner_d(layout: StridedLayout, R: np.ndarray, improper: bool = False):
+    """Block-diagonal rep matrix of (R, optional inversion) on a layout."""
+    blocks = []
+    for ir in layout.irreps:
+        D = rotation_to_wigner_d(ir.l, R)
+        if improper:
+            D = D * ir.p
+        blocks.append(D)
+    return sla.block_diag(*blocks)
+
+
+class TestStridedLayout:
+    def test_dims(self):
+        lay = StridedLayout.full_o3(2, mul=8)
+        assert lay.dim == 2 * (2 + 1) ** 2  # paper: ≤ 2(lmax+1)²
+        assert lay.mul == 8
+        assert len(lay) == 6
+
+    def test_spherical(self):
+        lay = StridedLayout.spherical(2, mul=4)
+        assert [str(ir) for ir in lay.irreps] == ["0e", "1o", "2e"]
+        assert lay.dim == 9
+
+    def test_slices_partition(self):
+        lay = StridedLayout.full_o3(2, mul=1)
+        sls = lay.slices()
+        assert sls[0].start == 0
+        assert sls[-1].stop == lay.dim
+        covered = sum(s.stop - s.start for s in sls)
+        assert covered == lay.dim
+
+    def test_scalar_slice(self):
+        lay = StridedLayout.spherical(2, mul=4)
+        assert lay.scalar_slice == slice(0, 1)
+        assert lay.has_scalars()
+
+    def test_rejects_duplicates_and_multiplicity(self):
+        with pytest.raises(ValueError):
+            StridedLayout("0e + 0e", mul=2)
+        with pytest.raises(ValueError):
+            StridedLayout("2x0e", mul=2)
+        with pytest.raises(ValueError):
+            StridedLayout("0e", mul=0)
+
+    def test_restrict_and_extract(self, rng):
+        lay = StridedLayout.spherical(2, mul=3)
+        sub = lay.restrict([Irrep(0, 1), Irrep(2, 1)])
+        assert sub.dim == 6
+        arr = rng.normal(size=(5, 3, lay.dim))
+        out = lay.extract(arr, sub)
+        assert out.shape == (5, 3, 6)
+        assert np.allclose(out[..., 0], arr[..., 0])
+        assert np.allclose(out[..., 1:], arr[..., 4:9])
+
+    def test_zeros_shape(self):
+        lay = StridedLayout.spherical(1, mul=2)
+        assert lay.zeros(7).shape == (7, 2, 4)
+
+    def test_index_errors(self):
+        lay = StridedLayout.spherical(1, mul=2)
+        with pytest.raises(KeyError):
+            lay.slice_of(Irrep(3, 1))
+
+
+class TestPathEnumeration:
+    def test_counts(self):
+        l1 = StridedLayout.spherical(1, mul=2)
+        paths = enumerate_paths(l1, l1)
+        # (0e,0e)->0e; (0e,1o)->1o; (1o,0e)->1o; (1o,1o)->0e,1e,2e = 6
+        assert len(paths) == 6
+
+    def test_output_restriction(self):
+        l1 = StridedLayout.spherical(1, mul=2)
+        paths = enumerate_paths(l1, l1, output_irreps={Irrep(0, 1)})
+        assert len(paths) == 2
+        assert all(p.ir_out == Irrep(0, 1) for p in paths)
+
+    def test_parity_rule(self):
+        l1 = StridedLayout.spherical(2, mul=1)
+        for p in enumerate_paths(l1, l1):
+            assert p.ir_out.p == p.ir1.p * p.ir2.p
+
+    def test_output_layout_sorted(self):
+        l1 = StridedLayout.spherical(1, mul=2)
+        lay = output_layout_for_paths(enumerate_paths(l1, l1), 2)
+        ls = [(ir.l, -ir.p) for ir in lay.irreps]
+        assert ls == sorted(ls)
+
+    def test_path_count_grows_with_lmax(self):
+        """The unfavorable path scaling the paper's fusion eliminates."""
+        counts = []
+        for lmax in (1, 2, 3):
+            lay = StridedLayout.full_o3(lmax, mul=1)
+            sh = StridedLayout.spherical(lmax, mul=1)
+            counts.append(len(enumerate_paths(lay, sh)))
+        assert counts[0] < counts[1] < counts[2]
+
+
+class TestReachability:
+    ENV2 = [Irrep(0, 1), Irrep(1, -1), Irrep(2, 1)]
+
+    def test_zero_layers_only_scalar(self):
+        assert reachable_output_irreps(2, 0, self.ENV2) == {Irrep(0, 1)}
+
+    def test_one_layer(self):
+        assert reachable_output_irreps(2, 1, self.ENV2) == {
+            Irrep(0, 1),
+            Irrep(1, -1),
+            Irrep(2, 1),
+        }
+
+    def test_two_layers_includes_odd_parities(self):
+        out = reachable_output_irreps(2, 2, self.ENV2)
+        assert Irrep(1, 1) in out  # 1e reachable via 1o⊗2e→1e then 1e⊗1o→0e? etc.
+        assert all(ir.l <= 2 for ir in out)
+
+
+class TestTensorProducts:
+    def _setup(self, rng, mul=3):
+        lay1 = StridedLayout.full_o3(2, mul=mul)
+        lay2 = StridedLayout.spherical(2, mul=mul)
+        tp = FusedTensorProduct(lay1, lay2)
+        x = ad.Tensor(rng.normal(size=(6, mul, lay1.dim)))
+        y = ad.Tensor(rng.normal(size=(6, mul, lay2.dim)))
+        return lay1, lay2, tp, x, y
+
+    def test_fused_equals_unfused(self, rng):
+        lay1, lay2, tp, x, y = self._setup(rng)
+        utp = UnfusedTensorProduct(lay1, lay2, layout_out=tp.layout_out)
+        utp.weights = tp.weights
+        assert np.allclose(tp(x, y).data, utp(x, y).data, atol=1e-12)
+
+    def test_frozen_matches_training_path(self, rng):
+        _, _, tp, x, y = self._setup(rng)
+        assert np.allclose(tp(x, y).data, tp(x, y, frozen=True).data, atol=1e-13)
+
+    def test_equivariance_proper_and_improper(self, rng):
+        lay1, lay2, tp, x, y = self._setup(rng)
+        out = tp(x, y).data
+        R = random_rotation(rng)
+        for improper in (False, True):
+            D1 = block_wigner_d(lay1, R, improper)
+            D2 = block_wigner_d(lay2, R, improper)
+            Do = block_wigner_d(tp.layout_out, R, improper)
+            out_rot = tp(ad.Tensor(x.data @ D1.T), ad.Tensor(y.data @ D2.T)).data
+            assert np.allclose(out_rot, out @ Do.T, atol=1e-9)
+
+    def test_scalar_specialization_matches_fused(self, rng):
+        lay1, lay2, _, x, y = self._setup(rng)
+        stp = ScalarOutputTensorProduct(lay1, lay2)
+        full = FusedTensorProduct(lay1, lay2, output_irreps={Irrep(0, 1)})
+        stp.weights = full.weights
+        assert np.allclose(stp(x, y).data, full(x, y).data, atol=1e-12)
+
+    def test_scalar_output_is_invariant(self, rng):
+        lay1, lay2, _, x, y = self._setup(rng)
+        stp = ScalarOutputTensorProduct(lay1, lay2)
+        R = random_rotation(rng)
+        D1 = block_wigner_d(lay1, R)
+        D2 = block_wigner_d(lay2, R)
+        o1 = stp(x, y).data
+        o2 = stp(ad.Tensor(x.data @ D1.T), ad.Tensor(y.data @ D2.T)).data
+        assert np.allclose(o1, o2, atol=1e-9)
+
+    def test_gradcheck_through_tp(self, rng):
+        lay1 = StridedLayout.full_o3(1, mul=2)
+        lay2 = StridedLayout.spherical(1, mul=2)
+        tp = FusedTensorProduct(lay1, lay2)
+        ad.gradcheck(
+            lambda a, b: tp(a, b),
+            [rng.normal(size=(3, 2, lay1.dim)), rng.normal(size=(3, 2, lay2.dim))],
+        )
+
+    def test_path_weights_receive_gradients(self, rng):
+        _, _, tp, x, y = self._setup(rng)
+        out = tp(x, y)
+        out.sum().backward()
+        assert tp.weights.tensor.grad is not None
+        assert tp.weights.tensor.grad.data.shape == (tp.num_paths,)
+
+    def test_mismatched_mul_rejected(self):
+        with pytest.raises(ValueError):
+            FusedTensorProduct(
+                StridedLayout.spherical(1, mul=2), StridedLayout.spherical(1, mul=3)
+            )
+
+    def test_fuse_precomputation(self, rng):
+        _, _, tp, x, y = self._setup(rng)
+        W = tp.fuse()
+        manual = ad.einsum("zua,zub,abc->zuc", x, y, ad.Tensor(W)).data
+        assert np.allclose(manual, tp(x, y).data, atol=1e-12)
+
+    def test_bilinearity(self, rng):
+        """TP(αx, y) = α·TP(x, y) and TP(x1+x2, y) = TP(x1,y) + TP(x2,y)."""
+        _, _, tp, x, y = self._setup(rng)
+        a = 2.5
+        assert np.allclose(tp(x * a, y).data, a * tp(x, y).data, atol=1e-10)
+        x2 = ad.Tensor(np.random.default_rng(1).normal(size=x.shape))
+        lhs = tp(x + x2, y).data
+        rhs = tp(x, y).data + tp(x2, y).data
+        assert np.allclose(lhs, rhs, atol=1e-10)

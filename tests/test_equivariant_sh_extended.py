@@ -1,0 +1,84 @@
+"""Extended spherical-harmonic checks: addition theorem, gradients at high ℓ."""
+
+import numpy as np
+import pytest
+
+import repro.autodiff as ad
+from repro.equivariant.spherical_harmonics import (
+    _sh_numpy_single_l,
+    spherical_harmonics,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(211)
+
+
+def _unit(rng, n):
+    v = rng.normal(size=(n, 3))
+    return v / np.linalg.norm(v, axis=1, keepdims=True)
+
+
+class TestAdditionTheorem:
+    @pytest.mark.parametrize("l", [1, 2, 3])
+    def test_pairwise_dot_is_legendre(self, l, rng):
+        """Y_l(u)·Y_l(v) = (2l+1)·P_l(u·v) — the addition theorem, which
+        pins down both normalization and basis consistency."""
+        from numpy.polynomial import legendre
+
+        u = _unit(rng, 12)
+        v = _unit(rng, 12)
+        Yu = _sh_numpy_single_l(l, u)
+        Yv = _sh_numpy_single_l(l, v)
+        lhs = (Yu * Yv).sum(axis=1)
+        coeffs = np.zeros(l + 1)
+        coeffs[l] = 1.0
+        rhs = (2 * l + 1) * legendre.legval((u * v).sum(axis=1), coeffs)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    @pytest.mark.parametrize("l", [1, 2, 3])
+    def test_self_dot_constant(self, l, rng):
+        u = _unit(rng, 20)
+        Y = _sh_numpy_single_l(l, u)
+        assert np.allclose((Y * Y).sum(axis=1), 2 * l + 1)
+
+
+class TestGradientsHighL:
+    @pytest.mark.parametrize("l", [2, 3, 4])
+    def test_gradcheck_per_l(self, l, rng):
+        def f(v):
+            return spherical_harmonics(l, v, ls=[l])
+
+        ad.gradcheck(f, [rng.normal(size=(2, 3)) * 2.0], atol=2e-4, rtol=2e-3)
+
+    def test_gradient_tangential_for_normalized_sh(self, rng):
+        """Y(v/|v|) is scale-invariant ⇒ ∇ is orthogonal to v."""
+        v = ad.Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        Y = spherical_harmonics(2, v)
+        Y.sum().backward()
+        radial = (v.grad.data * v.data).sum(axis=1)
+        assert np.allclose(radial, 0.0, atol=1e-10)
+
+    def test_second_derivatives_finite(self, rng):
+        """Force training differentiates ∇Y again; must stay finite."""
+        v = ad.Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        Y = spherical_harmonics(2, v)
+        (g,) = ad.grad((Y * Y).sum(), [v], create_graph=True)
+        (g * g).sum().backward()
+        assert np.isfinite(v.grad.data).all()
+
+
+class TestSubsets:
+    def test_ls_subset_matches_slices(self, rng):
+        v = rng.normal(size=(6, 3))
+        full = spherical_harmonics(3, v).data
+        only2 = spherical_harmonics(3, v, ls=[2]).data
+        assert np.allclose(only2, full[:, 4:9])
+
+    def test_order_preserved(self, rng):
+        v = rng.normal(size=(3, 3))
+        mixed = spherical_harmonics(3, v, ls=[0, 3]).data
+        full = spherical_harmonics(3, v).data
+        assert np.allclose(mixed[:, :1], full[:, :1])
+        assert np.allclose(mixed[:, 1:], full[:, 9:16])

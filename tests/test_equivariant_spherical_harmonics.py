@@ -1,0 +1,144 @@
+"""Tests for the real spherical harmonics (values, equivariance, gradients)."""
+
+import numpy as np
+import pytest
+from scipy.special import sph_harm_y
+
+import repro.autodiff as ad
+from repro.equivariant.spherical_harmonics import (
+    _sh_numpy_single_l,
+    sh_normalization_constants,
+    spherical_harmonics,
+)
+from repro.equivariant.wigner import random_rotation, rotation_to_wigner_d
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(37)
+
+
+def _unit(rng, n):
+    v = rng.normal(size=(n, 3))
+    return v / np.linalg.norm(v, axis=1, keepdims=True)
+
+
+class TestValues:
+    def test_l0_is_one(self, rng):
+        u = _unit(rng, 5)
+        assert np.allclose(_sh_numpy_single_l(0, u), 1.0)
+
+    def test_l1_is_scaled_coordinates(self, rng):
+        u = _unit(rng, 5)
+        Y = _sh_numpy_single_l(1, u)
+        assert np.allclose(Y, np.sqrt(3) * u[:, [1, 2, 0]])
+
+    @pytest.mark.parametrize("l", range(5))
+    def test_component_normalization(self, l, rng):
+        """|Y_l(û)|² = 2l+1 everywhere on the sphere."""
+        u = _unit(rng, 64)
+        Y = _sh_numpy_single_l(l, u)
+        assert np.allclose((Y**2).sum(axis=1), 2 * l + 1, atol=1e-10)
+
+    @pytest.mark.parametrize("l", range(1, 5))
+    def test_parity(self, l, rng):
+        """Y_l(−û) = (−1)^l Y_l(û)."""
+        u = _unit(rng, 16)
+        assert np.allclose(
+            _sh_numpy_single_l(l, -u), (-1) ** l * _sh_numpy_single_l(l, u)
+        )
+
+    @pytest.mark.parametrize("l", range(1, 4))
+    def test_orthogonality_montecarlo(self, l, rng):
+        """⟨Y_lm Y_lm'⟩_sphere = δ_mm' (component normalization)."""
+        u = _unit(rng, 200_000)
+        Y = _sh_numpy_single_l(l, u)
+        G = Y.T @ Y / len(u)
+        assert np.allclose(G, np.eye(2 * l + 1), atol=0.05)
+
+    @pytest.mark.parametrize("l", range(1, 4))
+    def test_spans_same_space_as_scipy(self, l, rng):
+        """Our Y_l components are an orthogonal mix of scipy's sph_harm_y."""
+        u = _unit(rng, 8 * (2 * l + 1))
+        theta = np.arccos(np.clip(u[:, 2], -1, 1))
+        phi = np.arctan2(u[:, 1], u[:, 0])
+        # Complex scipy harmonics → real basis.
+        cols = []
+        for m in range(-l, l + 1):
+            Ylm = sph_harm_y(l, abs(m), theta, phi)
+            if m < 0:
+                cols.append(np.sqrt(2) * (-1) ** m * Ylm.imag)
+            elif m == 0:
+                cols.append(Ylm.real)
+            else:
+                cols.append(np.sqrt(2) * (-1) ** m * Ylm.real)
+        ref = np.stack(cols, axis=1) * np.sqrt(4 * np.pi)  # component-normalize
+        ours = _sh_numpy_single_l(l, u)
+        # Solve ours = ref @ M; M must be orthogonal (basis change only).
+        M, *_ = np.linalg.lstsq(ref, ours, rcond=None)
+        assert np.allclose(ref @ M, ours, atol=1e-8)
+        assert np.allclose(M @ M.T, np.eye(2 * l + 1), atol=1e-8)
+
+    def test_normalization_constants_cached(self):
+        c1 = sh_normalization_constants(4)
+        c2 = sh_normalization_constants(4)
+        assert c1 is c2
+        assert len(c1) == 3
+
+
+class TestEquivarianceAndGradients:
+    @pytest.mark.parametrize("l", range(1, 5))
+    def test_rotation_equivariance(self, l, rng):
+        u = _unit(rng, 32)
+        R = random_rotation(rng)
+        D = rotation_to_wigner_d(l, R)
+        assert np.allclose(
+            _sh_numpy_single_l(l, u @ R.T), _sh_numpy_single_l(l, u) @ D.T, atol=1e-9
+        )
+
+    def test_concatenated_output_shape(self, rng):
+        v = rng.normal(size=(7, 3))
+        Y = spherical_harmonics(3, v)
+        assert Y.shape == (7, 16)
+
+    def test_subset_ls(self, rng):
+        v = rng.normal(size=(4, 3))
+        Y = spherical_harmonics(2, v, ls=[0, 2])
+        assert Y.shape == (4, 6)
+
+    def test_autodiff_and_numpy_paths_agree(self, rng):
+        v = rng.normal(size=(6, 3))
+        y_np = spherical_harmonics(3, v).data
+        vt = ad.Tensor(v, requires_grad=True)
+        y_ad = spherical_harmonics(3, vt).data
+        assert np.allclose(y_np, y_ad, atol=1e-12)
+
+    def test_gradcheck(self, rng):
+        ad.gradcheck(
+            lambda v: spherical_harmonics(3, v),
+            [rng.normal(size=(3, 3))],
+            atol=1e-4,
+            rtol=1e-3,
+        )
+
+    def test_gradcheck_unnormalized(self, rng):
+        u = _unit(rng, 3)
+        ad.gradcheck(
+            lambda v: spherical_harmonics(2, v, normalize=False),
+            [u],
+            atol=1e-4,
+            rtol=1e-3,
+        )
+
+    def test_scale_invariance_when_normalized(self, rng):
+        v = rng.normal(size=(5, 3))
+        Y1 = spherical_harmonics(2, v).data
+        Y2 = spherical_harmonics(2, 3.7 * v).data
+        assert np.allclose(Y1, Y2, atol=1e-12)
+
+    def test_batched_leading_dims(self, rng):
+        v = rng.normal(size=(2, 5, 3))
+        Y = spherical_harmonics(2, v)
+        assert Y.shape == (2, 5, 9)
+        flat = spherical_harmonics(2, v.reshape(-1, 3)).data
+        assert np.allclose(Y.data.reshape(-1, 9), flat)

@@ -1,0 +1,119 @@
+"""Tests for Wigner 3j symbols and Wigner D-matrix extraction."""
+
+import numpy as np
+import pytest
+
+from repro.equivariant.wigner import (
+    random_rotation,
+    rotation_to_wigner_d,
+    su2_clebsch_gordan,
+    wigner_3j,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestClebschGordan:
+    def test_cg_000(self):
+        assert np.allclose(su2_clebsch_gordan(0, 0, 0), np.ones((1, 1, 1)))
+
+    def test_cg_normalization(self):
+        """Σ_{m1,m2} |⟨j1m1j2m2|j3m3⟩|² = 1 for each m3."""
+        for j1, j2, j3 in [(1, 1, 1), (1, 1, 2), (2, 1, 2), (2, 2, 3)]:
+            C = su2_clebsch_gordan(j1, j2, j3)
+            sums = (C**2).sum(axis=(0, 1))
+            assert np.allclose(sums, 1.0), (j1, j2, j3, sums)
+
+    def test_cg_selection_rule_m(self):
+        C = su2_clebsch_gordan(1, 1, 2)
+        for m1 in range(3):
+            for m2 in range(3):
+                for m3 in range(5):
+                    if (m1 - 1) + (m2 - 1) != m3 - 2:
+                        assert C[m1, m2, m3] == 0.0
+
+
+class TestWigner3j:
+    def test_000(self):
+        assert np.allclose(wigner_3j(0, 0, 0), np.ones((1, 1, 1)))
+
+    def test_110_is_scaled_identity(self):
+        w = wigner_3j(1, 1, 0)[:, :, 0]
+        assert np.allclose(w, np.eye(3) / np.sqrt(3))
+
+    def test_111_is_levi_civita_like(self):
+        w = wigner_3j(1, 1, 1)
+        # Fully antisymmetric up to the basis convention: w[a,b,c] = -w[b,a,c]
+        assert np.allclose(w, -w.transpose(1, 0, 2), atol=1e-12)
+        assert np.isclose((w**2).sum(), 1.0)
+
+    def test_unit_normalization(self):
+        for l1, l2, l3 in [(1, 1, 2), (2, 2, 2), (2, 1, 3), (3, 2, 1)]:
+            assert np.isclose((wigner_3j(l1, l2, l3) ** 2).sum(), 1.0)
+
+    def test_forbidden_triple_is_zero(self):
+        assert np.allclose(wigner_3j(0, 1, 3), 0.0)
+        assert np.allclose(wigner_3j(1, 1, 3), 0.0)
+
+    def test_real_valued(self):
+        for l1, l2, l3 in [(1, 2, 3), (2, 2, 4), (3, 3, 2)]:
+            w = wigner_3j(l1, l2, l3)
+            assert w.dtype == np.float64
+
+    def test_scalar_output_diagonal(self):
+        """w3j(l, l, 0) is δ_{m1 m2}·c — the last-layer specialization."""
+        for l in range(1, 4):
+            w = wigner_3j(l, l, 0)[:, :, 0]
+            off = w - np.diag(np.diag(w))
+            assert np.allclose(off, 0.0)
+            assert np.allclose(np.abs(np.diag(w)), 1.0 / np.sqrt(2 * l + 1))
+
+    @pytest.mark.parametrize("triple", [(1, 1, 2), (2, 1, 1), (2, 2, 2), (1, 2, 3)])
+    def test_equivariance_under_rotation(self, triple, rng):
+        l1, l2, l3 = triple
+        w = wigner_3j(l1, l2, l3)
+        R = random_rotation(rng)
+        D1, D2, D3 = (rotation_to_wigner_d(l, R) for l in triple)
+        w_rot = np.einsum("abc,ai,bj,ck->ijk", w, D1, D2, D3)
+        assert np.allclose(w, w_rot, atol=1e-8)
+
+    def test_cached_result_is_readonly(self):
+        w = wigner_3j(1, 1, 2)
+        with pytest.raises(ValueError):
+            w[0, 0, 0] = 5.0
+
+
+class TestWignerD:
+    def test_identity_rotation(self):
+        for l in range(4):
+            D = rotation_to_wigner_d(l, np.eye(3))
+            assert np.allclose(D, np.eye(2 * l + 1), atol=1e-9)
+
+    def test_orthogonality(self, rng):
+        R = random_rotation(rng)
+        for l in range(1, 5):
+            D = rotation_to_wigner_d(l, R)
+            assert np.allclose(D @ D.T, np.eye(2 * l + 1), atol=1e-9)
+
+    def test_homomorphism(self, rng):
+        """D(R1 R2) = D(R1) D(R2)."""
+        R1, R2 = random_rotation(rng), random_rotation(rng)
+        for l in (1, 2, 3):
+            D12 = rotation_to_wigner_d(l, R1 @ R2)
+            assert np.allclose(
+                D12, rotation_to_wigner_d(l, R1) @ rotation_to_wigner_d(l, R2), atol=1e-8
+            )
+
+    def test_rejects_improper_rotation(self, rng):
+        R = random_rotation(rng)
+        with pytest.raises(ValueError):
+            rotation_to_wigner_d(1, -R)
+
+    def test_random_rotation_is_proper(self, rng):
+        for _ in range(5):
+            R = random_rotation(rng)
+            assert np.isclose(np.linalg.det(R), 1.0)
+            assert np.allclose(R @ R.T, np.eye(3), atol=1e-12)

@@ -1,0 +1,130 @@
+"""Tests for trajectory analysis: MSD, unwrapping, VACF, stability reports."""
+
+import numpy as np
+import pytest
+
+from repro.md import (
+    Cell,
+    Simulation,
+    System,
+    diffusion_coefficient,
+    mean_squared_displacement,
+    stability_report,
+    unwrap_trajectory,
+    velocity_autocorrelation,
+)
+from repro.models import LennardJones
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(181)
+
+
+class TestMSD:
+    def test_ballistic_motion_quadratic(self):
+        """Constant-velocity atoms: MSD(τ) = v²τ²."""
+        v = np.array([0.1, 0.0, 0.0])
+        frames = [np.array([[0.0, 0, 0]]) + v * t for t in range(10)]
+        msd = mean_squared_displacement(frames)
+        taus = np.arange(10)
+        assert np.allclose(msd, (0.1 * taus) ** 2, atol=1e-12)
+
+    def test_random_walk_linear(self, rng):
+        """Brownian steps: MSD grows linearly with lag."""
+        steps = rng.normal(scale=0.1, size=(400, 50, 3))
+        frames = np.cumsum(steps, axis=0)
+        msd = mean_squared_displacement(list(frames), max_lag=40)
+        # slope ratio between halves ≈ 1 (linear).
+        early = msd[10] / 10
+        late = msd[40] / 40
+        assert late == pytest.approx(early, rel=0.3)
+
+    def test_atom_subset(self, rng):
+        frames = [rng.normal(size=(6, 3)) for _ in range(5)]
+        full = mean_squared_displacement(frames)
+        sub = mean_squared_displacement(frames, atom_indices=np.arange(6))
+        assert np.allclose(full, sub)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_squared_displacement([np.zeros((2, 3))])
+
+
+class TestUnwrap:
+    def test_crossing_reconstructed(self):
+        L = np.array([10.0, 10.0, 10.0])
+        # atom walks +1 per frame, wrapping at 10.
+        true = np.array([[float(t), 0.0, 0.0] for t in range(25)])
+        wrapped = [np.array([[t % 10.0, 0.0, 0.0]]) for t in range(25)]
+        un = unwrap_trajectory(wrapped, L)
+        rebuilt = np.array([f[0] for f in un])
+        assert np.allclose(rebuilt, true)
+
+    def test_no_wrap_is_identity(self, rng):
+        frames = [rng.uniform(2, 8, (4, 3)) + 0.01 * t for t in range(5)]
+        un = unwrap_trajectory(frames, np.array([50.0, 50.0, 50.0]))
+        for a, b in zip(frames, un):
+            assert np.allclose(a, b)
+
+
+class TestDiffusion:
+    def test_known_slope(self):
+        dt = 2.0
+        lags = np.arange(50)
+        msd = 6 * 0.01 * lags * dt  # D = 0.01 Å²/fs
+        assert diffusion_coefficient(msd, dt) == pytest.approx(0.01, rel=1e-6)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            diffusion_coefficient(np.zeros(3), 1.0)
+
+
+class TestVACF:
+    def test_starts_at_one_and_constant_velocity_stays(self, rng):
+        v = rng.normal(size=(1, 8, 3)).repeat(10, axis=0)
+        vacf = velocity_autocorrelation(list(v))
+        assert np.allclose(vacf, 1.0, atol=1e-12)
+
+    def test_decorrelates_for_random_velocities(self, rng):
+        v = [rng.normal(size=(200, 3)) for _ in range(60)]
+        vacf = velocity_autocorrelation(v, max_lag=10)
+        assert vacf[0] == 1.0
+        assert abs(vacf[5]) < 0.2
+
+
+class TestStabilityReport:
+    def _run(self, rng, temperature):
+        n_side, a = 4, 1.7
+        g = (
+            np.stack(np.meshgrid(*[np.arange(n_side)] * 3, indexing="ij"), -1)
+            .reshape(-1, 3) * a
+        )
+        s = System(
+            g + rng.normal(scale=0.02, size=g.shape),
+            np.zeros(len(g), int),
+            Cell.cubic(n_side * a),
+        )
+        s.seed_velocities(temperature, rng)
+        lj = LennardJones(epsilon=0.05, sigma=1.5, cutoff=3.0)
+        return Simulation(s, lj, dt=0.2).run(60)
+
+    def test_healthy_run(self, rng):
+        res = self._run(rng, 40.0)
+        report = stability_report(res)
+        assert not report.exploded
+        assert "stable" in str(report)
+        assert report.energy_drift_per_atom < 1e-2
+
+    def test_explosion_detected(self, rng):
+        res = self._run(rng, 40.0)
+        res.temperatures[-1] = 1e6  # simulate a blown-up trajectory
+        report = stability_report(res)
+        assert report.exploded
+        assert "UNSTABLE" in str(report)
+
+    def test_displacement_tracked(self, rng):
+        res = self._run(rng, 40.0)
+        frames = [np.zeros((3, 3)), np.ones((3, 3))]
+        report = stability_report(res, frames=frames)
+        assert report.max_displacement == pytest.approx(np.sqrt(3.0))

@@ -1,0 +1,140 @@
+"""Tests for the Berendsen barostat and the cellulose fibril generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import cellulose_chain, cellulose_fibril
+from repro.data.reference import SPECIES_INDEX
+from repro.md import (
+    BerendsenBarostat,
+    Cell,
+    Simulation,
+    System,
+    instantaneous_pressure,
+)
+from repro.md.barostat import EV_PER_A3_TO_BAR
+from repro.md.system import KB_EV
+from repro.models import LennardJones
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(191)
+
+
+def _lj_crystal(rng, a=1.75, n_side=4):
+    g = (
+        np.stack(np.meshgrid(*[np.arange(n_side)] * 3, indexing="ij"), -1)
+        .reshape(-1, 3) * a
+    )
+    s = System(
+        g + rng.normal(scale=0.02, size=g.shape),
+        np.zeros(len(g), int),
+        Cell.cubic(n_side * a),
+    )
+    return s, LennardJones(epsilon=0.05, sigma=1.5, cutoff=3.0)
+
+
+class TestPressure:
+    def test_ideal_gas_limit(self, rng):
+        """Zero forces → P = N·k_B·T/V exactly."""
+        n, L = 100, 20.0
+        s = System(rng.uniform(0, L, (n, 3)), np.zeros(n, int), Cell.cubic(L))
+        s.seed_velocities(300.0, rng)
+        p = instantaneous_pressure(s, np.zeros((n, 3)))
+        expected = n * KB_EV * s.temperature() / L**3 * EV_PER_A3_TO_BAR
+        assert p == pytest.approx(expected, rel=1e-10)
+
+    def test_compressed_crystal_positive_pressure(self, rng):
+        s, lj = _lj_crystal(rng, a=1.55)  # compressed below LJ minimum
+        _, forces = lj.energy_and_forces(s)
+        assert instantaneous_pressure(s, forces) > 0
+
+    def test_requires_cell(self, rng):
+        s = System(rng.uniform(0, 5, (4, 3)), np.zeros(4, int), None)
+        with pytest.raises(ValueError):
+            instantaneous_pressure(s, np.zeros((4, 3)))
+
+
+class TestBerendsenBarostat:
+    def test_compressed_box_expands(self, rng):
+        s, lj = _lj_crystal(rng, a=1.55)
+        baro = BerendsenBarostat(pressure=1.0, tau=100.0)
+        _, forces = lj.energy_and_forces(s)
+        v0 = s.cell.volume
+        mu = baro.apply(s, forces, dt=1.0)
+        assert mu > 1.0
+        assert s.cell.volume > v0
+        assert baro.last_pressure > 1.0
+
+    def test_scaling_capped(self, rng):
+        s, lj = _lj_crystal(rng, a=1.3, n_side=5)  # extreme compression
+        baro = BerendsenBarostat(pressure=1.0, tau=1.0, max_scaling=0.01)
+        _, forces = lj.energy_and_forces(s)
+        mu = baro.apply(s, forces, dt=1.0)
+        assert abs(mu - 1.0) <= 0.01 + 1e-12
+
+    def test_positions_scale_with_box(self, rng):
+        s, lj = _lj_crystal(rng)
+        _, forces = lj.energy_and_forces(s)
+        pos0 = s.positions.copy()
+        L0 = s.cell.lengths.copy()
+        baro = BerendsenBarostat(pressure=1e6, tau=10.0)  # force compression
+        mu = baro.apply(s, forces, dt=1.0)
+        assert np.allclose(s.positions, mu * pos0)
+        assert np.allclose(s.cell.lengths, mu * L0)
+
+    def test_npt_equilibration_drives_pressure_down(self, rng):
+        """Coupled MD + barostat relaxes a compressed crystal's pressure."""
+        s, lj = _lj_crystal(rng, a=1.58, n_side=5)
+        s.seed_velocities(40.0, rng)
+        baro = BerendsenBarostat(pressure=1.0, tau=50.0)
+        sim = Simulation(s, lj, dt=0.2)
+
+        def couple(step, simulation):
+            baro.apply(simulation.system, simulation._forces, simulation.integrator.dt)
+
+        _, f = lj.energy_and_forces(s)
+        p_start = instantaneous_pressure(s, f)
+        sim.add_callback(couple)
+        sim.run(150)
+        _, f = lj.energy_and_forces(s)
+        p_end = instantaneous_pressure(s, f)
+        assert abs(p_end) < abs(p_start)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BerendsenBarostat(tau=-1)
+        with pytest.raises(ValueError):
+            BerendsenBarostat(compressibility=0.0)
+
+
+class TestCellulose:
+    def test_chain_composition(self):
+        pos, spec = cellulose_chain(n_monomers=3, seed=1)
+        assert len(pos) == len(spec) == 3 * 14  # 6 ring + 3 OH(2) + 2 H
+        counts = np.bincount(spec, minlength=4)
+        assert counts[SPECIES_INDEX["C"]] == 3 * 5
+        assert counts[SPECIES_INDEX["O"]] == 3 * 4
+        assert counts[SPECIES_INDEX["H"]] == 3 * 5
+
+    def test_chain_extends_along_x(self):
+        pos, _ = cellulose_chain(n_monomers=5, seed=2)
+        extent = pos.max(axis=0) - pos.min(axis=0)
+        assert extent[0] > 3 * extent[1]
+
+    def test_fibril_builds_and_solvates(self):
+        dry = cellulose_fibril(n_monomers=2, n_chains=(2, 2), solvate=False)
+        wet = cellulose_fibril(n_monomers=2, n_chains=(2, 2), solvate=True)
+        assert wet.n_atoms > dry.n_atoms
+        assert dry.n_atoms == 4 * 2 * 14
+
+    def test_no_interchain_clashes(self):
+        from scipy.spatial.distance import pdist
+
+        fib = cellulose_fibril(n_monomers=3, n_chains=(2, 2), solvate=False)
+        assert pdist(fib.positions).min() > 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cellulose_chain(n_monomers=0)

@@ -1,0 +1,157 @@
+"""Tests for Cell, System, and observables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import (
+    Cell,
+    System,
+    block_average,
+    energy_drift_per_atom,
+    kabsch_align,
+    radial_distribution,
+    rmsd,
+)
+from repro.md.system import ACCEL_CONV, KB_EV
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(53)
+
+
+class TestCell:
+    def test_wrap(self):
+        cell = Cell.cubic(10.0)
+        pos = np.array([[11.0, -1.0, 5.0]])
+        assert np.allclose(cell.wrap(pos), [[1.0, 9.0, 5.0]])
+
+    def test_wrap_respects_pbc_flags(self):
+        cell = Cell((10.0, 10.0, 10.0), pbc=(True, False, True))
+        pos = np.array([[11.0, 11.0, 11.0]])
+        assert np.allclose(cell.wrap(pos), [[1.0, 11.0, 1.0]])
+
+    def test_minimum_image(self):
+        cell = Cell.cubic(10.0)
+        d = cell.minimum_image(np.array([[9.0, -9.0, 4.0]]))
+        assert np.allclose(d, [[-1.0, 1.0, 4.0]])
+
+    def test_replicate(self, rng):
+        cell = Cell.cubic(5.0)
+        pos = rng.uniform(0, 5, (4, 3))
+        new_pos, new_cell = cell.replicate(pos, (2, 1, 3))
+        assert new_pos.shape == (24, 3)
+        assert np.allclose(new_cell.lengths, [10, 5, 15])
+
+    def test_volume(self):
+        assert Cell((2.0, 3.0, 4.0)).volume == 24.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cell((1.0, 2.0))
+        with pytest.raises(ValueError):
+            Cell((1.0, -2.0, 3.0))
+        with pytest.raises(ValueError):
+            Cell.cubic(5.0).replicate(np.zeros((1, 3)), (0, 1, 1))
+
+    @given(st.floats(5.0, 50.0), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_wrap_idempotent(self, L, seed):
+        rng = np.random.default_rng(seed)
+        cell = Cell.cubic(L)
+        pos = rng.uniform(-3 * L, 3 * L, (10, 3))
+        w1 = cell.wrap(pos)
+        assert np.all((w1 >= 0) & (w1 < L))
+        assert np.allclose(cell.wrap(w1), w1)
+
+
+class TestSystem:
+    def test_basic_properties(self, rng):
+        s = System(rng.uniform(0, 5, (10, 3)), np.array([0] * 5 + [1] * 5))
+        assert s.n_atoms == 10
+        assert s.n_species == 2
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            System(rng.normal(size=(3, 2)), np.zeros(3, int))
+        with pytest.raises(ValueError):
+            System(rng.normal(size=(3, 3)), np.zeros(4, int))
+        with pytest.raises(ValueError):
+            System(rng.normal(size=(3, 3)), np.array([-1, 0, 0]))
+
+    def test_masses_from_species_names(self, rng):
+        s = System(
+            rng.normal(size=(2, 3)), np.array([0, 3]), species_names=("H", "C", "N", "O")
+        )
+        assert np.isclose(s.masses[0], 1.008)
+        assert np.isclose(s.masses[1], 15.999)
+
+    def test_seed_velocities_temperature(self, rng):
+        s = System(rng.uniform(0, 20, (2000, 3)), np.zeros(2000, int))
+        s.seed_velocities(300.0, rng)
+        assert abs(s.temperature() - 300.0) < 25.0
+        momentum = (s.masses[:, None] * s.velocities).sum(axis=0)
+        assert np.abs(momentum).max() < 1e-10
+
+    def test_kinetic_energy_formula(self):
+        s = System(np.zeros((1, 3)), np.zeros(1, int), masses=np.array([2.0]))
+        s.velocities = np.array([[0.01, 0.0, 0.0]])
+        expected = 0.5 * 2.0 * 0.01**2 / ACCEL_CONV
+        assert np.isclose(s.kinetic_energy(), expected)
+
+    def test_copy_is_deep(self, rng):
+        s = System(rng.uniform(0, 5, (4, 3)), np.zeros(4, int))
+        c = s.copy()
+        c.positions[0, 0] += 1.0
+        assert s.positions[0, 0] != c.positions[0, 0]
+
+
+class TestObservables:
+    def test_rmsd_zero_for_identical(self, rng):
+        P = rng.normal(size=(10, 3))
+        assert rmsd(P, P) < 1e-12
+
+    def test_rmsd_invariant_to_rigid_motion(self, rng):
+        from repro.equivariant.wigner import random_rotation
+
+        P = rng.normal(size=(20, 3))
+        R = random_rotation(rng)
+        moved = P @ R.T + np.array([5.0, -3.0, 2.0])
+        assert rmsd(moved, P) < 1e-10
+
+    def test_rmsd_detects_distortion(self, rng):
+        P = rng.normal(size=(20, 3))
+        Q = P + rng.normal(scale=0.5, size=P.shape)
+        assert rmsd(Q, P) > 0.1
+
+    def test_rmsd_no_align(self, rng):
+        P = rng.normal(size=(5, 3))
+        shift = P + 1.0
+        assert rmsd(shift, P, align=False) == pytest.approx(np.sqrt(3.0))
+
+    def test_kabsch_proper_rotation_only(self, rng):
+        P = rng.normal(size=(10, 3))
+        aligned = kabsch_align(P, P)
+        assert np.allclose(aligned, P - P.mean(axis=0), atol=1e-10)
+
+    def test_rdf_ideal_gas_near_one(self, rng):
+        """g(r) ≈ 1 for an ideal gas at distances ≪ box."""
+        from repro.md import neighbor_list
+
+        L, n = 14.0, 1200
+        s = System(rng.uniform(0, L, (n, 3)), np.zeros(n, int), Cell.cubic(L))
+        nl = neighbor_list(s, 4.0)
+        r, g = radial_distribution(nl.distances(s.positions), n, L**3, 4.0, n_bins=16)
+        mask = r > 1.0
+        assert np.abs(g[mask] - 1.0).max() < 0.25
+
+    def test_energy_drift(self):
+        assert energy_drift_per_atom([1.0, 1.5], 10) == pytest.approx(0.05)
+        assert energy_drift_per_atom([1.0], 10) == 0.0
+
+    def test_block_average(self):
+        x = np.arange(10.0)
+        b = block_average(x, 5)
+        assert np.allclose(b, [2.0, 7.0])

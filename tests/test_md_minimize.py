@@ -1,0 +1,91 @@
+"""Tests for energy minimization and thermal frame sampling."""
+
+import numpy as np
+import pytest
+
+from repro.md import Cell, System, minimize, sample_md_frames
+from repro.models import LennardJones, MorsePotential
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(139)
+
+
+class TestMinimize:
+    def test_dimer_relaxes_to_known_minimum(self):
+        lj = LennardJones(epsilon=1.0, sigma=1.0, cutoff=4.0)
+        s = System(np.array([[0.0, 0, 0], [1.4, 0, 0]]), np.zeros(2, int), None)
+        res = minimize(s, lj, max_steps=300, force_tol=1e-3)
+        assert res.converged
+        r = np.linalg.norm(s.positions[1] - s.positions[0])
+        assert r == pytest.approx(2 ** (1 / 6), abs=2e-2)
+
+    def test_energy_monotone_decreasing(self, rng):
+        lj = LennardJones(epsilon=0.05, sigma=1.5, cutoff=3.0)
+        n_side, a = 4, 1.7
+        g = (
+            np.stack(np.meshgrid(*[np.arange(n_side)] * 3, indexing="ij"), -1)
+            .reshape(-1, 3) * a
+        )
+        s = System(
+            g + rng.normal(scale=0.15, size=g.shape),
+            np.zeros(len(g), int),
+            Cell.cubic(n_side * a),
+        )
+        res = minimize(s, lj, max_steps=80)
+        assert (np.diff(res.energies) <= 1e-12).all()
+        assert res.energies[-1] < res.energies[0]
+
+    def test_reduces_max_force(self, rng):
+        morse = MorsePotential(
+            np.array([[0.5]]), np.array([[1.5]]), np.array([[1.2]]), cutoff=4.0
+        )
+        s = System(
+            np.array([[0.0, 0, 0], [0.9, 0, 0], [0.0, 1.0, 0.3]]),
+            np.zeros(3, int),
+            None,
+        )
+        _, f0 = morse.energy_and_forces(s)
+        res = minimize(s, morse, max_steps=150, force_tol=0.01)
+        assert res.max_force < np.abs(f0).max()
+
+    def test_validation(self, rng):
+        lj = LennardJones(cutoff=3.0)
+        s = System(rng.uniform(0, 5, (4, 3)), np.zeros(4, int), None)
+        with pytest.raises(ValueError):
+            minimize(s, lj, max_steps=0)
+
+
+class TestSampleMDFrames:
+    def test_frames_are_independent_copies(self, rng):
+        lj = LennardJones(epsilon=0.02, sigma=1.6, cutoff=3.0)
+        n_side, a = 4, 1.8
+        g = (
+            np.stack(np.meshgrid(*[np.arange(n_side)] * 3, indexing="ij"), -1)
+            .reshape(-1, 3) * a
+        )
+        s = System(g, np.zeros(len(g), int), Cell.cubic(n_side * a))
+        frames = sample_md_frames(
+            s, lj, n_frames=3, spacing_steps=5, temperature=100.0, dt=0.3, seed=2
+        )
+        assert len(frames) == 3
+        # Original untouched; frames mutually distinct.
+        assert np.allclose(s.positions, g)
+        assert not np.allclose(frames[0].positions, frames[1].positions)
+        assert not np.allclose(frames[1].positions, frames[2].positions)
+
+    def test_thermal_distribution_reasonable(self, rng):
+        lj = LennardJones(epsilon=0.02, sigma=1.6, cutoff=3.0)
+        n_side, a = 4, 1.8
+        g = (
+            np.stack(np.meshgrid(*[np.arange(n_side)] * 3, indexing="ij"), -1)
+            .reshape(-1, 3) * a
+        )
+        s = System(g, np.zeros(len(g), int), Cell.cubic(n_side * a))
+        frames = sample_md_frames(
+            s, lj, n_frames=4, spacing_steps=10, temperature=150.0, dt=0.3, seed=3,
+            equilibration_steps=40,
+        )
+        temps = [f.temperature() for f in frames]
+        assert 30 < np.mean(temps) < 400  # thermalized, not exploded

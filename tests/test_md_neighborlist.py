@@ -1,0 +1,174 @@
+"""Tests for neighbor lists: cell vs brute agreement, per-pair cutoffs, skins."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import (
+    Cell,
+    System,
+    VerletList,
+    filter_by_pair_cutoffs,
+    neighbor_list,
+    ordered_pair_counts,
+)
+from repro.md.neighborlist import NeighborList, triplet_list
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(61)
+
+
+def _canon(nl: NeighborList):
+    arr = np.concatenate([nl.edge_index.T, np.round(nl.shifts, 6)], axis=1)
+    return set(map(tuple, arr.tolist()))
+
+
+class TestNeighborListCorrectness:
+    def test_cell_equals_brute_periodic(self, rng):
+        L, n = 13.0, 500
+        s = System(rng.uniform(0, L, (n, 3)), np.zeros(n, int), Cell.cubic(L))
+        assert _canon(neighbor_list(s, 3.1, "cells")) == _canon(
+            neighbor_list(s, 3.1, "brute")
+        )
+
+    def test_cell_equals_brute_open(self, rng):
+        n = 400
+        s = System(rng.uniform(0, 12, (n, 3)), np.zeros(n, int), None)
+        assert _canon(neighbor_list(s, 3.0, "cells")) == _canon(
+            neighbor_list(s, 3.0, "brute")
+        )
+
+    def test_out_of_box_positions_consistent_shifts(self, rng):
+        """Shift vectors must be valid in the caller's position frame."""
+        L, n = 12.0, 400
+        pos = rng.uniform(-0.4, L + 0.4, (n, 3))  # slightly outside the box
+        s = System(pos, np.zeros(n, int), Cell.cubic(L))
+        for method in ("cells", "brute"):
+            nl = neighbor_list(s, 3.0, method)
+            assert nl.distances(s.positions).max() < 3.0
+
+    def test_ordered_pairs_symmetric(self, rng):
+        L, n = 11.0, 300
+        s = System(rng.uniform(0, L, (n, 3)), np.zeros(n, int), Cell.cubic(L))
+        nl = neighbor_list(s, 3.0)
+        pairs = set(zip(*nl.edge_index))
+        for i, j in pairs:
+            assert (j, i) in pairs  # both ordered directions present
+
+    def test_no_self_edges(self, rng):
+        s = System(rng.uniform(0, 10, (100, 3)), np.zeros(100, int), Cell.cubic(10))
+        nl = neighbor_list(s, 3.0)
+        same = nl.edge_index[0] == nl.edge_index[1]
+        assert np.allclose(np.abs(nl.shifts[same]).max(axis=1) > 1, True)
+
+    def test_empty_system(self):
+        s = System(np.zeros((0, 3)), np.zeros(0, int), Cell.cubic(5.0))
+        assert neighbor_list(s, 2.0).n_edges == 0
+
+    def test_brute_rejects_too_large_cutoff(self, rng):
+        s = System(rng.uniform(0, 5, (10, 3)), np.zeros(10, int), Cell.cubic(5.0))
+        with pytest.raises(ValueError):
+            neighbor_list(s, 3.0, "brute")
+
+    def test_invalid_method(self, rng):
+        s = System(rng.uniform(0, 5, (4, 3)), np.zeros(4, int), Cell.cubic(5.0))
+        with pytest.raises(ValueError):
+            neighbor_list(s, 1.0, "magic")
+
+    def test_small_periodic_image_counts(self):
+        """Two atoms in a small box: image pairs appear once per image."""
+        s = System(
+            np.array([[0.5, 0.5, 0.5], [2.0, 0.5, 0.5]]),
+            np.zeros(2, int),
+            Cell.cubic(4.0),
+        )
+        nl = neighbor_list(s, 1.9, "brute")
+        # i->j at +1.5 and via wrap at -2.5 (excluded, > cutoff): 2 ordered edges
+        assert nl.n_edges == 2
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_distance_bound_property(self, seed):
+        rng = np.random.default_rng(seed)
+        L = rng.uniform(9.0, 15.0)
+        n = rng.integers(50, 300)
+        s = System(rng.uniform(0, L, (n, 3)), np.zeros(n, int), Cell.cubic(L))
+        cutoff = rng.uniform(1.5, 3.0)
+        nl = neighbor_list(s, cutoff)
+        if nl.n_edges:
+            assert nl.distances(s.positions).max() < cutoff
+
+
+class TestPerPairCutoffs:
+    def test_ordered_filtering(self, rng):
+        n = 200
+        s = System(
+            rng.uniform(0, 10, (n, 3)),
+            rng.integers(0, 2, n),
+            Cell.cubic(10.0),
+        )
+        cut = np.array([[3.0, 1.2], [3.0, 3.0]])  # (0→1) strict
+        nl = neighbor_list(s, 3.0)
+        f = filter_by_pair_cutoffs(nl, s.positions, s.species, cut)
+        i, j = f.edge_index
+        d = f.distances(s.positions)
+        mask01 = (s.species[i] == 0) & (s.species[j] == 1)
+        if mask01.any():
+            assert d[mask01].max() < 1.2
+        mask10 = (s.species[i] == 1) & (s.species[j] == 0)
+        if mask10.any():
+            assert d[mask10].max() < 3.0
+            assert d[mask10].max() > 1.2  # asymmetry retained
+
+    def test_pair_count_reduction(self, rng):
+        n = 300
+        s = System(
+            rng.uniform(0, 12, (n, 3)), rng.integers(0, 2, n), Cell.cubic(12.0)
+        )
+        cut = np.array([[1.5, 1.5], [4.0, 4.0]])
+        full, reduced = ordered_pair_counts(s, cut)
+        assert reduced < full
+
+
+class TestVerletList:
+    def test_rebuild_on_motion(self, rng):
+        s = System(rng.uniform(0, 10, (100, 3)), np.zeros(100, int), Cell.cubic(10.0))
+        v = VerletList(2.5, skin=0.5)
+        v.get(s)
+        assert v.n_builds == 1
+        s.positions += 0.05  # uniform drift below skin/2
+        v.get(s)
+        assert v.n_builds == 1
+        s.positions[0] += 0.5
+        v.get(s)
+        assert v.n_builds == 2
+
+    def test_wraps_at_rebuild(self, rng):
+        s = System(rng.uniform(0, 10, (50, 3)), np.zeros(50, int), Cell.cubic(10.0))
+        s.positions[0] = [12.0, 5.0, 5.0]
+        VerletList(2.0, skin=0.4).get(s)
+        assert s.positions[0, 0] == pytest.approx(2.0)
+
+    def test_rejects_negative_skin(self):
+        with pytest.raises(ValueError):
+            VerletList(2.0, skin=-0.1)
+
+
+class TestTripletList:
+    def test_counts_and_centers(self, rng):
+        s = System(rng.uniform(0, 8, (60, 3)), np.zeros(60, int), Cell.cubic(8.0))
+        nl = neighbor_list(s, 2.5)
+        e1, e2 = triplet_list(nl)
+        i = nl.edge_index[0]
+        assert (i[e1] == i[e2]).all()
+        assert (e1 != e2).all()
+        c = np.bincount(i)
+        assert len(e1) == (c * (c - 1)).sum()
+
+    def test_empty(self):
+        nl = NeighborList(np.zeros((2, 0), dtype=np.int64), np.zeros((0, 3)))
+        e1, e2 = triplet_list(nl)
+        assert len(e1) == 0 and len(e2) == 0

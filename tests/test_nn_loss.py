@@ -1,0 +1,64 @@
+"""Tests for loss functions and error metrics."""
+
+import numpy as np
+import pytest
+
+import repro.autodiff as ad
+from repro.nn import mae, mse_force_loss, rmse, weighted_energy_force_loss
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(149)
+
+
+class TestMetrics:
+    def test_mae_rmse_known_values(self):
+        pred = np.array([1.0, 2.0, 3.0])
+        target = np.array([1.0, 1.0, 5.0])
+        assert mae(pred, target) == pytest.approx(1.0)
+        assert rmse(pred, target) == pytest.approx(np.sqrt(5.0 / 3.0))
+
+    def test_metrics_accept_tensors(self, rng):
+        x = rng.normal(size=(4, 3))
+        assert mae(ad.Tensor(x), x) == 0.0
+        assert rmse(ad.Tensor(x), x) == 0.0
+
+    def test_rmse_ge_mae(self, rng):
+        a, b = rng.normal(size=50), rng.normal(size=50)
+        assert rmse(a, b) >= mae(a, b)
+
+
+class TestLosses:
+    def test_mse_force_loss_zero_at_match(self, rng):
+        f = rng.normal(size=(5, 3))
+        loss = mse_force_loss(ad.Tensor(f), f)
+        assert float(loss.data) == 0.0
+
+    def test_scale_divides_out(self, rng):
+        pred = ad.Tensor(rng.normal(size=(4, 3)))
+        target = rng.normal(size=(4, 3))
+        l1 = float(mse_force_loss(pred, target, scale=1.0).data)
+        l2 = float(mse_force_loss(pred, target, scale=2.0).data)
+        assert l2 == pytest.approx(l1 / 4.0)
+
+    def test_loss_differentiable(self, rng):
+        pred = ad.Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        loss = mse_force_loss(pred, rng.normal(size=(4, 3)))
+        loss.backward()
+        assert pred.grad is not None
+
+    def test_weighted_energy_force_components(self, rng):
+        e_pred = ad.Tensor(np.array(10.0))
+        f_pred = ad.Tensor(rng.normal(size=(3, 3)))
+        f_tgt = f_pred.data.copy()
+        # Forces match: only the energy term remains.
+        loss = weighted_energy_force_loss(
+            e_pred, f_pred, 4.0, f_tgt, n_atoms=3, energy_weight=1.0, force_weight=1.0
+        )
+        assert float(loss.data) == pytest.approx(((10.0 - 4.0) / 3.0) ** 2)
+        # Energy weight 0 kills it.
+        loss0 = weighted_energy_force_loss(
+            e_pred, f_pred, 4.0, f_tgt, n_atoms=3, energy_weight=0.0
+        )
+        assert float(loss0.data) == 0.0

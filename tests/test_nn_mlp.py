@@ -1,0 +1,87 @@
+"""Tests for Linear/MLP layers and their normalization discipline."""
+
+import numpy as np
+import pytest
+
+import repro.autodiff as ad
+from repro.nn import MLP, Linear
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        lin = Linear(4, 6, rng=rng)
+        out = lin(ad.Tensor(rng.normal(size=(10, 4))))
+        assert out.shape == (10, 6)
+
+    def test_unit_variance_at_init(self, rng):
+        """Forward normalization: unit-variance in → ~unit-variance out."""
+        lin = Linear(256, 256, rng=rng)
+        x = ad.Tensor(rng.normal(size=(512, 256)))
+        out = lin(x).data
+        assert 0.8 < out.std() < 1.2
+
+    def test_weight_distribution(self, rng):
+        lin = Linear(64, 64, rng=rng)
+        w = lin.weight.data
+        assert abs(w.std() - 1.0) < 0.1
+        assert np.abs(w).max() <= np.sqrt(3) + 1e-12
+
+    def test_bias(self, rng):
+        lin = Linear(3, 2, bias=True, rng=rng)
+        assert lin.bias is not None
+        names = [n for n, _ in lin.named_parameters()]
+        assert any("bias" in n for n in names)
+
+    def test_gradcheck(self, rng):
+        lin = Linear(3, 2, bias=True, rng=rng)
+        ad.gradcheck(lambda x: lin(x), [rng.normal(size=(4, 3))])
+
+
+class TestMLP:
+    def test_shapes_and_depth(self, rng):
+        mlp = MLP([4, 8, 8, 2], rng=rng)
+        assert len(mlp.layers) == 3
+        assert mlp.in_features == 4 and mlp.out_features == 2
+        out = mlp(rng.normal(size=(5, 4)))
+        assert out.shape == (5, 2)
+
+    def test_identity_nonlinearity_is_linear_map(self, rng):
+        mlp = MLP([3, 5, 2], nonlinearity="identity", rng=rng)
+        x1, x2 = rng.normal(size=(4, 3)), rng.normal(size=(4, 3))
+        lhs = mlp(ad.Tensor(x1 + x2)).data
+        rhs = mlp(ad.Tensor(x1)).data + mlp(ad.Tensor(x2)).data
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    def test_activation_variance_preserved(self, rng):
+        """The second-moment gain keeps deep activations O(1) (paper §V-B3)."""
+        mlp = MLP([128] * 6, rng=rng)
+        x = ad.Tensor(rng.normal(size=(256, 128)))
+        h = x
+        for i, layer in enumerate(mlp.layers[:-1]):
+            h = ad.silu(layer(h)) * mlp._gain
+            assert 0.5 < h.data.std() < 2.0, f"layer {i}: std={h.data.std()}"
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+        with pytest.raises(ValueError):
+            MLP([4, 2], nonlinearity="nope")
+
+    def test_gradcheck_through_depth(self, rng):
+        mlp = MLP([3, 6, 6, 1], rng=rng)
+        ad.gradcheck(lambda x: mlp(x), [rng.normal(size=(3, 3))])
+
+    def test_parameter_count(self, rng):
+        mlp = MLP([4, 8, 2], rng=rng)
+        assert mlp.num_parameters() == 4 * 8 + 8 * 2
+
+    def test_deterministic_given_rng_seed(self):
+        m1 = MLP([3, 4, 2], rng=np.random.default_rng(5))
+        m2 = MLP([3, 4, 2], rng=np.random.default_rng(5))
+        x = np.ones((2, 3))
+        assert np.allclose(m1(x).data, m2(x).data)

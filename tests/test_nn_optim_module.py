@@ -1,0 +1,135 @@
+"""Tests for optimizers, EMA, and the Module parameter system."""
+
+import numpy as np
+import pytest
+
+import repro.autodiff as ad
+from repro.nn import MLP, Adam, ExponentialMovingAverage, Linear, SGD
+from repro.nn.module import Module, ParameterList
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(29)
+
+
+def _quadratic_problem(rng, optimizer_cls, **kw):
+    """Minimize |Wx - y|² and return the loss trajectory."""
+    W = ad.Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+    x = rng.normal(size=(16, 3))
+    y = x @ rng.normal(size=(3, 3))
+    opt = optimizer_cls([W], **kw)
+    losses = []
+    for _ in range(150):
+        pred = ad.matmul(ad.Tensor(x), W)
+        loss = ((pred - ad.Tensor(y)) ** 2).mean()
+        losses.append(float(loss.data))
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return losses
+
+
+class TestOptimizers:
+    def test_sgd_converges(self, rng):
+        losses = _quadratic_problem(rng, SGD, lr=0.1)
+        assert losses[-1] < 1e-3 * losses[0]
+
+    def test_sgd_momentum_converges(self, rng):
+        losses = _quadratic_problem(rng, SGD, lr=0.05, momentum=0.9)
+        assert losses[-1] < 1e-3 * losses[0]
+
+    def test_adam_converges(self, rng):
+        losses = _quadratic_problem(rng, Adam, lr=0.05)
+        assert losses[-1] < 1e-2 * losses[0]
+
+    def test_adam_skips_gradless_params(self, rng):
+        p = ad.Tensor(np.ones(3), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        opt.step()  # no grad: must not move or crash
+        assert np.allclose(p.data, 1.0)
+
+    def test_adam_set_lr(self, rng):
+        p = ad.Tensor(np.ones(3), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        opt.set_lr(0.01)
+        assert opt.lr == 0.01
+
+    def test_weight_decay_shrinks(self):
+        p = ad.Tensor(np.full(3, 10.0), requires_grad=True)
+        opt = Adam([p], lr=0.1, weight_decay=0.5)
+        for _ in range(50):
+            opt.zero_grad()
+            (p * 0.0).sum().backward()
+            opt.step()
+        assert np.abs(p.data).max() < 10.0
+
+
+class TestEMA:
+    def test_tracks_average(self):
+        p = ad.Tensor(np.zeros(2), requires_grad=True)
+        ema = ExponentialMovingAverage([p], decay=0.5)
+        p.data[:] = 1.0
+        ema.update()  # shadow = 0.5
+        assert np.allclose(ema.shadow[0], 0.5)
+
+    def test_swap_is_involutive(self):
+        p = ad.Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        ema = ExponentialMovingAverage([p], decay=0.9)
+        p.data[:] = [3.0, 4.0]
+        live = p.data.copy()
+        with ema.average_weights():
+            assert np.allclose(p.data, [1.0, 2.0])
+        assert np.allclose(p.data, live)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage([], decay=1.5)
+
+
+class TestModule:
+    def test_nested_discovery(self, rng):
+        class Net(Module):
+            def __init__(self):
+                self.a = Linear(2, 3, rng=rng)
+                self.blocks = ParameterList([Linear(3, 3, rng=rng) for _ in range(2)])
+                self.extra = ad.Tensor(np.ones(4), requires_grad=True)
+                self.frozen = ad.Tensor(np.ones(4))  # not a parameter
+                self.children = {"head": Linear(3, 1, rng=rng)}
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "a.weight" in names
+        assert "blocks.0.weight" in names and "blocks.1.weight" in names
+        assert "extra" in names
+        assert "children.head.weight" in names
+        assert len(names) == 5
+
+    def test_state_dict_roundtrip(self, rng):
+        m1 = MLP([3, 4, 2], rng=np.random.default_rng(1))
+        m2 = MLP([3, 4, 2], rng=np.random.default_rng(2))
+        x = rng.normal(size=(2, 3))
+        assert not np.allclose(m1(x).data, m2(x).data)
+        m2.load_state_dict(m1.state_dict())
+        assert np.allclose(m1(x).data, m2(x).data)
+
+    def test_state_dict_validates(self, rng):
+        m = MLP([3, 4, 2], rng=rng)
+        with pytest.raises(KeyError):
+            m.load_state_dict({"nope": np.ones(3)})
+        sd = m.state_dict()
+        key = next(iter(sd))
+        sd[key] = np.ones((1, 1))
+        with pytest.raises(ValueError):
+            m.load_state_dict(sd)
+
+    def test_zero_grad(self, rng):
+        m = MLP([3, 4, 1], rng=rng)
+        m(rng.normal(size=(2, 3))).sum().backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+    def test_num_parameters(self, rng):
+        m = MLP([3, 4, 2], rng=rng)
+        assert m.num_parameters() == sum(p.size for p in m.parameters())

@@ -1,0 +1,91 @@
+"""Additional performance-model properties beyond the calibration checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import ClusterSpec, PerfModel
+from repro.parallel.perfmodel import StepBreakdown, strong_scaling_curve
+
+
+class TestBreakdown:
+    def test_components_nonnegative_and_sum(self):
+        pm = PerfModel()
+        b = pm.step_breakdown(1_000_000, 64)
+        for part in (b.compute, b.halo, b.latency, b.sync):
+            assert part >= 0
+        assert b.total == pytest.approx(b.compute + b.halo + b.latency + b.sync)
+
+    def test_single_rank_has_no_comm(self):
+        pm = PerfModel(spec=ClusterSpec(gpus_per_node=1))
+        b = pm.step_breakdown(10_000, 1)
+        assert b.halo == 0 and b.latency == 0 and b.sync == 0
+
+    def test_kernel_floor_binds_at_small_loads(self):
+        pm = PerfModel()
+        b = pm.step_breakdown(1000, 64)  # ~4 atoms/GPU
+        assert b.compute == pm.spec.kernel_floor_s
+
+    def test_compute_dominates_at_large_loads(self):
+        pm = PerfModel()
+        b = pm.step_breakdown(100_000_000, 16)
+        assert b.compute > 10 * (b.halo + b.latency + b.sync)
+
+    @given(st.integers(10_000, 5_000_000), st.sampled_from([1, 4, 16, 64, 256]))
+    @settings(max_examples=30, deadline=None)
+    def test_rate_positive_and_bounded(self, n_atoms, nodes):
+        pm = PerfModel()
+        rate = pm.timesteps_per_second(n_atoms, nodes)
+        assert 0 < rate < 1.0 / pm.spec.kernel_floor_s + 1
+
+    @given(st.integers(100_000, 10_000_000))
+    @settings(max_examples=20, deadline=None)
+    def test_more_nodes_never_slower_before_saturation(self, n_atoms):
+        """Monotone speedup while compute-bound (rate < half the plateau)."""
+        pm = PerfModel()
+        prev = 0.0
+        for nodes in (1, 2, 4, 8, 16):
+            rate = pm.timesteps_per_second(n_atoms, nodes)
+            if rate < 50:
+                assert rate >= prev * 0.999
+            prev = rate
+
+
+class TestHaloGeometry:
+    def test_halo_grows_sublinearly(self):
+        """Halo/atoms ratio shrinks as the brick grows (surface/volume)."""
+        pm = PerfModel()
+        fr = [
+            pm.halo_atoms_per_gpu(n) / n for n in (1_000, 10_000, 100_000, 1_000_000)
+        ]
+        assert fr == sorted(fr, reverse=True)
+
+    def test_zero_atoms(self):
+        assert PerfModel().halo_atoms_per_gpu(0) == 0.0
+
+    def test_thicker_cutoff_bigger_halo(self):
+        a = PerfModel(cutoff=4.0).halo_atoms_per_gpu(25_000)
+        b = PerfModel(cutoff=8.0).halo_atoms_per_gpu(25_000)
+        assert b > 1.5 * a
+
+
+class TestMemoryBound:
+    def test_min_nodes_monotone_in_atoms(self):
+        pm = PerfModel()
+        sizes = [1_000_000, 10_000_000, 44_000_000, 100_000_000]
+        mins = [pm.min_nodes(n) for n in sizes]
+        assert mins == sorted(mins)
+        assert mins[0] >= 1
+
+    def test_strong_scaling_curve_respects_memory(self):
+        pm = PerfModel()
+        curve = strong_scaling_curve(pm, 100_000_000, [1, 1280])
+        assert all(n >= pm.min_nodes(100_000_000) for n, _ in curve)
+
+    def test_unclamped_curve_keeps_all_nodes(self):
+        pm = PerfModel()
+        curve = strong_scaling_curve(
+            pm, 100_000_000, [1, 1280], clamp_to_memory=False
+        )
+        assert curve[0][0] == 1

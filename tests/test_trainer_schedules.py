@@ -1,0 +1,86 @@
+"""Focused tests on trainer internals: scale-shift init, schedules, EMA use."""
+
+import numpy as np
+import pytest
+
+from repro.data import conformation_dataset, label_frames
+from repro.models import AllegroConfig, AllegroModel, LennardJones
+from repro.nn import TrainConfig, Trainer
+from repro.nn.training import LabeledFrame
+
+
+@pytest.fixture(scope="module")
+def frames():
+    return label_frames(conformation_dataset(8, n_heavy=3, seed=41, sigma=0.05))
+
+
+def tiny_model():
+    return AllegroModel(
+        AllegroConfig(
+            n_species=4,
+            n_tensor=2,
+            latent_dim=8,
+            two_body_hidden=(8,),
+            latent_hidden=(8,),
+            edge_energy_hidden=(4,),
+            r_cut=3.0,
+            avg_num_neighbors=8.0,
+        )
+    )
+
+
+class TestScaleShiftInit:
+    def test_reference_energies_regressed(self, frames):
+        model = tiny_model()
+        Trainer(model, frames, config=TrainConfig())
+        mu = model.scale_shift.shifts.data
+        # The regressed per-species energies reproduce frame energies well.
+        for f in frames[:3]:
+            counts = np.bincount(f.system.species, minlength=4)
+            predicted = counts @ mu
+            assert abs(predicted - f.energy) < 0.3 * abs(f.energy) + 1.0
+
+    def test_sigma_set_to_force_rms(self, frames):
+        model = tiny_model()
+        Trainer(model, frames, config=TrainConfig())
+        frms = np.sqrt(
+            np.mean(np.concatenate([f.forces.ravel() for f in frames]) ** 2)
+        )
+        assert np.allclose(model.scale_shift.scales.data, frms)
+
+    def test_opt_out(self, frames):
+        model = tiny_model()
+        Trainer(model, frames, config=TrainConfig(init_reference_energies=False))
+        assert np.allclose(model.scale_shift.shifts.data, 0.0)
+
+    def test_no_scale_shift_model_is_fine(self, frames):
+        lj = LennardJones(epsilon=0.01, sigma=1.8, cutoff=3.0, n_species=4)
+        Trainer(lj, frames, config=TrainConfig())  # must not raise
+
+class TestHistoryAndEMA:
+    def test_history_records_val_metrics(self, frames):
+        tr = Trainer(
+            tiny_model(), frames[:6], frames[6:], TrainConfig(lr=3e-3, batch_size=3)
+        )
+        hist = tr.fit(epochs=2)
+        assert len(hist) == 2
+        assert hist[0].val_force_rmse is not None
+        assert hist[0].epoch == 0 and hist[1].epoch == 1
+
+    def test_evaluate_with_ema_differs_from_live(self, frames):
+        tr = Trainer(tiny_model(), frames[:6], config=TrainConfig(lr=5e-3, batch_size=3))
+        tr.fit(epochs=3)
+        live = tr.evaluate(frames[6:])["force_rmse"]
+        ema = tr.evaluate(frames[6:], use_ema=True)["force_rmse"]
+        assert live != ema  # EMA lags behind live weights
+
+    def test_no_shuffle_is_deterministic(self, frames):
+        losses = []
+        for _ in range(2):
+            tr = Trainer(
+                tiny_model(),
+                frames[:6],
+                config=TrainConfig(lr=3e-3, batch_size=3, shuffle=False, seed=9),
+            )
+            losses.append(tr.fit(epochs=2)[-1].train_loss)
+        assert losses[0] == losses[1]

@@ -14,10 +14,8 @@ crossovers — not absolute numbers.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"

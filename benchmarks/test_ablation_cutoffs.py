@@ -12,7 +12,6 @@ peaks are short), and the observed model-evaluation speedup.
 """
 
 import numpy as np
-import pytest
 
 from conftest import fmt_table, small_allegro_config
 from repro.data import water_box

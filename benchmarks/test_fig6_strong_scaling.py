@@ -16,7 +16,6 @@ Reproduction, two parts:
    on, and measured work balance confirms the surface-minimizing grid.
 """
 
-import numpy as np
 import pytest
 
 from conftest import fmt_table

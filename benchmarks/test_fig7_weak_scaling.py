@@ -11,7 +11,6 @@ communication volume stays ~constant as the system grows with the ranks.
 """
 
 import numpy as np
-import pytest
 
 from conftest import fmt_table
 from repro.data import water_box

@@ -10,7 +10,6 @@ polymorphs.  Shape claims: Allegro-with-few-frames ≤ DeepMD-with-many on
 every phase, and both transfer to the ices they never saw.
 """
 
-import numpy as np
 import pytest
 
 from conftest import fmt_table

@@ -12,8 +12,6 @@ node count, and the per-pair kernel cost driving the model is measured
 live from this repository's own Allegro implementation.
 """
 
-import numpy as np
-import pytest
 
 from conftest import fmt_table, small_allegro_config
 from repro.data import water_unit_cell

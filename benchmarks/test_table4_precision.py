@@ -12,7 +12,6 @@ cores); both are printed against the paper's row.
 """
 
 import numpy as np
-import pytest
 
 from conftest import fmt_table
 from repro.perf import POLICIES, apply_policy, policy_speed_factor

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Deployment with the compiled execution engine (paper §V-C / Fig. 5).
+
+The paper deploys Allegro by compiling it (TorchScript) and calling it from
+LAMMPS with all inputs padded by 5% so tensor shapes stay constant across
+neighbor-list rebuilds.  This repo's analogue is ``model.compile()``:
+parameters are frozen, tensor-product path weights pre-fused, and the
+energy+force graph is captured once into a replayable kernel plan backed by
+a padded buffer arena.
+
+This script runs the same 1000-step water MD twice — eager autodiff tape vs
+compiled capture/replay — and reports steps/s, the bitwise agreement of the
+trajectories, and the engine's capture/replay counters.
+
+Run:  python examples/deployment_engine.py
+"""
+
+import numpy as np
+
+from repro.data import label_frames, perturbed_water_frames
+from repro.md import LangevinThermostat, Simulation
+from repro.models import AllegroConfig, AllegroModel
+from repro.nn import TrainConfig, Trainer
+
+N_STEPS = 1000
+
+
+def make_model() -> AllegroModel:
+    config = AllegroConfig(
+        n_species=4,
+        lmax=2,
+        n_layers=2,
+        n_tensor=4,
+        latent_dim=24,
+        two_body_hidden=(24,),
+        latent_hidden=(32,),
+        edge_energy_hidden=(16,),
+        r_cut=4.0,
+        avg_num_neighbors=30.0,
+        seed=7,
+    )
+    return AllegroModel(config)
+
+
+def run_md(model_or_compiled, engine: str):
+    system = perturbed_water_frames(1, seed=3, sigma=0.02, n_grid=3)[0].copy()
+    system.seed_velocities(300.0, np.random.default_rng(11))
+    sim = Simulation(
+        system,
+        model_or_compiled,
+        dt=0.5,
+        thermostat=LangevinThermostat(300.0, friction=0.02, seed=13),
+        skin=0.4,
+        engine=engine,
+    )
+    result = sim.run(N_STEPS, record_every=10)
+    return sim, result, system
+
+
+def main() -> None:
+    print("1. training a reduced Allegro model ...")
+    frames = label_frames(perturbed_water_frames(12, seed=1, sigma=0.05, n_grid=3))
+    model = make_model()
+    Trainer(model, frames[:8], frames[8:], TrainConfig(lr=4e-3)).fit(epochs=3)
+
+    print(f"\n2. {N_STEPS}-step water MD, eager autodiff tape ...")
+    _, res_eager, sys_eager = run_md(model, engine="eager")
+    print(f"   {res_eager.timesteps_per_second:.1f} steps/s")
+
+    print(f"\n3. {N_STEPS}-step water MD, compiled engine "
+          "(capture once, replay every step) ...")
+    sim_c, res_compiled, sys_compiled = run_md(model, engine="compiled")
+    stats = sim_c.engine_stats()
+    print(f"   {res_compiled.timesteps_per_second:.1f} steps/s")
+    print(f"   engine: {stats['n_captures']} captures "
+          f"({stats['recaptures']} recaptures), {stats['n_replays']} replays, "
+          f"{stats['arena_buffers']} arena buffers "
+          f"({stats['arena_bytes'] / 1e6:.1f} MB)")
+
+    speedup = res_compiled.timesteps_per_second / res_eager.timesteps_per_second
+    bitwise = np.array_equal(sys_eager.positions, sys_compiled.positions)
+    print(f"\n4. compiled/eager speedup: {speedup:.2f}x")
+    print(f"   trajectories bitwise identical: {bitwise}")
+    print("   (replay runs the same forward kernels as the eager tape, so")
+    print("    the compiled engine changes performance, not one ULP of physics)")
+
+
+if __name__ == "__main__":
+    main()

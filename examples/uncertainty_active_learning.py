@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.data import conformation_dataset, label_frames
 from repro.models import AllegroConfig, AllegroModel, max_force_uncertainty, train_ensemble
-from repro.nn import TrainConfig, Trainer
+from repro.nn import TrainConfig
 
 
 def make_member(seed: int) -> AllegroModel:

@@ -17,7 +17,19 @@ Design notes
   :mod:`repro.perf.precision` to emulate TF32 tensor-core arithmetic.
 """
 
-from .tensor import Tensor, Config, config, no_grad, is_grad_enabled, astensor, grad
+from .tensor import (
+    Tensor,
+    Config,
+    config,
+    no_grad,
+    is_grad_enabled,
+    astensor,
+    grad,
+    Recorder,
+    recording,
+    push_recorder,
+    pop_recorder,
+)
 from .functional import (
     exp,
     log,
@@ -36,6 +48,12 @@ from .functional import (
     where,
     safe_norm,
     erfc,
+    less,
+    step_mask,
+    sign_of,
+    range_mask,
+    ge_mask,
+    le_mask,
     pow as fpow,
 )
 from .linalg import matmul, einsum
@@ -67,7 +85,17 @@ __all__ = [
     "where",
     "safe_norm",
     "erfc",
+    "less",
+    "step_mask",
+    "sign_of",
+    "range_mask",
+    "ge_mask",
+    "le_mask",
     "fpow",
+    "Recorder",
+    "recording",
+    "push_recorder",
+    "pop_recorder",
     "matmul",
     "einsum",
     "gather",

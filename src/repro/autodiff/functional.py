@@ -4,26 +4,34 @@ Backward closures are expressed with Tensor operations so that **second
 derivatives are exact** — force-matching training differentiates the force
 (itself a gradient), which pulls in f'' of every nonlinearity.  SiLU is the
 nonlinearity used throughout Allegro's latent MLPs (paper §VI-D).
+
+Every forward value is computed by a kernel from :mod:`repro.autodiff.kernels`
+and the op is recorded on the active capture recorder, so the whole module is
+replayable by :mod:`repro.engine`.  Gradient masks (relu/clip/where/...) are
+therefore *recorded ops* — :func:`step_mask` and friends — rather than arrays
+baked at trace time: a replayed plan recomputes them from the rebound inputs.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, astensor, _unbroadcast
+from . import kernels as K
+from .tensor import Tensor, _unbroadcast, astensor
+
+_sigmoid_np = K.sigmoid_np
 
 
 def exp(x) -> Tensor:
     """Elementwise e^x."""
     x = astensor(x)
-    out_data = np.exp(x.data)
 
     def backward(g: Tensor) -> None:
         if x._track():
             # d(exp)/dx = exp(x); rebuild as a Tensor op for higher orders.
             x._accumulate(g * exp(x))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(K.expk(None, x.data), (x,), backward, "exp")
 
 
 def log(x) -> Tensor:
@@ -34,7 +42,7 @@ def log(x) -> Tensor:
         if x._track():
             x._accumulate(g / x)
 
-    return Tensor._make(np.log(x.data), (x,), backward)
+    return Tensor._make(K.logk(None, x.data), (x,), backward, "log")
 
 
 def sin(x) -> Tensor:
@@ -45,7 +53,7 @@ def sin(x) -> Tensor:
         if x._track():
             x._accumulate(g * cos(x))
 
-    return Tensor._make(np.sin(x.data), (x,), backward)
+    return Tensor._make(K.sink(None, x.data), (x,), backward, "sin")
 
 
 def cos(x) -> Tensor:
@@ -56,7 +64,7 @@ def cos(x) -> Tensor:
         if x._track():
             x._accumulate(-(g * sin(x)))
 
-    return Tensor._make(np.cos(x.data), (x,), backward)
+    return Tensor._make(K.cosk(None, x.data), (x,), backward, "cos")
 
 
 def sqrt(x) -> Tensor:
@@ -67,104 +75,89 @@ def sqrt(x) -> Tensor:
         if x._track():
             x._accumulate(g * (x ** (-0.5)) * 0.5)
 
-    return Tensor._make(np.sqrt(x.data), (x,), backward)
+    return Tensor._make(K.sqrtk(None, x.data), (x,), backward, "sqrt")
 
 
 def sigmoid(x) -> Tensor:
     """Numerically stable logistic function (compositional backward)."""
     x = astensor(x)
-    out_data = _sigmoid_np(x.data)
 
     def backward(g: Tensor) -> None:
         if x._track():
             s = sigmoid(x)
             x._accumulate(g * s * (1.0 - s))
 
-    return Tensor._make(out_data, (x,), backward)
-
-
-def _sigmoid_np(v: np.ndarray) -> np.ndarray:
-    out = np.empty_like(v)
-    pos = v >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-v[pos]))
-    ev = np.exp(v[~pos])
-    out[~pos] = ev / (1.0 + ev)
-    return out
+    return Tensor._make(K.sigmoidk(None, x.data), (x,), backward, "sigmoid")
 
 
 def tanh(x) -> Tensor:
     """Elementwise hyperbolic tangent."""
     x = astensor(x)
-    out_data = np.tanh(x.data)
 
     def backward(g: Tensor) -> None:
         if x._track():
             t = tanh(x)
             x._accumulate(g * (1.0 - t * t))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(K.tanhk(None, x.data), (x,), backward, "tanh")
 
 
 def silu(x) -> Tensor:
     """SiLU / swish: x·sigmoid(x); derivative s(x)·(1 + x·(1 − s(x)))."""
     x = astensor(x)
-    s_data = _sigmoid_np(x.data)
-    out_data = x.data * s_data
 
     def backward(g: Tensor) -> None:
         if x._track():
             s = sigmoid(x)
             x._accumulate(g * s * (x * (1.0 - s) + 1.0))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(K.siluk(None, x.data), (x,), backward, "silu")
 
 
 def softplus(x) -> Tensor:
     """Numerically stable log(1 + e^x)."""
     x = astensor(x)
-    out_data = np.log1p(np.exp(-np.abs(x.data))) + np.maximum(x.data, 0.0)
 
     def backward(g: Tensor) -> None:
         if x._track():
             x._accumulate(g * sigmoid(x))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(K.softplusk(None, x.data), (x,), backward, "softplus")
 
 
 def relu(x) -> Tensor:
     """Elementwise max(x, 0)."""
     x = astensor(x)
-    mask = (x.data > 0).astype(x.data.dtype)
 
     def backward(g: Tensor) -> None:
         if x._track():
-            x._accumulate(g * Tensor(mask))
+            x._accumulate(g * step_mask(x))
 
-    return Tensor._make(x.data * mask, (x,), backward)
+    return Tensor._make(K.reluk(None, x.data), (x,), backward, "relu")
 
 
 def absolute(x) -> Tensor:
     """Elementwise |x| (subgradient sign(x) at 0)."""
     x = astensor(x)
-    sign = np.sign(x.data)
 
     def backward(g: Tensor) -> None:
         if x._track():
-            x._accumulate(g * Tensor(sign))
+            x._accumulate(g * sign_of(x))
 
-    return Tensor._make(np.abs(x.data), (x,), backward)
+    return Tensor._make(K.absk(None, x.data), (x,), backward, "abs")
 
 
 def clip(x, lo: float, hi: float) -> Tensor:
     """Clamp values to [lo, hi]; gradient is masked outside."""
     x = astensor(x)
-    mask = ((x.data >= lo) & (x.data <= hi)).astype(x.data.dtype)
 
     def backward(g: Tensor) -> None:
         if x._track():
-            x._accumulate(g * Tensor(mask))
+            x._accumulate(g * range_mask(x, lo, hi))
 
-    return Tensor._make(np.clip(x.data, lo, hi), (x,), backward)
+    return Tensor._make(
+        K.clipk(None, x.data, lo, hi), (x,), backward, "clip", {"lo": lo, "hi": hi}
+    )
 
 
 def pow(x, exponent: float) -> Tensor:
@@ -175,35 +168,53 @@ def pow(x, exponent: float) -> Tensor:
 def maximum(a, b) -> Tensor:
     """Elementwise max with subgradient to the winning operand."""
     a, b = astensor(a), astensor(b)
-    amask = (a.data >= b.data).astype(np.float64)
 
     def backward(g: Tensor) -> None:
+        amask = ge_mask(a, b)
         if a._track():
-            a._accumulate(_unbroadcast(g * Tensor(amask), a.shape))
+            a._accumulate(_unbroadcast(g * amask, a.shape))
         if b._track():
-            b._accumulate(_unbroadcast(g * Tensor(1.0 - amask), b.shape))
+            b._accumulate(_unbroadcast(g * (1.0 - amask), b.shape))
 
-    return Tensor._make(np.maximum(a.data, b.data), (a, b), backward)
+    return Tensor._make(K.maximumk(None, a.data, b.data), (a, b), backward, "maximum")
 
 
 def minimum(a, b) -> Tensor:
     """Elementwise min with subgradient to the winning operand."""
     a, b = astensor(a), astensor(b)
-    amask = (a.data <= b.data).astype(np.float64)
 
     def backward(g: Tensor) -> None:
+        amask = le_mask(a, b)
         if a._track():
-            a._accumulate(_unbroadcast(g * Tensor(amask), a.shape))
+            a._accumulate(_unbroadcast(g * amask, a.shape))
         if b._track():
-            b._accumulate(_unbroadcast(g * Tensor(1.0 - amask), b.shape))
+            b._accumulate(_unbroadcast(g * (1.0 - amask), b.shape))
 
-    return Tensor._make(np.minimum(a.data, b.data), (a, b), backward)
+    return Tensor._make(K.minimumk(None, a.data, b.data), (a, b), backward, "minimum")
 
 
 def where(cond, a, b) -> Tensor:
-    """Select a where cond else b; cond is a non-differentiable mask."""
-    cond = np.asarray(cond.data if isinstance(cond, Tensor) else cond, dtype=bool)
+    """Select a where cond else b; cond is a non-differentiable mask.
+
+    When ``cond`` is a :class:`Tensor` (e.g. from :func:`less`) it becomes a
+    recorded parent, so a compiled replay re-evaluates the condition on
+    current inputs.  Plain arrays/bools are captured as static data.
+    """
     a, b = astensor(a), astensor(b)
+    if isinstance(cond, Tensor):
+        m = cond if cond.dtype.kind == "f" else cond.astype(np.float64)
+
+        def backward(g: Tensor) -> None:
+            if a._track():
+                a._accumulate(_unbroadcast(g * m, a.shape))
+            if b._track():
+                b._accumulate(_unbroadcast(g * (1.0 - m), b.shape))
+
+        return Tensor._make(
+            K.selectk(None, m.data, a.data, b.data), (m, a, b), backward, "select"
+        )
+
+    cond = np.asarray(cond, dtype=bool)
     fmask = cond.astype(np.float64)
 
     def backward(g: Tensor) -> None:
@@ -212,7 +223,10 @@ def where(cond, a, b) -> Tensor:
         if b._track():
             b._accumulate(_unbroadcast(g * Tensor(1.0 - fmask), b.shape))
 
-    return Tensor._make(np.where(cond, a.data, b.data), (a, b), backward)
+    return Tensor._make(
+        K.wherek(None, a.data, b.data, cond), (a, b), backward, "where",
+        {"cond": cond},
+    )
 
 
 def safe_norm(x, axis: int = -1, keepdims: bool = False, eps: float = 1e-30) -> Tensor:
@@ -236,13 +250,50 @@ def erfc(x) -> Tensor:
     d/dx erfc(x) = −(2/√π)·e^(−x²), expressed with Tensor ops so higher
     derivatives (force training through electrostatics) stay exact.
     """
-    from scipy.special import erfc as _erfc
-
     x = astensor(x)
-    out_data = _erfc(x.data)
 
     def backward(g: Tensor) -> None:
         if x._track():
             x._accumulate(g * exp(-(x * x)) * (-2.0 / np.sqrt(np.pi)))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(K.erfck(None, x.data), (x,), backward, "erfc")
+
+
+# -- recorded, non-differentiable mask ops ------------------------------------
+def less(x, c: float) -> Tensor:
+    """Float mask (x < c); recorded so replay recomputes it from live data."""
+    x = astensor(x)
+    c = float(c)
+    return Tensor._make_const(K.lessk(None, x.data, c), (x,), "less", {"c": c})
+
+
+def step_mask(x) -> Tensor:
+    """Float mask (x > 0)."""
+    x = astensor(x)
+    return Tensor._make_const(K.step_maskk(None, x.data), (x,), "step_mask")
+
+
+def sign_of(x) -> Tensor:
+    """Elementwise sign as a recorded non-differentiable op."""
+    x = astensor(x)
+    return Tensor._make_const(K.signk(None, x.data), (x,), "sign")
+
+
+def range_mask(x, lo: float, hi: float) -> Tensor:
+    """Float mask (lo <= x <= hi)."""
+    x = astensor(x)
+    return Tensor._make_const(
+        K.range_maskk(None, x.data, lo, hi), (x,), "range_mask", {"lo": lo, "hi": hi}
+    )
+
+
+def ge_mask(a, b) -> Tensor:
+    """Float mask (a >= b)."""
+    a, b = astensor(a), astensor(b)
+    return Tensor._make_const(K.ge_maskk(None, a.data, b.data), (a, b), "ge_mask")
+
+
+def le_mask(a, b) -> Tensor:
+    """Float mask (a <= b)."""
+    a, b = astensor(a), astensor(b)
+    return Tensor._make_const(K.le_maskk(None, a.data, b.data), (a, b), "le_mask")

@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from . import kernels as K
 from .tensor import Tensor, astensor
 
 
@@ -35,7 +36,9 @@ def gather(x, index) -> Tensor:
             back = scatter_add(g, idx, n_rows)
             x._accumulate(back)
 
-    return Tensor._make(x.data[idx], (x,), backward)
+    return Tensor._make(
+        K.gatherk(None, x.data, idx), (x,), backward, "gather", {"idx": idx}
+    )
 
 
 def scatter_add(src, index, dim_size: int) -> Tensor:
@@ -50,20 +53,20 @@ def scatter_add(src, index, dim_size: int) -> Tensor:
         raise ValueError(
             f"index shape {idx.shape} incompatible with src rows {src.shape}"
         )
-    out_data = np.zeros((dim_size,) + src.shape[1:], dtype=src.data.dtype)
-    np.add.at(out_data, idx, src.data)
-
     def backward(g: Tensor) -> None:
         if src._track():
             src._accumulate(gather(g, idx))
 
-    return Tensor._make(out_data, (src,), backward)
+    return Tensor._make(
+        K.scatter_addk(None, src.data, idx, dim_size), (src,), backward,
+        "scatter_add", {"idx": idx, "dim_size": dim_size},
+    )
 
 
 def concatenate(tensors: Sequence, axis: int = -1) -> Tensor:
     """Differentiable ``np.concatenate``."""
     ts = [astensor(t) for t in tensors]
-    out_data = np.concatenate([t.data for t in ts], axis=axis)
+    out_data = K.concatk(None, *[t.data for t in ts], axis=axis)
     ax = axis if axis >= 0 else out_data.ndim + axis
     sizes = [t.shape[ax] for t in ts]
     bounds = np.cumsum([0] + sizes)
@@ -74,13 +77,13 @@ def concatenate(tensors: Sequence, axis: int = -1) -> Tensor:
                 sl = (slice(None),) * ax + (slice(bounds[k], bounds[k + 1]),)
                 t._accumulate(g[sl])
 
-    return Tensor._make(out_data, tuple(ts), backward)
+    return Tensor._make(out_data, tuple(ts), backward, "concat", {"axis": axis})
 
 
 def stack(tensors: Sequence, axis: int = 0) -> Tensor:
     """Differentiable ``np.stack``."""
     ts = [astensor(t) for t in tensors]
-    out_data = np.stack([t.data for t in ts], axis=axis)
+    out_data = K.stackk(None, *[t.data for t in ts], axis=axis)
     ax = axis if axis >= 0 else out_data.ndim + axis
 
     def backward(g: Tensor) -> None:
@@ -89,7 +92,7 @@ def stack(tensors: Sequence, axis: int = 0) -> Tensor:
                 sl = (slice(None),) * ax + (k,)
                 t._accumulate(g[sl])
 
-    return Tensor._make(out_data, tuple(ts), backward)
+    return Tensor._make(out_data, tuple(ts), backward, "stack", {"axis": axis})
 
 
 def pad_rows(x, n_rows: int, fill: float = 0.0) -> Tensor:
@@ -105,12 +108,13 @@ def pad_rows(x, n_rows: int, fill: float = 0.0) -> Tensor:
         raise ValueError(f"cannot pad {x.shape[0]} rows down to {n_rows}")
     if extra == 0:
         return x
-    pad_block = np.full((extra,) + x.shape[1:], fill, dtype=x.data.dtype)
-    out_data = np.concatenate([x.data, pad_block], axis=0)
     n_real = x.shape[0]
 
     def backward(g: Tensor) -> None:
         if x._track():
             x._accumulate(g[:n_real])
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(
+        K.pad_rowsk(None, x.data, n_rows, fill), (x,), backward, "pad_rows",
+        {"n_rows": n_rows, "fill": fill},
+    )

@@ -1,0 +1,489 @@
+"""Reusable forward kernels shared by the eager tape and the compiled engine.
+
+Every differentiable op in :mod:`repro.autodiff` computes its forward value
+through one of the kernels below, and records the kernel name (plus static
+arguments) on the active capture recorder (:mod:`repro.engine`).  A kernel
+has the signature::
+
+    kernel(out, *arrays, **static) -> ndarray
+
+``out`` is an optional caller-provided output buffer: the eager tape passes
+``None`` (the kernel allocates), the compiled replay passes a preallocated
+arena buffer.  Because eager evaluation and compiled replay execute the
+*same* kernel code, replay results are bitwise-identical to the tape by
+construction — the property the engine equivalence tests pin down.
+
+Kernels in :data:`ALIAS_OPS` are cheap view/reshape ops; the engine replays
+them without arena buffers (their result aliases the input's storage).
+
+Static arguments holding integer index arrays (``gather``/``scatter_add``/
+fancy ``getitem``) keep a reference to the *array object* recorded at
+capture time; the engine rebinds inputs by overwriting those arrays in
+place, so a replayed plan follows the current neighbor list without
+re-capturing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from . import tensor as _tensor  # circular-safe: only touched at call time
+
+
+KERNELS: Dict[str, Callable] = {}
+
+#: Ops whose result is (or may be) a view of the input; replayed without
+#: arena buffers.
+ALIAS_OPS = frozenset(
+    {"reshape", "transpose", "broadcast_to", "expand_dims", "squeeze", "slice"}
+)
+
+
+def _kernel(name: str):
+    def deco(fn):
+        KERNELS[name] = fn
+        return fn
+
+    return deco
+
+
+def _fill(out, res: np.ndarray) -> np.ndarray:
+    """Copy ``res`` into ``out`` when a buffer was provided."""
+    if out is None:
+        return res
+    np.copyto(out, res)
+    return out
+
+
+# -- arithmetic ---------------------------------------------------------------
+@_kernel("add")
+def add(out, a, b):
+    return np.add(a, b, out=out) if out is not None else a + b
+
+
+@_kernel("sub")
+def sub(out, a, b):
+    return np.subtract(a, b, out=out) if out is not None else a - b
+
+
+@_kernel("mul")
+def mul(out, a, b):
+    return np.multiply(a, b, out=out) if out is not None else a * b
+
+
+@_kernel("div")
+def div(out, a, b):
+    return np.divide(a, b, out=out) if out is not None else a / b
+
+
+@_kernel("neg")
+def neg(out, a):
+    return np.negative(a, out=out) if out is not None else -a
+
+
+@_kernel("pow")
+def powk(out, a, e):
+    # ndarray.__pow__ special-cases e in {2, 0.5, -1, ...} with dedicated
+    # ufuncs; route through the same operator so replay matches eagerly.
+    return _fill(out, a**e)
+
+
+@_kernel("astype")
+def astype(out, a, dtype):
+    if out is None:
+        return a.astype(dtype)
+    np.copyto(out, a, casting="unsafe")
+    return out
+
+
+# -- reductions ---------------------------------------------------------------
+@_kernel("sum")
+def sumk(out, a, axis, keepdims):
+    return a.sum(axis=axis, keepdims=keepdims, out=out)
+
+
+# -- shape ops (alias kernels) ------------------------------------------------
+@_kernel("reshape")
+def reshape(out, a, shape):
+    return a.reshape(shape)
+
+
+@_kernel("transpose")
+def transpose(out, a, axes):
+    return a.transpose(axes)
+
+
+@_kernel("broadcast_to")
+def broadcast_to(out, a, shape):
+    return np.broadcast_to(a, shape)
+
+
+@_kernel("expand_dims")
+def expand_dims(out, a, axis):
+    return np.expand_dims(a, axis)
+
+
+@_kernel("squeeze")
+def squeeze(out, a, axis):
+    return np.squeeze(a, axis=axis)
+
+
+@_kernel("slice")
+def slice_(out, a, idx):
+    # Basic indexing only (no integer arrays): result is a view.
+    return a[idx]
+
+
+@_kernel("getitem")
+def getitem(out, a, idx):
+    # Advanced indexing: result is a copy.
+    return _fill(out, a[idx])
+
+
+@_kernel("put_at")
+def put_at(out, g, idx, shape, dtype):
+    if out is None:
+        out = np.zeros(shape, dtype=dtype)
+    else:
+        out.fill(0)
+    np.add.at(out, idx, g)
+    return out
+
+
+# -- elementwise functions ----------------------------------------------------
+@_kernel("exp")
+def expk(out, a):
+    return np.exp(a, out=out) if out is not None else np.exp(a)
+
+
+@_kernel("log")
+def logk(out, a):
+    return np.log(a, out=out) if out is not None else np.log(a)
+
+
+@_kernel("sin")
+def sink(out, a):
+    return np.sin(a, out=out) if out is not None else np.sin(a)
+
+
+@_kernel("cos")
+def cosk(out, a):
+    return np.cos(a, out=out) if out is not None else np.cos(a)
+
+
+@_kernel("sqrt")
+def sqrtk(out, a):
+    return np.sqrt(a, out=out) if out is not None else np.sqrt(a)
+
+
+@_kernel("tanh")
+def tanhk(out, a):
+    return np.tanh(a, out=out) if out is not None else np.tanh(a)
+
+
+def sigmoid_np(v: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function (shared by sigmoid/silu)."""
+    out = np.empty_like(v)
+    pos = v >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-v[pos]))
+    ev = np.exp(v[~pos])
+    out[~pos] = ev / (1.0 + ev)
+    return out
+
+
+@_kernel("sigmoid")
+def sigmoidk(out, a):
+    return _fill(out, sigmoid_np(a))
+
+
+@_kernel("silu")
+def siluk(out, a):
+    s = sigmoid_np(a)
+    return np.multiply(a, s, out=out) if out is not None else a * s
+
+
+@_kernel("softplus")
+def softplusk(out, a):
+    return _fill(out, np.log1p(np.exp(-np.abs(a))) + np.maximum(a, 0.0))
+
+
+@_kernel("relu")
+def reluk(out, a):
+    mask = (a > 0).astype(a.dtype)
+    return np.multiply(a, mask, out=out) if out is not None else a * mask
+
+
+@_kernel("abs")
+def absk(out, a):
+    return np.abs(a, out=out) if out is not None else np.abs(a)
+
+
+@_kernel("clip")
+def clipk(out, a, lo, hi):
+    return np.clip(a, lo, hi, out=out) if out is not None else np.clip(a, lo, hi)
+
+
+@_kernel("maximum")
+def maximumk(out, a, b):
+    return np.maximum(a, b, out=out) if out is not None else np.maximum(a, b)
+
+
+@_kernel("minimum")
+def minimumk(out, a, b):
+    return np.minimum(a, b, out=out) if out is not None else np.minimum(a, b)
+
+
+@_kernel("where")
+def wherek(out, a, b, cond):
+    # Static boolean condition (fixed at capture time).
+    return _fill(out, np.where(cond, a, b))
+
+
+@_kernel("select")
+def selectk(out, cond, a, b):
+    # Condition is a recorded (non-differentiable) mask tensor, recomputed
+    # at replay — this is what keeps cutoff masks correct on rebound inputs.
+    return _fill(out, np.where(cond != 0, a, b))
+
+
+@_kernel("erfc")
+def erfck(out, a):
+    from scipy.special import erfc as _erfc
+
+    return _fill(out, _erfc(a))
+
+
+# -- recorded non-differentiable masks ----------------------------------------
+@_kernel("less")
+def lessk(out, a, c):
+    return _fill(out, (a < c).astype(a.dtype))
+
+
+@_kernel("step_mask")
+def step_maskk(out, a):
+    return _fill(out, (a > 0).astype(a.dtype))
+
+
+@_kernel("sign")
+def signk(out, a):
+    return np.sign(a, out=out) if out is not None else np.sign(a)
+
+
+@_kernel("range_mask")
+def range_maskk(out, a, lo, hi):
+    return _fill(out, ((a >= lo) & (a <= hi)).astype(a.dtype))
+
+
+@_kernel("ge_mask")
+def ge_maskk(out, a, b):
+    return _fill(out, (a >= b).astype(np.float64))
+
+
+@_kernel("le_mask")
+def le_maskk(out, a, b):
+    return _fill(out, (a <= b).astype(np.float64))
+
+
+# -- linear algebra -----------------------------------------------------------
+def _cast_in(arr: np.ndarray) -> np.ndarray:
+    cast = _tensor.config.matmul_input_cast
+    return cast(arr) if cast else arr
+
+
+def _cast_out(arr: np.ndarray) -> np.ndarray:
+    cast = _tensor.config.matmul_precision
+    return cast(arr) if cast else arr
+
+
+# Fixed row-block size for 2-D matmul.  BLAS row results are not invariant
+# to the total row count M (threading/dispatch change with size), which
+# would make padded compiled evaluation drift from unpadded eager by ULPs.
+# Processing M in fixed chunks — the tail zero-padded to a full chunk via a
+# cached scratch — means every BLAS call sees the same shapes for the same
+# absolute row range, so row k of the result depends only on row k of ``a``
+# and on ``b``, never on M.
+_MM_BLOCK = 128
+_mm_scratch: dict = {}
+
+
+def _blocked_matmul(a, b, out):
+    M, K = a.shape
+    N = b.shape[1]
+    res = out if out is not None else np.empty((M, N), np.result_type(a, b))
+    full = (M // _MM_BLOCK) * _MM_BLOCK
+    for s in range(0, full, _MM_BLOCK):
+        np.matmul(a[s : s + _MM_BLOCK], b, out=res[s : s + _MM_BLOCK])
+    rem = M - full
+    if rem:
+        key = (K, N, res.dtype)
+        sc = _mm_scratch.get(key)
+        if sc is None:
+            sc = (np.zeros((_MM_BLOCK, K), res.dtype), np.empty((_MM_BLOCK, N), res.dtype))
+            _mm_scratch[key] = sc
+        sc_a, sc_c = sc
+        sc_a[:rem] = a[full:]
+        sc_a[rem:] = 0.0
+        np.matmul(sc_a, b, out=sc_c)
+        res[full:] = sc_c[:rem]
+    return res
+
+
+@_kernel("matmul")
+def matmulk(out, a, b):
+    cfg = _tensor.config
+    if cfg.matmul_input_cast is not None or cfg.matmul_precision is not None:
+        return _fill(out, _cast_out(_cast_in(a) @ _cast_in(b)))
+    if a.ndim == 2 and b.ndim == 2 and a.dtype.kind == "f" and a.dtype == b.dtype:
+        return _blocked_matmul(a, b, out)
+    return np.matmul(a, b, out=out) if out is not None else a @ b
+
+
+def _parse_einsum_spec(spec):
+    if "->" not in spec or "." in spec:
+        return None
+    lhs, rhs = spec.split("->")
+    subs = lhs.split(",")
+    for s in subs + [rhs]:
+        if len(set(s)) != len(s):
+            return None
+    return subs, rhs
+
+
+def _batched_contract(spec, operands):
+    """Pad-invariant fast path for batch-leading contractions.
+
+    Recognizes the tensor-product shapes that dominate the force call —
+    ``P+a, P+b, W -> P+c`` (batched outer product against a static 3-index
+    tensor, the Clebsch-Gordan contraction and its two input gradients) and
+    ``P+K, W -> P+M`` (batched matrix multiply, the feature mixing) — and
+    routes them through :func:`_blocked_matmul` on the flattened batch.
+    Rows of the flattened matmul correspond to trailing batch entries, so
+    the result is invariant to trailing padding, exactly like the 2-D
+    matmul kernel.  Returns None when the spec does not match.
+    """
+    parsed = _parse_einsum_spec(spec)
+    if parsed is None:
+        return None
+    subs, so = parsed
+    if any(o.dtype.kind != "f" for o in operands):
+        return None
+    dtype = operands[0].dtype
+    if any(o.dtype != dtype for o in operands[1:]):
+        return None
+
+    if len(operands) == 3 and len(so) >= 2:
+        x, y, w = operands
+        sx, sy, sw = subs
+        p, c = so[:-1], so[-1]
+        if (
+            len(sx) == len(p) + 1
+            and len(sy) == len(p) + 1
+            and sx[:-1] == p
+            and sy[:-1] == p
+            and len(sw) == 3
+            and sorted(sw) == sorted(sx[-1] + sy[-1] + c)
+        ):
+            a, b = sx[-1], sy[-1]
+            perm = tuple(sw.index(s) for s in (a, b, c))
+            w_mat = np.ascontiguousarray(w.transpose(perm))
+            na, nb, nc = w_mat.shape
+            outer = x[..., :, None] * y[..., None, :]
+            batch = outer.shape[:-2]
+            res = _blocked_matmul(
+                outer.reshape(-1, na * nb), w_mat.reshape(na * nb, nc), None
+            )
+            return res.reshape(batch + (nc,))
+
+    if len(operands) == 2:
+        x, w = operands
+        sx, sw = subs
+        for n_k in range(1, len(sx)):
+            p, k = sx[: len(sx) - n_k], sx[len(sx) - n_k :]
+            m = so[len(p) :]
+            if (
+                len(p) >= 1
+                and len(m) >= 1
+                and so[: len(p)] == p
+                and sorted(sw) == sorted(k + m)
+                and not (set(k) & set(m))
+            ):
+                perm = tuple(sw.index(s) for s in k + m)
+                w_mat = np.ascontiguousarray(w.transpose(perm))
+                k_dim = int(np.prod(w_mat.shape[: n_k], dtype=int))
+                m_shape = w_mat.shape[n_k:]
+                m_dim = int(np.prod(m_shape, dtype=int))
+                x2 = np.ascontiguousarray(x)
+                batch = x2.shape[: len(p)]
+                res = _blocked_matmul(
+                    x2.reshape(-1, k_dim), w_mat.reshape(k_dim, m_dim), None
+                )
+                return res.reshape(batch + m_shape)
+        return None
+
+    return None
+
+
+@_kernel("einsum")
+def einsumk(out, *operands, spec):
+    # Bitwise-identity requirements.  (1) Never pass ``out=`` to np.einsum:
+    # an output array changes the contraction dispatch, shifting summation
+    # order.  (2) Canonicalize operands to C order: c_einsum's iteration
+    # (and hence accumulation) order follows operand memory layout, and
+    # replay hands contiguous arena copies where eager may hold transposed
+    # views of a previous einsum's result.  (3) No ``optimize=True``: the
+    # optimized path dispatches to BLAS tensordot, whose row results depend
+    # on the (padded vs unpadded) leading dimension; c_einsum iterates rows
+    # sequentially, so results are invariant to trailing padding.
+    # (asarray with order="C", not ascontiguousarray: the latter promotes
+    # 0-d operands to 1-d, which c_einsum rejects for scalar subscripts.)
+    operands = [np.asarray(o, order="C") for o in operands]
+    cfg = _tensor.config
+    if cfg.matmul_input_cast is None and cfg.matmul_precision is None:
+        fast = _batched_contract(spec, operands)
+        if fast is not None:
+            return _fill(out, fast)
+        return _fill(out, np.einsum(spec, *operands))
+    res = _cast_out(np.einsum(spec, *[_cast_in(o) for o in operands]))
+    return _fill(out, res)
+
+
+# -- indexing / assembly ------------------------------------------------------
+@_kernel("gather")
+def gatherk(out, a, idx):
+    if out is None:
+        return a[idx]
+    np.take(a, idx, axis=0, out=out)
+    return out
+
+
+@_kernel("scatter_add")
+def scatter_addk(out, src, idx, dim_size):
+    if out is None:
+        out = np.zeros((dim_size,) + src.shape[1:], dtype=src.dtype)
+    else:
+        out.fill(0)
+    np.add.at(out, idx, src)
+    return out
+
+
+@_kernel("concat")
+def concatk(out, *arrays, axis):
+    return np.concatenate(arrays, axis=axis, out=out)
+
+
+@_kernel("stack")
+def stackk(out, *arrays, axis):
+    return _fill(out, np.stack(arrays, axis=axis))
+
+
+@_kernel("pad_rows")
+def pad_rowsk(out, a, n_rows, fill):
+    n = a.shape[0]
+    if out is None:
+        pad_block = np.full((n_rows - n,) + a.shape[1:], fill, dtype=a.dtype)
+        return np.concatenate([a, pad_block], axis=0)
+    out[:n] = a
+    out[n:] = fill
+    return out

@@ -14,17 +14,11 @@ Backward closures are written with Tensor ops, so gradients of gradients
 
 from __future__ import annotations
 
-import numpy as np
+from . import kernels as K
+from .tensor import Tensor, _unbroadcast, astensor, config  # noqa: F401
 
-from .tensor import Tensor, astensor, config, _unbroadcast
-
-
-def _cast_in(arr: np.ndarray) -> np.ndarray:
-    return config.matmul_input_cast(arr) if config.matmul_input_cast else arr
-
-
-def _cast_out(arr: np.ndarray) -> np.ndarray:
-    return config.matmul_precision(arr) if config.matmul_precision else arr
+_cast_in = K._cast_in
+_cast_out = K._cast_out
 
 
 def matmul(a, b) -> Tensor:
@@ -41,7 +35,6 @@ def matmul(a, b) -> Tensor:
 
 def _matmul2(a: Tensor, b: Tensor) -> Tensor:
     """Core matmul for operands with ndim >= 2."""
-    out_data = _cast_out(_cast_in(a.data) @ _cast_in(b.data))
 
     def backward(g: Tensor) -> None:
         if a._track():
@@ -51,7 +44,7 @@ def _matmul2(a: Tensor, b: Tensor) -> Tensor:
             gb = matmul(a.swapaxes(-1, -2), g)
             b._accumulate(_unbroadcast(gb, b.shape))
 
-    return Tensor._make(out_data, (a, b), backward)
+    return Tensor._make(K.matmulk(None, a.data, b.data), (a, b), backward, "matmul")
 
 
 def _parse_spec(spec: str, n_ops: int) -> tuple[list[str], str]:
@@ -79,9 +72,6 @@ def einsum(spec: str, *operands) -> Tensor:
     """
     tensors = [astensor(op) for op in operands]
     subs, out_sub = _parse_spec(spec, len(tensors))
-    out_data = _cast_out(
-        np.einsum(spec, *[_cast_in(t.data) for t in tensors], optimize=True)
-    )
 
     def backward(g: Tensor) -> None:
         for i, t in enumerate(tensors):
@@ -111,4 +101,10 @@ def einsum(spec: str, *operands) -> Tensor:
                 gi = gi.broadcast_to(tuple(shape))
             t._accumulate(gi)
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+    return Tensor._make(
+        K.einsumk(None, *[t.data for t in tensors], spec=spec),
+        tuple(tensors),
+        backward,
+        "einsum",
+        {"spec": spec},
+    )

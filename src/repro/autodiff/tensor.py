@@ -28,6 +28,10 @@ import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, "Tensor"]
 
+# Imported late in this module's lifecycle (kernels back-references this
+# module for `config`); attributes are only touched at call time.
+from . import kernels as K  # noqa: E402
+
 
 class Config:
     """Global autodiff configuration.
@@ -60,6 +64,57 @@ class Config:
 config = Config()
 
 _grad_state = threading.local()
+_capture_state = threading.local()
+
+
+class Recorder:
+    """Records every kernel-backed op created while active.
+
+    Entries are ``(out_tensor, op_name, parents, static)`` tuples in creation
+    order (which is already a topological order).  :mod:`repro.engine` turns a
+    recorder into a replayable :class:`~repro.engine.ExecutionPlan`.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: list = []
+
+    def record(self, out, op, parents, static) -> None:
+        self.entries.append((out, op, parents, static))
+
+
+def push_recorder(rec: Recorder) -> None:
+    """Make ``rec`` the active capture recorder (stack discipline)."""
+    stack = getattr(_capture_state, "stack", None)
+    if stack is None:
+        stack = _capture_state.stack = []
+    stack.append(rec)
+    _capture_state.active = rec
+
+
+def pop_recorder() -> Recorder:
+    """Deactivate and return the innermost capture recorder."""
+    stack = _capture_state.stack
+    rec = stack.pop()
+    _capture_state.active = stack[-1] if stack else None
+    return rec
+
+
+@contextlib.contextmanager
+def recording(rec: Recorder):
+    """Route every op built inside the block onto ``rec`` (capture mode).
+
+    Recording is independent of gradient tracking: ops built under
+    :func:`no_grad` (e.g. a backward pass) are still recorded, which is how
+    :func:`repro.engine.capture` captures the force graph without
+    ``create_graph=True``.
+    """
+    push_recorder(rec)
+    try:
+        yield rec
+    finally:
+        pop_recorder()
 
 
 def is_grad_enabled() -> bool:
@@ -151,7 +206,10 @@ class Tensor:
         def backward(g: "Tensor") -> None:
             this._accumulate(g.astype(this.data.dtype))
 
-        return Tensor._make(self.data.astype(dtype), (self,), backward)
+        return Tensor._make(
+            K.astype(None, self.data, dtype), (self,), backward, "astype",
+            {"dtype": dtype},
+        )
 
     # -- tape machinery ------------------------------------------------------
     def _track(self) -> bool:
@@ -225,11 +283,32 @@ class Tensor:
         data: np.ndarray,
         parents: Sequence["Tensor"],
         backward: Callable[["Tensor"], None],
+        op: Optional[str] = None,
+        static: Optional[dict] = None,
     ) -> "Tensor":
         track = is_grad_enabled() and any(p.requires_grad for p in parents)
-        if not track:
-            return Tensor(data)
-        return Tensor(data, requires_grad=True, _backward=backward, _parents=parents)
+        if track:
+            out = Tensor(data, requires_grad=True, _backward=backward, _parents=parents)
+        else:
+            out = Tensor(data)
+        rec = getattr(_capture_state, "active", None)
+        if rec is not None:
+            rec.record(out, op, parents, static or {})
+        return out
+
+    @staticmethod
+    def _make_const(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        op: str,
+        static: Optional[dict] = None,
+    ) -> "Tensor":
+        """Build a recorded but non-differentiable op result (mask tensors)."""
+        out = Tensor(data)
+        rec = getattr(_capture_state, "active", None)
+        if rec is not None:
+            rec.record(out, op, parents, static or {})
+        return out
 
     # -- arithmetic ------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
@@ -242,7 +321,7 @@ class Tensor:
             if b._track():
                 b._accumulate(_unbroadcast(g, b.shape))
 
-        return Tensor._make(a.data + b.data, (a, b), backward)
+        return Tensor._make(K.add(None, a.data, b.data), (a, b), backward, "add")
 
     __radd__ = __add__
 
@@ -256,7 +335,7 @@ class Tensor:
             if b._track():
                 b._accumulate(_unbroadcast(g * a, b.shape))
 
-        return Tensor._make(a.data * b.data, (a, b), backward)
+        return Tensor._make(K.mul(None, a.data, b.data), (a, b), backward, "mul")
 
     __rmul__ = __mul__
 
@@ -270,7 +349,7 @@ class Tensor:
             if b._track():
                 b._accumulate(_unbroadcast(-g, b.shape))
 
-        return Tensor._make(a.data - b.data, (a, b), backward)
+        return Tensor._make(K.sub(None, a.data, b.data), (a, b), backward, "sub")
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return astensor(other) - self
@@ -282,7 +361,7 @@ class Tensor:
             if a._track():
                 a._accumulate(-g)
 
-        return Tensor._make(-a.data, (a,), backward)
+        return Tensor._make(K.neg(None, a.data), (a,), backward, "neg")
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = astensor(other)
@@ -294,7 +373,7 @@ class Tensor:
             if b._track():
                 b._accumulate(_unbroadcast(-g * a / (b * b), b.shape))
 
-        return Tensor._make(a.data / b.data, (a, b), backward)
+        return Tensor._make(K.div(None, a.data, b.data), (a, b), backward, "div")
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return astensor(other) / self
@@ -309,7 +388,9 @@ class Tensor:
             if a._track():
                 a._accumulate(g * (a ** (e - 1.0)) * e)
 
-        return Tensor._make(a.data**e, (a,), backward)
+        return Tensor._make(
+            K.powk(None, a.data, e), (a,), backward, "pow", {"e": e}
+        )
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         from .linalg import matmul
@@ -345,7 +426,10 @@ class Tensor:
                     gg = gg.expand_dims(ax)
             a._accumulate(gg.broadcast_to(in_shape))
 
-        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (a,), backward)
+        return Tensor._make(
+            K.sumk(None, self.data, axis, keepdims), (a,), backward, "sum",
+            {"axis": axis, "keepdims": keepdims},
+        )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -370,7 +454,9 @@ class Tensor:
             if a._track():
                 a._accumulate(g.reshape(in_shape))
 
-        return Tensor._make(self.data.reshape(shape), (a,), backward)
+        return Tensor._make(
+            self.data.reshape(shape), (a,), backward, "reshape", {"shape": shape}
+        )
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -384,7 +470,9 @@ class Tensor:
             if a._track():
                 a._accumulate(g.transpose(inv))
 
-        return Tensor._make(self.data.transpose(axes), (a,), backward)
+        return Tensor._make(
+            self.data.transpose(axes), (a,), backward, "transpose", {"axes": axes}
+        )
 
     @property
     def T(self) -> "Tensor":
@@ -403,7 +491,10 @@ class Tensor:
             if a._track():
                 a._accumulate(_unbroadcast(g, in_shape))
 
-        return Tensor._make(np.broadcast_to(self.data, shape), (a,), backward)
+        return Tensor._make(
+            np.broadcast_to(self.data, shape), (a,), backward, "broadcast_to",
+            {"shape": shape},
+        )
 
     def __getitem__(self, idx) -> "Tensor":
         if isinstance(idx, Tensor):
@@ -416,7 +507,8 @@ class Tensor:
             if a._track():
                 a._accumulate(_put_at_zeros(g, idx, in_shape, in_dtype))
 
-        return Tensor._make(self.data[idx], (a,), backward)
+        op = "slice" if _is_basic_index(idx) else "getitem"
+        return Tensor._make(self.data[idx], (a,), backward, op, {"idx": idx})
 
     def expand_dims(self, axis: int) -> "Tensor":
         a = self
@@ -425,7 +517,10 @@ class Tensor:
             if a._track():
                 a._accumulate(g.squeeze(axis))
 
-        return Tensor._make(np.expand_dims(self.data, axis), (a,), backward)
+        return Tensor._make(
+            np.expand_dims(self.data, axis), (a,), backward, "expand_dims",
+            {"axis": axis},
+        )
 
     def squeeze(self, axis: int) -> "Tensor":
         a = self
@@ -435,7 +530,10 @@ class Tensor:
             if a._track():
                 a._accumulate(g.reshape(in_shape))
 
-        return Tensor._make(np.squeeze(self.data, axis=axis), (a,), backward)
+        return Tensor._make(
+            np.squeeze(self.data, axis=axis), (a,), backward, "squeeze",
+            {"axis": axis},
+        )
 
 
 def _unbroadcast(g: Tensor, shape: tuple[int, ...]) -> Tensor:
@@ -451,16 +549,27 @@ def _unbroadcast(g: Tensor, shape: tuple[int, ...]) -> Tensor:
     return g
 
 
+def _is_basic_index(idx) -> bool:
+    """True when ``idx`` uses only basic (view-producing) indexing."""
+    items = idx if isinstance(idx, tuple) else (idx,)
+    for it in items:
+        if isinstance(it, (int, np.integer, slice)) or it is Ellipsis or it is None:
+            continue
+        return False
+    return True
+
+
 def _put_at_zeros(g: Tensor, idx, shape, dtype) -> Tensor:
     """Scatter ``g`` into a zero array at ``idx`` (backward of getitem)."""
-    data = np.zeros(shape, dtype=dtype)
-    np.add.at(data, idx, g.data)
 
     def backward(gg: Tensor) -> None:
         if g._track():
             g._accumulate(gg[idx])
 
-    return Tensor._make(data, (g,), backward)
+    return Tensor._make(
+        K.put_at(None, g.data, idx, shape, dtype), (g,), backward, "put_at",
+        {"idx": idx, "shape": shape, "dtype": dtype},
+    )
 
 
 def astensor(x: ArrayLike, dtype=None) -> Tensor:

@@ -19,7 +19,8 @@ Config schema (all lengths Å, times fs, temperatures K)::
                  | {"kind": "allegro", "checkpoint": "model.npz", "config": {...}},
       "md": {"steps": 100, "dt": 0.5, "temperature": 300.0,
              "thermostat": "langevin" | "berendsen" | null,
-             "friction": 0.02, "seed": 0, "minimize_first": true},
+             "friction": 0.02, "seed": 0, "minimize_first": true,
+             "engine": "eager" | "compiled"},
       "output": {"trajectory": "traj.xyz", "every": 10}
     }
 """
@@ -144,6 +145,7 @@ def run_config(config: dict, quiet: bool = False):
         dt=float(md.get("dt", 0.5)),
         thermostat=thermostat,
         recorder=recorder,
+        engine=md.get("engine", "eager"),
     )
     result = sim.run(int(md.get("steps", 100)))
     recorder.close()
@@ -152,6 +154,12 @@ def run_config(config: dict, quiet: bool = False):
     log(
         f"{result.n_steps} steps at {result.timesteps_per_second:.2f} timesteps/s"
     )
+    stats = sim.engine_stats()
+    if stats is not None:
+        log(
+            f"engine: {stats['n_captures']} captures, {stats['n_replays']} replays,"
+            f" {stats['recaptures']} recaptures"
+        )
     return result
 
 

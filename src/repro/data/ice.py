@@ -12,7 +12,7 @@ phases* of the same chemistry, which these preserve:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

@@ -9,7 +9,7 @@ thermally perturbed snapshots labeled by the reference potential.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 

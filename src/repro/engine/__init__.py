@@ -1,0 +1,23 @@
+"""Compiled execution engine: capture-once / replay-many force evaluation.
+
+The numpy analogue of the paper's deployment stack (§V-C): instead of
+rebuilding the autodiff tape — with fresh allocations for every op — on every
+MD step, the energy+force graph is *captured* once into an
+:class:`ExecutionPlan` (a topologically ordered kernel list writing into a
+preallocated :class:`BufferArena`) and *replayed* on every subsequent step.
+Inputs are padded to 5%-headroom capacities (`perf.allocator.PaddingPolicy`),
+so fluctuating pair counts do not re-trigger capture — the Fig. 5 fix on the
+real evaluation path.
+
+Entry points:
+
+* :func:`capture` — record any autodiff computation into a plan.
+* :class:`CompiledPotential` — ``potential.compile()`` wraps capture,
+  parameter freezing, tensor-product pre-fusing, padding, and re-capture
+  accounting behind ``energy_and_forces``.
+"""
+
+from .compiled import CompiledPotential
+from .plan import BufferArena, ExecutionPlan, capture
+
+__all__ = ["BufferArena", "CompiledPotential", "ExecutionPlan", "capture"]

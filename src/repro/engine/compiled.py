@@ -1,0 +1,256 @@
+"""CompiledPotential: frozen, padded, replayable force evaluation.
+
+Mirrors pair_allegro's deployment model (paper §V-C): the potential is
+captured once at a fixed capacity — parameters frozen, tensor-product path
+weights pre-fused, the full energy+force graph recorded into an
+:class:`~repro.engine.ExecutionPlan` — and every subsequent call just rebinds
+the input buffers and replays the plan.  Inputs are padded to capacities
+governed by :class:`repro.perf.allocator.PaddingPolicy` (5% growth), so
+fluctuating neighbor counts do not trigger re-capture: the plan is rebuilt
+only when the padded atom or pair count overflows capacity, and
+``n_captures``/``recaptures`` expose exactly the counter the Fig. 5
+experiment needs.
+
+Padding scheme
+--------------
+One extra "pad atom" slot (index ``capacity_atoms - 1``, position 0) absorbs
+all pad edges: each pad edge has ``i = j = pad_atom`` and a shift vector of
+``(cutoff, 0, 0)``, so its distance sits exactly at the cutoff where every
+envelope is identically zero.  Pad edges therefore contribute exactly 0 to
+every real atom's energy and force, and because they occupy the *tail* of the
+edge arrays the ``np.add.at`` accumulation order over real edges is unchanged
+— replayed results are bitwise-identical to the eager tape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..perf.allocator import PaddingPolicy
+from .plan import ExecutionPlan
+
+__all__ = ["CompiledPotential"]
+
+
+class CompiledPotential:
+    """Capture-once / replay-many wrapper around a :class:`Potential`.
+
+    Parameters
+    ----------
+    potential:
+        Any potential implementing the ``graph_inputs``/``traced_energies``
+        contract (Allegro, NequIP, DeepMD, classical pair potentials, ...).
+    capacity:
+        Optional initial atom capacity (atoms + 1 pad slot must fit).
+    pair_capacity:
+        Optional initial edge capacity.
+    padding:
+        Fractional headroom applied when capacity grows (paper uses 5%).
+        ``None`` selects exact-fit buffers: capacities track the incoming
+        sizes exactly, so *every* neighbor-list size change forces a
+        re-capture — the paper's unpadded baseline in Fig. 5.
+
+    Notes
+    -----
+    The captured plan bakes in the *current* parameter values (including
+    pre-fused tensor-product weights).  After a training update, call
+    :meth:`invalidate` (or build a fresh compiled potential) to re-capture.
+    """
+
+    def __init__(
+        self,
+        potential,
+        capacity: Optional[int] = None,
+        pair_capacity: Optional[int] = None,
+        padding: float = 0.05,
+    ) -> None:
+        base = type(potential)
+        traced = getattr(base, "traced_energies", None)
+        from ..models.base import Potential
+
+        if traced is None or traced is Potential.traced_energies:
+            raise TypeError(
+                f"{base.__name__} does not implement traced_energies(); "
+                "it cannot be compiled"
+            )
+        self.potential = potential
+        self.exact_fit = padding is None
+        frac = 0.0 if self.exact_fit else padding
+        self.atom_policy = PaddingPolicy(fraction=frac)
+        self.pair_policy = PaddingPolicy(fraction=frac)
+        if capacity is not None:
+            self.atom_policy._capacity = int(capacity)
+        if pair_capacity is not None:
+            self.pair_policy._capacity = int(pair_capacity)
+        self.n_captures = 0
+        self.n_replays = 0
+        self._plan: Optional[ExecutionPlan] = None
+        self._cap_atoms = 0
+        self._cap_pairs = 0
+
+    # -- proxies so a CompiledPotential drops into Simulation -----------------
+    @property
+    def cutoff(self) -> float:
+        """Interaction cutoff of the wrapped potential."""
+        return self.potential.cutoff
+
+    @property
+    def pair_cutoffs(self):
+        return getattr(self.potential, "pair_cutoffs", None)
+
+    def prepare_neighbors(self, system):
+        if hasattr(self.potential, "prepare_neighbors"):
+            return self.potential.prepare_neighbors(system)
+        from ..md.neighborlist import neighbor_list
+
+        return neighbor_list(system, self.cutoff)
+
+    @property
+    def recaptures(self) -> int:
+        """Captures beyond the initial one (the Fig. 5 counter)."""
+        return max(0, self.n_captures - 1)
+
+    @property
+    def capacity_atoms(self) -> int:
+        return self._cap_atoms
+
+    @property
+    def capacity_pairs(self) -> int:
+        return self._cap_pairs
+
+    @property
+    def plan(self) -> Optional[ExecutionPlan]:
+        return self._plan
+
+    def invalidate(self) -> None:
+        """Drop the captured plan (call after parameter updates)."""
+        self._plan = None
+
+    def stats(self) -> dict:
+        """Capture/replay counters and arena statistics."""
+        out = {
+            "n_captures": self.n_captures,
+            "recaptures": self.recaptures,
+            "n_replays": self.n_replays,
+            "capacity_atoms": self._cap_atoms,
+            "capacity_pairs": self._cap_pairs,
+        }
+        if self._plan is not None:
+            out["plan_steps"] = self._plan.n_steps
+            out["arena_buffers"] = self._plan.arena.n_buffers
+            out["arena_bytes"] = self._plan.arena.total_bytes
+            out["arena_reuses"] = self._plan.arena.n_reused
+        return out
+
+    # -- evaluation -----------------------------------------------------------
+    def evaluate(self, positions, species, nl, n_active: Optional[int] = None):
+        """Per-atom energies and forces via plan replay.
+
+        ``n_active`` restricts the force seed to the first atoms (shard
+        owners in the parallel driver); defaults to all atoms.  Returns
+        ``(e_atoms, forces)`` — ``e_atoms`` is a view into a plan buffer,
+        consume it before the next call.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        species = np.asarray(species)
+        n = int(species.shape[0])
+        n_act = n if n_active is None else int(n_active)
+        if nl.n_edges == 0:
+            # Degenerate graph: delegate to the eager path (shape-special
+            # cases like per-model empty returns are not worth capturing).
+            pos = ad.Tensor(positions, requires_grad=True)
+            e_atoms = self.potential.atomic_energies(pos, species, nl)
+            return e_atoms.data, np.zeros((n, 3))
+
+        inputs = self.potential.graph_inputs(species, nl)
+        n_edges = int(nl.n_edges)
+        if self.exact_fit:
+            # Unpadded baseline: buffer shapes equal the inputs, so any size
+            # change is a new "shape" and re-captures (Fig. 5, no padding).
+            need_capture = (
+                self._plan is None
+                or n + 1 != self._cap_atoms
+                or n_edges != self._cap_pairs
+            )
+        else:
+            need_capture = (
+                self._plan is None
+                or n + 1 > self._cap_atoms
+                or n_edges > self._cap_pairs
+            )
+        if need_capture:
+            if self.exact_fit:
+                self.atom_policy._capacity = 0
+                self.pair_policy._capacity = 0
+            self._allocate_buffers(n, n_edges, species, inputs)
+        self._bind(positions, species, inputs, n_edges, n_act)
+        if need_capture:
+            self._capture()
+        e_buf, g_buf = self._plan.execute()
+        self.n_replays += 1
+        return e_buf[:n], -g_buf[:n]
+
+    def energy_and_forces(self, system, nl=None):
+        """Drop-in for :meth:`Potential.energy_and_forces` (compiled path)."""
+        if nl is None:
+            nl = self.prepare_neighbors(system)
+        e_atoms, forces = self.evaluate(system.positions, system.species, nl)
+        return float(np.sum(e_atoms)), forces
+
+    # -- internals ------------------------------------------------------------
+    def _allocate_buffers(self, n: int, n_edges: int, species, inputs) -> None:
+        cap_a = self.atom_policy.padded_size(n + 1)
+        cap_e = self.pair_policy.padded_size(max(n_edges, 1))
+        self._cap_atoms, self._cap_pairs = cap_a, cap_e
+        self._pos_buf = np.zeros((cap_a, 3))
+        self._species_buf = np.zeros(cap_a, dtype=np.asarray(species).dtype)
+        self._mask_buf = np.zeros(cap_a)
+        self._input_bufs = {}
+        for key, arr in inputs.items():
+            arr = np.asarray(arr)
+            if arr.shape[:1] != (n_edges,):
+                raise ValueError(
+                    f"graph_inputs[{key!r}] must have leading dim n_edges "
+                    f"({n_edges}), got shape {arr.shape}"
+                )
+            self._input_bufs[key] = np.zeros((cap_e,) + arr.shape[1:], arr.dtype)
+        self._pad_shift = np.array([self.potential.cutoff, 0.0, 0.0])
+
+    def _bind(self, positions, species, inputs, n_edges: int, n_active: int) -> None:
+        n = species.shape[0]
+        pad_atom = self._cap_atoms - 1
+        self._pos_buf[:n] = positions
+        self._pos_buf[n:] = 0.0
+        self._species_buf[:n] = species
+        self._species_buf[n:] = 0
+        self._mask_buf[:n_active] = 1.0
+        self._mask_buf[n_active:] = 0.0
+        for key, buf in self._input_bufs.items():
+            arr = inputs[key]
+            buf[:n_edges] = arr
+            if key in ("i_idx", "j_idx"):
+                buf[n_edges:] = pad_atom
+            elif key == "shifts":
+                buf[n_edges:] = self._pad_shift
+            else:
+                buf[n_edges:] = 0
+
+    def _capture(self) -> None:
+        pot = self.potential
+        pos_t = ad.Tensor(self._pos_buf, requires_grad=True)
+        mask_t = ad.Tensor(self._mask_buf)
+        traced_inputs = {
+            key: (ad.Tensor(buf) if buf.dtype.kind == "f" else buf)
+            for key, buf in self._input_bufs.items()
+        }
+        with pot.inference_mode():
+            rec = ad.Recorder()
+            with ad.recording(rec):
+                e_atoms = pot.traced_energies(pos_t, self._species_buf, traced_inputs)
+                e_masked = (e_atoms * mask_t).sum()
+                (gpos,) = ad.grad(e_masked, [pos_t])
+            self._plan = ExecutionPlan(rec, [e_atoms, gpos])
+        self.n_captures += 1

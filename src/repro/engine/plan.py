@@ -1,0 +1,182 @@
+"""Capture-once / replay-many execution plans over the autodiff tape.
+
+This is the numpy analogue of the paper's deployment path (§V-C): pair_allegro
+compiles the trained model once (TorchScript + frozen weights) and then replays
+the same kernel sequence every MD step, with inputs padded to a fixed capacity
+so no allocation ever happens in the hot loop.  Here the same idea is built on
+:class:`repro.autodiff.Recorder`: every op executed inside a ``recording()``
+block is logged as ``(out, kernel_name, parents, static)``; an
+:class:`ExecutionPlan` prunes that log to the ancestors of the requested
+outputs, assigns every compute node a preallocated buffer from a
+:class:`BufferArena` (reusing buffers once their last consumer has run), and
+replays the kernel list with zero tape construction and zero allocation.
+
+Replay is bitwise-identical to eager evaluation because both run the *same*
+kernel functions from :mod:`repro.autodiff.kernels` on arrays of the same
+shape — the plan only changes where results are stored, never how they are
+computed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autodiff import Tensor, Recorder, recording
+from ..autodiff.kernels import ALIAS_OPS, KERNELS
+
+
+class BufferArena:
+    """Pool of preallocated arrays keyed by (shape, dtype).
+
+    Buffers are handed out during plan construction by a liveness scan: a
+    node's output buffer is allocated *before* its parents' buffers are
+    released, so a kernel never reads and writes the same memory (matmul,
+    einsum and scatter kernels are not alias-safe).
+    """
+
+    def __init__(self) -> None:
+        self._free: Dict[Tuple[tuple, np.dtype], List[np.ndarray]] = {}
+        self.n_buffers = 0
+        self.n_reused = 0
+        self.total_bytes = 0
+
+    def acquire(self, shape: tuple, dtype: np.dtype) -> np.ndarray:
+        key = (tuple(shape), np.dtype(dtype))
+        free = self._free.get(key)
+        if free:
+            self.n_reused += 1
+            return free.pop()
+        self.n_buffers += 1
+        buf = np.empty(key[0], dtype=key[1])
+        self.total_bytes += buf.nbytes
+        return buf
+
+    def release(self, buf: np.ndarray) -> None:
+        key = (buf.shape, buf.dtype)
+        self._free.setdefault(key, []).append(buf)
+
+
+class ExecutionPlan:
+    """A topologically ordered kernel list with preallocated output buffers.
+
+    Built from a :class:`~repro.autodiff.Recorder`; replayed with
+    :meth:`execute`.  Leaves (tensors that were *not* produced by a recorded
+    op — parameters, constants, input buffers) contribute their ``.data``
+    array object directly: overwriting those arrays in place and calling
+    :meth:`execute` re-evaluates the graph on the new values.
+    """
+
+    def __init__(self, recorder: Recorder, outputs: Sequence[Tensor]) -> None:
+        entries = recorder.entries
+        entry_of: Dict[int, int] = {id(e[0]): k for k, e in enumerate(entries)}
+
+        # -- prune to ancestors of the outputs --------------------------------
+        needed: set = set()
+        leaves: List[Tensor] = []
+        slot_of: Dict[int, int] = {}
+        stack: List[Tensor] = list(outputs)
+        while stack:
+            t = stack.pop()
+            k = entry_of.get(id(t))
+            if k is None:
+                if id(t) not in slot_of:
+                    slot_of[id(t)] = len(leaves)
+                    leaves.append(t)
+                continue
+            if k in needed:
+                continue
+            needed.add(k)
+            stack.extend(entries[k][2])
+
+        n_leaves = len(leaves)
+        order = sorted(needed)  # creation order == topological order
+        for pos, k in enumerate(order):
+            slot_of[id(entries[k][0])] = n_leaves + pos
+
+        # -- liveness scan: storage roots and last uses -----------------------
+        # Alias ops (views) share their parent's storage; a buffer is freed
+        # after the step that last reads its storage root.
+        storage: Dict[int, int] = {s: s for s in range(n_leaves)}
+        last_use: Dict[int, int] = {}
+        steps_meta = []
+        for pos, k in enumerate(order):
+            out, op, parents, static = entries[k]
+            if op is None:
+                raise RuntimeError(
+                    "captured an op with no kernel name; all autodiff ops "
+                    "must pass op= to Tensor._make"
+                )
+            pslots = [slot_of[id(p)] for p in parents]
+            for ps in pslots:
+                last_use[storage[ps]] = pos
+            out_slot = n_leaves + pos
+            if op in ALIAS_OPS:
+                storage[out_slot] = storage[pslots[0]]
+            else:
+                storage[out_slot] = out_slot
+            steps_meta.append((out, op, pslots, static, out_slot))
+
+        dying: Dict[int, List[int]] = {}
+        for root, pos in last_use.items():
+            dying.setdefault(pos, []).append(root)
+
+        out_slots = [slot_of[id(t)] for t in outputs]
+        pinned = set(range(n_leaves)) | {storage[s] for s in out_slots}
+
+        # -- assign arena buffers ---------------------------------------------
+        arena = BufferArena()
+        buffers: Dict[int, np.ndarray] = {}
+        self._steps: List[tuple] = []
+        for pos, (out, op, pslots, static, out_slot) in enumerate(steps_meta):
+            fn = KERNELS[op]
+            if op in ALIAS_OPS:
+                buf = None
+            else:
+                buf = arena.acquire(out.data.shape, out.data.dtype)
+                buffers[out_slot] = buf
+            self._steps.append((fn, buf, out_slot, tuple(pslots), static))
+            for root in dying.get(pos, ()):
+                if root not in pinned and root >= n_leaves and root in buffers:
+                    arena.release(buffers[root])
+
+        self.arena = arena
+        self.n_steps = len(self._steps)
+        self.n_leaves = n_leaves
+        self._out_slots = out_slots
+        # Keep leaf tensors alive: their .data arrays are the plan's inputs
+        # (and constants — e.g. pre-fused tensor-product weights).
+        self._leaf_tensors = leaves
+        self._vals: List[Optional[np.ndarray]] = [t.data for t in leaves] + [
+            None
+        ] * len(order)
+
+    def execute(self) -> List[np.ndarray]:
+        """Replay the kernel list; returns the output arrays (arena-owned).
+
+        The returned arrays are views into plan-owned buffers: consume or
+        copy them before the next :meth:`execute` call.
+        """
+        vals = self._vals
+        for fn, buf, out_slot, pslots, static in self._steps:
+            vals[out_slot] = fn(buf, *[vals[p] for p in pslots], **static)
+        return [vals[s] for s in self._out_slots]
+
+
+def capture(
+    build: Callable[[], Sequence[Tensor]],
+) -> Tuple[Sequence[Tensor], ExecutionPlan]:
+    """Record ``build()`` and compile its op sequence into an ExecutionPlan.
+
+    ``build`` must return the output tensor(s) (a Tensor or a sequence).
+    Returns ``(outputs, plan)``; subsequent ``plan.execute()`` calls replay
+    the recorded computation against the *current* contents of every leaf
+    array (inputs are rebound by overwriting those arrays in place).
+    """
+    rec = Recorder()
+    with recording(rec):
+        result = build()
+    outputs = (result,) if isinstance(result, Tensor) else tuple(result)
+    plan = ExecutionPlan(rec, outputs)
+    return result, plan

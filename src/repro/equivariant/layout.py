@@ -14,7 +14,7 @@ consumes two layouts and produces a third with a single dense contraction.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Tuple
 
 import numpy as np
 

@@ -13,7 +13,7 @@ and layers, the same way the internal test-suite does:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 import scipy.linalg as sla

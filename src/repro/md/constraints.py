@@ -10,7 +10,6 @@ components out of velocities.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 

@@ -10,7 +10,6 @@ increase — robust for the stiff short-range forces of molecular systems.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

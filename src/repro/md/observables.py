@@ -8,7 +8,7 @@ algorithm so rigid-body drift does not register as structural change.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

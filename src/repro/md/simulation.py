@@ -15,7 +15,7 @@ it is validated against.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -58,17 +58,43 @@ class Simulation:
         thermostat=None,
         skin: float = 0.4,
         recorder: Optional[TrajectoryRecorder] = None,
+        engine: str = "eager",
     ) -> None:
+        from ..engine import CompiledPotential
+
         self.system = system
-        self.potential = potential
+        if isinstance(potential, CompiledPotential):
+            # Accept a pre-compiled evaluator directly; keep the raw model
+            # for cutoff / pair-cutoff bookkeeping.
+            self.potential = potential.potential
+            self._evaluator = potential
+            engine = "compiled"
+        elif engine == "compiled":
+            # Capture-once/replay-many deployment mode (paper §V-C): the
+            # hot loop below then replays a fixed kernel plan instead of
+            # rebuilding the autodiff tape every step.
+            self.potential = potential
+            self._evaluator = potential.compile()
+        elif engine == "eager":
+            self.potential = potential
+            self._evaluator = potential
+        else:
+            raise ValueError(f"unknown engine {engine!r} (use 'eager' or 'compiled')")
+        self.engine = engine
         self.integrator = VelocityVerlet(dt)
         self.thermostat = thermostat
-        self.verlet = VerletList(potential.cutoff, skin=skin)
+        self.verlet = VerletList(self.potential.cutoff, skin=skin)
         self.recorder = recorder
         self.step_count = 0
         self._forces: Optional[np.ndarray] = None
         self._pe: float = 0.0
         self._callbacks: List[Callable[[int, "Simulation"], None]] = []
+
+    def engine_stats(self) -> Optional[dict]:
+        """Capture/replay counters when running compiled; None when eager."""
+        if self.engine == "compiled":
+            return self._evaluator.stats()
+        return None
 
     def add_callback(self, fn: Callable[[int, "Simulation"], None]) -> None:
         """Called after every step with (step index, simulation)."""
@@ -91,7 +117,7 @@ class Simulation:
                 self.system.species,
                 self.potential.pair_cutoffs + self.verlet.skin,
             )
-        e, f = self.potential.energy_and_forces(self.system, nl)
+        e, f = self._evaluator.energy_and_forces(self.system, nl)
         return e, f, nl.n_edges
 
     def run(self, n_steps: int, record_every: int = 1) -> MDResult:

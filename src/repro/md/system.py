@@ -9,7 +9,6 @@ one-to-one to chemical species, exactly as in the paper's model (§VI-D
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 import numpy as np

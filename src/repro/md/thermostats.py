@@ -11,7 +11,6 @@ provide the two standard weak-coupling choices:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -8,7 +8,6 @@ same way LAMMPS profiling does.
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Sequence, TextIO, Union

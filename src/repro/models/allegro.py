@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -208,20 +208,22 @@ class AllegroModel(Potential):
         return super().energy_and_forces(system, nl)
 
     # -- forward ------------------------------------------------------------------
-    def atomic_energies(self, positions, species, nl: NeighborList):
-        cfg = self.config
-        species = np.asarray(species)
-        n_atoms = positions.shape[0]
+    def graph_inputs(self, species: np.ndarray, nl: NeighborList) -> dict:
+        inputs = super().graph_inputs(species, nl)
         i_idx, j_idx = nl.edge_index
-        if nl.n_edges == 0:
-            return ad.Tensor(np.zeros(n_atoms))
+        inputs["pair_idx"] = species[i_idx] * self.n_species + species[j_idx]
+        return inputs
 
-        positions = ad.astensor(positions)
-        disp = ad.gather(positions, j_idx) + ad.Tensor(nl.shifts) - ad.gather(
+    def traced_energies(self, positions, species, inputs: dict):
+        cfg = self.config
+        n_atoms = positions.shape[0]
+        i_idx, j_idx = inputs["i_idx"], inputs["j_idx"]
+        pair_idx = inputs["pair_idx"]
+
+        disp = ad.gather(positions, j_idx) + ad.astensor(inputs["shifts"]) - ad.gather(
             positions, i_idx
         )
         r = ad.safe_norm(disp, axis=-1)
-        pair_idx = species[i_idx] * self.n_species + species[j_idx]
 
         # Two-body scalar latent, multiplied by the cutoff envelope so every
         # pair's influence (and hence its environment weights) vanishes
@@ -230,11 +232,11 @@ class AllegroModel(Potential):
         basis = self.radial_basis(r, pair_idx)
         u = self.radial_basis.envelope_of(r, pair_idx)
         uc = u.expand_dims(-1)
-        onehots = ad.Tensor(
-            np.concatenate(
-                [self._species_eye[species[i_idx]], self._species_eye[species[j_idx]]],
-                axis=1,
-            )
+        # Nested traced gathers (eye[species][i_idx]) instead of numpy fancy
+        # indexing: the captured plan then follows rebound species/edges.
+        sp_onehot = ad.gather(ad.Tensor(self._species_eye), species)
+        onehots = ad.concatenate(
+            [ad.gather(sp_onehot, i_idx), ad.gather(sp_onehot, j_idx)], axis=1
         )
         x = self.two_body_mlp(ad.concatenate([onehots, basis], axis=-1)) * uc
 
@@ -274,7 +276,7 @@ class AllegroModel(Potential):
         e_atoms = ad.scatter_add(e_edge, i_idx, n_atoms)
         e_atoms = self.scale_shift(e_atoms, species)
         if self.zbl is not None:
-            e_atoms = e_atoms + self.zbl.atomic_energies(positions, species, nl)
+            e_atoms = e_atoms + self.zbl.traced_energies(positions, species, inputs)
         return e_atoms
 
 

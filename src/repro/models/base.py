@@ -59,7 +59,8 @@ class PerSpeciesScaleShift(Module):
 
 
 class Potential(Module):
-    """Base class: implement :meth:`atomic_energies`; the rest is provided."""
+    """Base class: implement :meth:`traced_energies` (or override
+    :meth:`atomic_energies` directly); the rest is provided."""
 
     #: Maximum interaction cutoff in Å (used to build neighbor lists).
     cutoff: float = 0.0
@@ -68,7 +69,64 @@ class Potential(Module):
         self, positions: ad.Tensor, species: np.ndarray, nl: NeighborList
     ) -> ad.Tensor:
         """Per-atom energies [N] in eV (float64, already scaled/shifted)."""
-        raise NotImplementedError
+        species = np.asarray(species)
+        if nl.n_edges == 0:
+            return self._empty_energies(ad.astensor(positions), species)
+        return self.traced_energies(
+            ad.astensor(positions), species, self.graph_inputs(species, nl)
+        )
+
+    def graph_inputs(self, species: np.ndarray, nl: NeighborList) -> dict:
+        """Step-varying arrays of the traced graph, keyed by name.
+
+        Contract (relied on by :class:`repro.engine.CompiledPotential`):
+        every array has leading dimension ``nl.n_edges``.  The reserved keys
+        ``"i_idx"``/``"j_idx"``/``"shifts"`` are padded with pad-atom indices
+        and cutoff-length shift vectors respectively; any other key is
+        zero-padded.
+        """
+        i_idx, j_idx = nl.edge_index
+        return {"i_idx": i_idx, "j_idx": j_idx, "shifts": nl.shifts}
+
+    def traced_energies(
+        self, positions: ad.Tensor, species: np.ndarray, inputs: dict
+    ) -> ad.Tensor:
+        """Per-atom energies as a pure traced function of ``inputs``.
+
+        Must consume geometry *only* through ``positions`` and the arrays in
+        ``inputs`` (every value-dependent branch expressed as recorded ops),
+        so a captured plan replays correctly when those arrays are rebound.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement traced_energies"
+        )
+
+    def _empty_energies(
+        self, positions: ad.Tensor, species: np.ndarray
+    ) -> ad.Tensor:
+        """Energies for an empty neighbor list (no pair interactions)."""
+        return ad.Tensor(np.zeros(positions.shape[0]))
+
+    def compile(
+        self,
+        capacity: Optional[int] = None,
+        pair_capacity: Optional[int] = None,
+        padding: Optional[float] = 0.05,
+    ):
+        """Freeze + capture this potential into a replayable evaluator.
+
+        Returns a :class:`repro.engine.CompiledPotential`: parameters are
+        frozen, tensor products pre-fused, and the energy+force graph is
+        captured once at a padded capacity and replayed on every call
+        (re-capturing only on capacity overflow, paper §V-C / Fig. 5).
+        ``padding=None`` disables the headroom entirely (exact-fit buffers,
+        the Fig. 5 unpadded baseline: every size change re-captures).
+        """
+        from ..engine import CompiledPotential
+
+        return CompiledPotential(
+            self, capacity=capacity, pair_capacity=pair_capacity, padding=padding
+        )
 
     # -- generic API ----------------------------------------------------------
     def total_energy(
@@ -105,11 +163,7 @@ class Potential(Module):
         """
         params = self.parameters()
         old = [p.requires_grad for p in params]
-        tps = [
-            tp
-            for tp in vars(self).get("tps", [])
-            if hasattr(tp, "freeze")
-        ]
+        tps = self.freezable_modules()
         for p in params:
             p.requires_grad = False
         for tp in tps:

@@ -68,19 +68,21 @@ class ClassicalForceField(Potential):
         )
         self.scale_shift = PerSpeciesScaleShift(S)
 
-    def atomic_energies(self, positions, species, nl: NeighborList):
-        species = np.asarray(species)
-        n_atoms = positions.shape[0]
+    def graph_inputs(self, species: np.ndarray, nl: NeighborList) -> dict:
+        inputs = super().graph_inputs(species, nl)
         i_idx, j_idx = nl.edge_index
-        if nl.n_edges == 0:
-            return ad.Tensor(np.zeros(n_atoms))
+        inputs["pair_idx"] = species[i_idx] * self.n_species + species[j_idx]
+        return inputs
 
-        positions = ad.astensor(positions)
-        disp = ad.gather(positions, j_idx) + ad.Tensor(nl.shifts) - ad.gather(
+    def traced_energies(self, positions, species, inputs: dict):
+        n_atoms = positions.shape[0]
+        i_idx, j_idx = inputs["i_idx"], inputs["j_idx"]
+        pair_flat = inputs["pair_idx"]
+
+        disp = ad.gather(positions, j_idx) + ad.astensor(inputs["shifts"]) - ad.gather(
             positions, i_idx
         )
         r = ad.safe_norm(disp, axis=-1)
-        pair_flat = species[i_idx] * self.n_species + species[j_idx]
 
         D = ad.gather(ad.exp(self.log_D).reshape((-1,)), pair_flat)
         a = ad.gather(ad.exp(self.log_a).reshape((-1,)), pair_flat)
@@ -88,8 +90,10 @@ class ClassicalForceField(Potential):
         decay = ad.exp(-(a * (r - r0)))
         e_morse = D * ((1.0 - decay) ** 2 - 1.0)
 
-        qi = ad.gather(self.charges, species[i_idx])
-        qj = ad.gather(self.charges, species[j_idx])
+        # Nested traced gathers: per-atom charges, then per-edge endpoints.
+        q_atoms = ad.gather(self.charges, species)
+        qi = ad.gather(q_atoms, i_idx)
+        qj = ad.gather(q_atoms, j_idx)
         e_coul = qi * qj * (COULOMB_EV_A / 1.0) / (r + 0.5)  # softened short-range
 
         u = self.envelope(r * (1.0 / self.cutoff))

@@ -19,7 +19,6 @@ from typing import Tuple
 import numpy as np
 
 from .. import autodiff as ad
-from ..md.neighborlist import NeighborList
 from ..nn.mlp import MLP
 from ..nn.module import ParameterList
 from ..nn.radial import BesselBasis
@@ -55,18 +54,15 @@ class DeepMDModel(Potential):
         )
         self.scale_shift = PerSpeciesScaleShift(cfg.n_species)
         self._norm = 1.0 / math.sqrt(max(cfg.avg_num_neighbors, 1.0))
+        self._species_eye = np.eye(cfg.n_species)
 
-    def atomic_energies(self, positions, species, nl: NeighborList):
+    def traced_energies(self, positions, species, inputs: dict):
         cfg = self.config
-        species = np.asarray(species)
         n_atoms = positions.shape[0]
-        i_idx, j_idx = nl.edge_index
-        if nl.n_edges == 0:
-            return ad.Tensor(np.zeros(n_atoms))
+        i_idx, j_idx = inputs["i_idx"], inputs["j_idx"]
         S, B = cfg.n_species, cfg.num_bessel
 
-        positions = ad.astensor(positions)
-        disp = ad.gather(positions, j_idx) + ad.Tensor(nl.shifts) - ad.gather(
+        disp = ad.gather(positions, j_idx) + ad.astensor(inputs["shifts"]) - ad.gather(
             positions, i_idx
         )
         r = ad.safe_norm(disp, axis=-1)
@@ -74,29 +70,32 @@ class DeepMDModel(Potential):
         basis = self.radial_basis(r)  # [E, B], envelope included
 
         # Scatter per neighbor species: edge (i→j) contributes to bin Z_j.
-        spec_onehot = np.eye(S)[species[j_idx]]  # [E, S]
+        # Traced nested gathers so compiled replay follows rebound indices.
+        node_onehot = ad.gather(ad.Tensor(self._species_eye), species)  # [N, S]
+        spec_onehot = ad.gather(node_onehot, j_idx)  # [E, S]
 
         # Radial part: G[i, s, b] = Σ_{j∈s} basis_b(r_ij).
-        rad_edge = ad.einsum("eb,es->esb", basis, ad.Tensor(spec_onehot))
+        rad_edge = ad.einsum("eb,es->esb", basis, spec_onehot)
         G = ad.scatter_add(rad_edge.reshape((-1, S * B)), i_idx, n_atoms) * self._norm
 
         # Axis part: v[i, s, :] = Σ_{j∈s} u_ij · w(r_ij); invariants v_s·v_s'.
         wgt = basis.sum(axis=-1, keepdims=True)  # smooth scalar weight per edge
-        axis_edge = ad.einsum("ec,es->esc", unit * wgt, ad.Tensor(spec_onehot))
+        axis_edge = ad.einsum("ec,es->esc", unit * wgt, spec_onehot)
         Vax = ad.scatter_add(axis_edge.reshape((-1, S * 3)), i_idx, n_atoms) * self._norm
         Vax = Vax.reshape((-1, S, 3))
         dots = ad.einsum("nsc,ntc->nst", Vax, Vax).reshape((-1, S * S))
 
         # Coordination part: c[i, s] = Σ_{j∈s} u(r_ij).
-        coord_edge = ad.einsum("e,es->es", wgt.squeeze(-1), ad.Tensor(spec_onehot))
+        coord_edge = ad.einsum("e,es->es", wgt.squeeze(-1), spec_onehot)
         coord = ad.scatter_add(coord_edge, i_idx, n_atoms) * self._norm
 
         feats = ad.concatenate([G, dots, coord], axis=-1)
 
-        # Per-species network, combined with species masks.
+        # Per-species network, combined with species masks (traced columns of
+        # the one-hot so replay re-evaluates them on rebound species buffers).
         e_atoms = None
         for s in range(S):
-            mask = ad.Tensor((species == s).astype(np.float64))
+            mask = node_onehot[:, s]
             e_s = self.nets[s](feats).squeeze(-1) * mask
             e_atoms = e_s if e_atoms is None else e_atoms + e_s
         return self.scale_shift(e_atoms, species)

@@ -17,7 +17,6 @@ shifted-potential limit at the cutoff.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -57,27 +56,30 @@ class WolfCoulomb(Potential):
             _erfc(alpha * cutoff) / (2.0 * cutoff) + alpha / np.sqrt(np.pi)
         )
 
-    def atomic_energies(self, positions, species, nl: NeighborList):
-        species = np.asarray(species)
-        n_atoms = positions.shape[0]
-        q = self.charges[species]
-        # Self-interaction correction (charge neutralization at the cutoff).
-        e_self = -COULOMB_EV_A * self._self_term * q * q
-        if nl.n_edges == 0:
-            return ad.Tensor(e_self)
+    def _empty_energies(self, positions, species):
+        q = self.charges[np.asarray(species)]
+        return ad.Tensor(-COULOMB_EV_A * self._self_term * q * q)
 
-        positions = ad.astensor(positions)
-        i_idx, j_idx = nl.edge_index
-        disp = ad.gather(positions, j_idx) + ad.Tensor(nl.shifts) - ad.gather(
+    def traced_energies(self, positions, species, inputs: dict):
+        n_atoms = positions.shape[0]
+        i_idx, j_idx = inputs["i_idx"], inputs["j_idx"]
+        q_n = ad.gather(ad.Tensor(self.charges), species)
+        # Self-interaction correction (charge neutralization at the cutoff).
+        e_self = (-COULOMB_EV_A * self._self_term) * q_n * q_n
+
+        disp = ad.gather(positions, j_idx) + ad.astensor(inputs["shifts"]) - ad.gather(
             positions, i_idx
         )
         r = ad.safe_norm(disp, axis=-1)
-        qq = ad.Tensor(COULOMB_EV_A * q[i_idx] * q[j_idx])
+        qi = ad.gather(q_n, i_idx)
+        qj = ad.gather(q_n, j_idx)
+        qq = COULOMB_EV_A * qi * qj
         screened = ad.erfc(r * self.alpha) / r - self._shift
-        # Mask pairs beyond the cutoff (list may carry a Verlet skin).
-        inside = ad.Tensor((r.data < self.cutoff).astype(np.float64))
+        # Mask pairs beyond the cutoff (list may carry a Verlet skin);
+        # recorded op so replay re-evaluates it on rebound distances.
+        inside = ad.less(r, self.cutoff)
         e_edge = qq * screened * inside * 0.5
-        return ad.scatter_add(e_edge, i_idx, n_atoms) + ad.Tensor(e_self)
+        return ad.scatter_add(e_edge, i_idx, n_atoms) + e_self
 
 
 class CompositePotential(Potential):

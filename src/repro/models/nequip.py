@@ -15,14 +15,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from .. import autodiff as ad
-from ..equivariant import FusedTensorProduct, Irrep, StridedLayout
+from ..equivariant import FusedTensorProduct, StridedLayout
 from ..equivariant.spherical_harmonics import spherical_harmonics
-from ..md.neighborlist import NeighborList
 from ..nn.mlp import MLP, Linear
 from ..nn.module import ParameterList
 from ..nn.radial import BesselBasis
@@ -93,16 +92,12 @@ class NequIPModel(Potential):
         """Radius an atom's energy depends on: n_layers × r_cut (§IV-A)."""
         return self.config.n_layers * self.config.r_cut
 
-    def atomic_energies(self, positions, species, nl: NeighborList):
+    def traced_energies(self, positions, species, inputs: dict):
         cfg = self.config
-        species = np.asarray(species)
         n_atoms = positions.shape[0]
-        i_idx, j_idx = nl.edge_index
-        if nl.n_edges == 0:
-            return ad.Tensor(np.zeros(n_atoms))
+        i_idx, j_idx = inputs["i_idx"], inputs["j_idx"]
 
-        positions = ad.astensor(positions)
-        disp = ad.gather(positions, j_idx) + ad.Tensor(nl.shifts) - ad.gather(
+        disp = ad.gather(positions, j_idx) + ad.astensor(inputs["shifts"]) - ad.gather(
             positions, i_idx
         )
         r = ad.safe_norm(disp, axis=-1)
@@ -111,7 +106,8 @@ class NequIPModel(Potential):
 
         # Node features: species embedding in the scalar block.
         h0 = ad.Tensor(np.zeros((n_atoms, cfg.n_features, self.node_layout.dim)))
-        emb = self.embedding(ad.Tensor(self._species_eye[species]))  # [N, F]
+        onehot = ad.gather(ad.Tensor(self._species_eye), species)  # [N, S]
+        emb = self.embedding(onehot)  # [N, F]
         scalar_col = self.node_layout.scalar_slice.start
         h = _set_scalar_block(h0, emb, scalar_col)
 

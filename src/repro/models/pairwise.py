@@ -8,7 +8,6 @@ potential that labels training data.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -45,12 +44,22 @@ class LennardJones(Potential):
         self.cutoff = float(cutoff)
         self.envelope = PolynomialCutoff(6)
 
-    def atomic_energies(self, positions, species, nl: NeighborList):
-        i, j = nl.edge_index
-        disp = ad.gather(positions, j) + ad.Tensor(nl.shifts) - ad.gather(positions, i)
+    def graph_inputs(self, species: np.ndarray, nl: NeighborList) -> dict:
+        inputs = super().graph_inputs(species, nl)
+        i_idx, j_idx = nl.edge_index
+        S = self.eps_table.shape[0]
+        inputs["pair_idx"] = species[i_idx] * S + species[j_idx]
+        return inputs
+
+    def traced_energies(self, positions, species, inputs: dict):
+        i, j = inputs["i_idx"], inputs["j_idx"]
+        pair_idx = inputs["pair_idx"]
+        disp = ad.gather(positions, j) + ad.astensor(inputs["shifts"]) - ad.gather(
+            positions, i
+        )
         r = ad.safe_norm(disp, axis=-1)
-        eps = ad.Tensor(self.eps_table[species[i], species[j]])
-        sig = ad.Tensor(self.sigma_table[species[i], species[j]])
+        eps = ad.gather(ad.Tensor(self.eps_table.reshape(-1)), pair_idx)
+        sig = ad.gather(ad.Tensor(self.sigma_table.reshape(-1)), pair_idx)
         x6 = (sig / r) ** 6
         e_pair = eps * (x6 * x6 - x6) * 4.0
         u = self.envelope(r * (1.0 / self.cutoff))
@@ -81,13 +90,23 @@ class MorsePotential(Potential):
         self.cutoff = float(cutoff)
         self.envelope = PolynomialCutoff(6)
 
-    def atomic_energies(self, positions, species, nl: NeighborList):
-        i, j = nl.edge_index
-        disp = ad.gather(positions, j) + ad.Tensor(nl.shifts) - ad.gather(positions, i)
+    def graph_inputs(self, species: np.ndarray, nl: NeighborList) -> dict:
+        inputs = super().graph_inputs(species, nl)
+        i_idx, j_idx = nl.edge_index
+        S = self.D.shape[0]
+        inputs["pair_idx"] = species[i_idx] * S + species[j_idx]
+        return inputs
+
+    def traced_energies(self, positions, species, inputs: dict):
+        i, j = inputs["i_idx"], inputs["j_idx"]
+        pair_idx = inputs["pair_idx"]
+        disp = ad.gather(positions, j) + ad.astensor(inputs["shifts"]) - ad.gather(
+            positions, i
+        )
         r = ad.safe_norm(disp, axis=-1)
-        D = ad.Tensor(self.D[species[i], species[j]])
-        a = ad.Tensor(self.a[species[i], species[j]])
-        r0 = ad.Tensor(self.r0[species[i], species[j]])
+        D = ad.gather(ad.Tensor(self.D.reshape(-1)), pair_idx)
+        a = ad.gather(ad.Tensor(self.a.reshape(-1)), pair_idx)
+        r0 = ad.gather(ad.Tensor(self.r0.reshape(-1)), pair_idx)
         decay = ad.exp(-(a * (r - r0)))
         e_pair = D * ((1.0 - decay) ** 2 - 1.0)
         u = self.envelope(r * (1.0 / self.cutoff))

@@ -11,7 +11,6 @@ from __future__ import annotations
 import numpy as np
 
 from .. import autodiff as ad
-from ..md.neighborlist import NeighborList
 from ..nn.radial import PolynomialCutoff
 from .base import Potential
 
@@ -43,15 +42,18 @@ class ZBLRepulsion(Potential):
         self.cutoff = float(cutoff)
         self.envelope = PolynomialCutoff(6)
 
-    def atomic_energies(self, positions, species, nl: NeighborList):
-        i, j = nl.edge_index
-        disp = ad.gather(positions, j) + ad.Tensor(nl.shifts) - ad.gather(positions, i)
+    def traced_energies(self, positions, species, inputs: dict):
+        i, j = inputs["i_idx"], inputs["j_idx"]
+        disp = ad.gather(positions, j) + ad.astensor(inputs["shifts"]) - ad.gather(
+            positions, i
+        )
         r = ad.safe_norm(disp, axis=-1)
-        zi = self.atomic_numbers[species[i]]
-        zj = self.atomic_numbers[species[j]]
+        z = ad.gather(ad.Tensor(self.atomic_numbers), species)
+        zi = ad.gather(z, i)
+        zj = ad.gather(z, j)
         a = 0.46850 / (zi**0.23 + zj**0.23)
-        pref = ad.Tensor(COULOMB_EV_A * zi * zj)
-        x = r / ad.Tensor(a)
+        pref = COULOMB_EV_A * zi * zj
+        x = r / a
         phi = None
         for c, alpha in zip(_PHI_C, _PHI_A):
             term = ad.exp(x * (-alpha)) * c

@@ -60,6 +60,38 @@ class Module:
         for p in self.parameters():
             p.grad = None
 
+    def freezable_modules(self) -> List:
+        """All reachable objects exposing ``freeze()``/``unfreeze()``.
+
+        Recursively walks the same attribute structures as parameter
+        discovery (child modules, ParameterLists, containers), so tensor
+        products are found wherever they are stored — not just under a
+        conventionally named attribute.
+        """
+        out: List = []
+        seen: set = set()
+
+        def visit(value) -> None:
+            if id(value) in seen:
+                return
+            seen.add(id(value))
+            if callable(getattr(value, "freeze", None)) and callable(
+                getattr(value, "unfreeze", None)
+            ):
+                out.append(value)
+            if isinstance(value, Module):
+                for item in vars(value).values():
+                    visit(item)
+            elif isinstance(value, (ParameterList, list, tuple)):
+                for item in value:
+                    visit(item)
+            elif isinstance(value, dict):
+                for item in value.values():
+                    visit(item)
+
+        visit(self)
+        return out
+
     def state_dict(self) -> Dict[str, np.ndarray]:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 

@@ -7,7 +7,7 @@ final model (§VI-D).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Sequence
 
 import numpy as np
 

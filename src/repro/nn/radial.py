@@ -14,7 +14,6 @@ while C→H keeps 4.0 Å).
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 
@@ -40,7 +39,9 @@ class PolynomialCutoff:
         x = ad.astensor(x)
         p = self.p
         poly = 1.0 - self._c0 * x**p + self._c1 * x ** (p + 1) - self._c2 * x ** (p + 2)
-        inside = x.data < 1.0
+        # Recorded mask op (not a baked array) so compiled replay re-evaluates
+        # the inside-cutoff condition on rebound distances.
+        inside = ad.less(x, 1.0)
         return ad.where(inside, poly, ad.Tensor(np.zeros_like(poly.data)))
 
     def numpy(self, x: np.ndarray) -> np.ndarray:
@@ -117,17 +118,19 @@ class PerPairBesselBasis(Module):
     def __call__(self, r, pair_idx: np.ndarray):
         r = ad.astensor(r)
         pair_idx = np.asarray(pair_idx)
-        rc = self._flat_cutoffs[pair_idx]  # [E]
-        x = r / ad.Tensor(rc)
+        # Traced gathers (not numpy fancy indexing) so a captured plan
+        # follows the current pair indices when the buffers are rebound.
+        rc = ad.gather(ad.Tensor(self._flat_cutoffs), pair_idx)  # [E]
+        x = r / rc
         freqs = ad.gather(self.frequencies, pair_idx)  # [E, B]
         arg = x.expand_dims(-1) * freqs
         basis = ad.sin(arg) / (x.expand_dims(-1) + 1e-12)
         u = self.envelope(x).expand_dims(-1)
-        pref = np.sqrt(2.0 / rc) / rc
-        return basis * u * ad.Tensor(pref[:, None])
+        pref = ad.sqrt(2.0 / rc) / rc
+        return basis * u * pref.expand_dims(-1)
 
     def envelope_of(self, r, pair_idx: np.ndarray):
         """Just the per-pair envelope u(r / r_c(pair)); multiplies E_ij."""
         r = ad.astensor(r)
-        rc = self._flat_cutoffs[np.asarray(pair_idx)]
-        return self.envelope(r / ad.Tensor(rc))
+        rc = ad.gather(ad.Tensor(self._flat_cutoffs), np.asarray(pair_idx))
+        return self.envelope(r / rc)

@@ -29,7 +29,7 @@ import numpy as np
 
 from .. import autodiff as ad
 from ..md.integrators import VelocityVerlet
-from ..md.neighborlist import NeighborList, filter_by_pair_cutoffs
+from ..md.neighborlist import filter_by_pair_cutoffs
 from ..md.simulation import MDResult
 from ..md.system import System
 from .comm import VirtualCluster
@@ -61,16 +61,36 @@ class ParallelForceEvaluator:
         grid: ProcessGrid,
         cluster: Optional[VirtualCluster] = None,
         skin: float = 0.0,
+        engine: str = "eager",
     ) -> None:
+        if engine not in ("eager", "compiled"):
+            raise ValueError(f"unknown engine {engine!r} (use 'eager' or 'compiled')")
         self.potential = potential
         self.grid = grid
         self.cluster = cluster or VirtualCluster(grid.n_ranks)
         self.skin = float(skin)
+        self.engine = engine
+        # One compiled evaluator per rank: each rank captures at its own
+        # shard capacity (atoms + edges fluctuate independently per domain),
+        # so a migration on one rank never forces recapture on another.
+        self._compiled: dict = {}
         self.decomp = DomainDecomposition(
             grid, potential.cutoff + self.skin, self.cluster
         )
         self._shards: Optional[List[RankShard]] = None
         self._ref_positions: Optional[np.ndarray] = None
+
+    def engine_stats(self) -> Optional[dict]:
+        """Aggregated per-rank capture/replay counters (None when eager)."""
+        if self.engine != "compiled":
+            return None
+        per_rank = {rank: cp.stats() for rank, cp in sorted(self._compiled.items())}
+        return {
+            "n_captures": sum(s["n_captures"] for s in per_rank.values()),
+            "n_replays": sum(s["n_replays"] for s in per_rank.values()),
+            "recaptures": sum(s["recaptures"] for s in per_rank.values()),
+            "per_rank": per_rank,
+        }
 
     # -- shard management ---------------------------------------------------
     def _needs_rebuild(self, system: System) -> bool:
@@ -127,12 +147,27 @@ class ParallelForceEvaluator:
             if shard.n_owned == 0:
                 ghost_blocks.append(np.zeros((shard.n_ghost, 3)))
                 continue
-            pos = ad.Tensor(shard.positions, requires_grad=True)
-            e_atoms = self.potential.atomic_energies(pos, shard.species, shard.nl)
-            e_owned = e_atoms[: shard.n_owned].sum()
-            e_owned.backward()
-            local_f = -pos.grad.data
-            energy += float(e_owned.data)
+            if self.engine == "compiled":
+                cp = self._compiled.get(shard.rank)
+                if cp is None:
+                    from ..engine import CompiledPotential
+
+                    cp = CompiledPotential(self.potential)
+                    self._compiled[shard.rank] = cp
+                # n_active masks the energy seed to owned-center rows, the
+                # compiled analogue of e_atoms[:n_owned].sum(); gradients on
+                # ghost rows are exactly the halo force contributions.
+                e_atoms, local_f = cp.evaluate(
+                    shard.positions, shard.species, shard.nl, n_active=shard.n_owned
+                )
+                energy += float(np.sum(e_atoms[: shard.n_owned]))
+            else:
+                pos = ad.Tensor(shard.positions, requires_grad=True)
+                e_atoms = self.potential.atomic_energies(pos, shard.species, shard.nl)
+                e_owned = e_atoms[: shard.n_owned].sum()
+                e_owned.backward()
+                local_f = -pos.grad.data
+                energy += float(e_owned.data)
             forces[shard.owned_ids] += local_f[: shard.n_owned]
             ghost_blocks.append(local_f[shard.n_owned :])
 
@@ -156,6 +191,7 @@ class ParallelSimulation:
         dt: float = 0.5,
         thermostat=None,
         skin: float = 0.4,
+        engine: str = "eager",
     ) -> None:
         if system.cell is None:
             raise ValueError("parallel MD requires a periodic cell")
@@ -166,7 +202,7 @@ class ParallelSimulation:
         self.grid = ProcessGrid.create(n_ranks, system.cell)
         self.cluster = VirtualCluster(n_ranks)
         self.evaluator = ParallelForceEvaluator(
-            potential, self.grid, self.cluster, skin=skin
+            potential, self.grid, self.cluster, skin=skin, engine=engine
         )
         self.step_count = 0
         self._forces: Optional[np.ndarray] = None

@@ -30,10 +30,9 @@ from the actual synthetic systems and measured neighbor statistics.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 
 @dataclass

@@ -8,8 +8,7 @@ periodic box and talks to its six face neighbors.
 
 from __future__ import annotations
 
-import itertools
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

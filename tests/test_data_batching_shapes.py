@@ -1,7 +1,6 @@
 """Shape/consistency tests for dataset containers and generator statistics."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

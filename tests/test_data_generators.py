@@ -22,8 +22,7 @@ from repro.data import (
     water_box,
     water_unit_cell,
 )
-from repro.data.molecules import _VALENCE
-from repro.data.reference import SPECIES, SPECIES_INDEX, default_species_params
+from repro.data.reference import SPECIES_INDEX, default_species_params
 from repro.equivariant.wigner import random_rotation
 from repro.md import System, neighbor_list
 

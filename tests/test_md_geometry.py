@@ -14,7 +14,7 @@ from repro.md import (
     radial_distribution,
     rmsd,
 )
-from repro.md.system import ACCEL_CONV, KB_EV
+from repro.md.system import ACCEL_CONV
 
 
 @pytest.fixture

@@ -9,8 +9,8 @@ import numpy as np
 import pytest
 
 import repro.autodiff as ad
-from repro.data import ReferencePotential, conformation_dataset, label_frames
-from repro.md import Cell, System, neighbor_list
+from repro.data import conformation_dataset, label_frames
+from repro.md import System, neighbor_list
 from repro.models import (
     AllegroConfig,
     AllegroModel,

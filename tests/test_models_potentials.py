@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-import repro.autodiff as ad
 from repro.equivariant.wigner import random_rotation
 from repro.md import Cell, System, neighbor_list
 from repro.models import (

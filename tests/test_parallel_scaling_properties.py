@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.data import water_box
-from repro.md import System
 from repro.models import LennardJones
 from repro.parallel import ParallelForceEvaluator, ProcessGrid
 

@@ -6,7 +6,7 @@ import pytest
 import repro.autodiff as ad
 from repro.data import water_unit_cell
 from repro.models import AllegroConfig, AllegroModel
-from repro.parallel import ClusterSpec, PerfModel, strong_scaling_curve, weak_scaling_curve
+from repro.parallel import PerfModel, strong_scaling_curve, weak_scaling_curve
 from repro.perf import (
     POLICIES,
     CachingAllocator,

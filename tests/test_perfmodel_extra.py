@@ -1,12 +1,11 @@
 """Additional performance-model properties beyond the calibration checks."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.parallel import ClusterSpec, PerfModel
-from repro.parallel.perfmodel import StepBreakdown, strong_scaling_curve
+from repro.parallel.perfmodel import strong_scaling_curve
 
 
 class TestBreakdown:

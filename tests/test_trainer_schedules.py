@@ -6,7 +6,6 @@ import pytest
 from repro.data import conformation_dataset, label_frames
 from repro.models import AllegroConfig, AllegroModel, LennardJones
 from repro.nn import TrainConfig, Trainer
-from repro.nn.training import LabeledFrame
 
 
 @pytest.fixture(scope="module")

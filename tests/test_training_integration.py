@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import ReferencePotential, conformation_dataset, label_frames
+from repro.data import conformation_dataset, label_frames
 from repro.models import (
     AllegroConfig,
     AllegroModel,

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Serving quickstart: a batched force-evaluation service in-process.
+
+``repro.serve`` turns a compiled potential into a concurrent service:
+requests for single structures are admitted through a bounded queue,
+coalesced into padded batches by the micro-batcher, routed through a
+capacity-bucketed plan cache (so heterogeneous sizes still replay a
+captured plan), and evaluated by a worker pool — with results bitwise
+identical to direct eager evaluation.
+
+This script registers two models, serves a mixed-size request stream,
+verifies exactness against the eager path, and prints the serving
+metrics (throughput, latency percentiles, replay rate).
+
+Run:  python examples/serve_quickstart.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.md import Cell, System, neighbor_list
+from repro.models import LennardJones, MorsePotential
+from repro.serve import Client, ForceServer, Metrics, ModelRegistry
+
+
+def make_system(n, seed, box=8.0):
+    rng = np.random.default_rng(seed)
+    return System(
+        rng.uniform(0, box, size=(n, 3)),
+        rng.integers(0, 2, size=n),
+        Cell.cubic(box),
+    )
+
+
+def main() -> None:
+    registry = ModelRegistry()
+    lj = LennardJones(epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2)
+    registry.register("lj", lj)
+    registry.register(
+        "morse",
+        MorsePotential(
+            np.full((2, 2), 0.4), np.full((2, 2), 1.6), np.full((2, 2), 1.4), cutoff=3.5
+        ),
+    )
+
+    # A mixed-size stream: the bucketed plan cache maps every size onto a
+    # small ladder of padded capacities, so replays dominate after warmup.
+    systems = [make_system(10 + (k % 10), seed=k) for k in range(48)]
+
+    print("1. serving a 48-request mixed-size stream (10-19 atoms) ...")
+    with ForceServer(registry, n_workers=2, max_batch=8) as server:
+        client = Client(server, model="lj")
+        client.evaluate_many(systems)  # warmup: capture + bucket discovery
+        server.evaluate(systems[0], model="morse")
+        server.metrics = Metrics()  # report steady-state numbers only
+        t0 = time.perf_counter()
+        results = client.evaluate_many(systems)
+        elapsed = time.perf_counter() - t0
+
+        print("2. routing a request to a second registered model ...")
+        e_morse, _ = server.evaluate(systems[0], model="morse")
+
+        stats = server.stats()
+
+    print(f"   {len(systems) / elapsed:.0f} requests/s warm "
+          f"(batch occupancy {stats['batcher']['mean_occupancy']:.1f}, "
+          f"plan replay rate {stats['replay_rate']:.1%})")
+    latency = stats["histograms"]["latency_s"]
+    print(f"   latency p50 {latency['p50'] * 1e3:.2f} ms, "
+          f"p99 {latency['p99'] * 1e3:.2f} ms")
+    print(f"   morse energy for request 0: {e_morse:.6f} eV")
+
+    print("3. verifying served results are bitwise eager ...")
+    exact = True
+    for system, (e, f) in zip(systems, results):
+        e0, f0 = lj.energy_and_forces(system, neighbor_list(system, lj.cutoff))
+        exact &= (e == e0) and np.array_equal(f, f0)
+    print(f"   all 48 served results bitwise identical to eager: {exact}")
+    if not exact:
+        raise SystemExit("serving changed the physics — this is a bug")
+    print("   (batching concatenates disjoint graphs and every kernel is")
+    print("    row-local, so the service changes throughput, not physics)")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,10 @@ perf
 data
     Synthetic water/ice/molecule/protein generators and the many-body
     analytic reference potential that labels them (DFT substitute).
+serve
+    Batched force-evaluation service over the compiled engine: model
+    registry, capacity-bucketed plan cache, micro-batching, worker pool
+    with backpressure, and serving metrics.
 """
 
 __version__ = "0.1.0"
@@ -39,4 +43,5 @@ __all__ = [
     "parallel",
     "perf",
     "data",
+    "serve",
 ]

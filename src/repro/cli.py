@@ -4,8 +4,14 @@ A JSON config fully describes a run — system, potential, thermodynamics,
 output — so simulations are reproducible artifacts rather than ad-hoc
 scripts (the role LAMMPS input files play in the paper's workflow):
 
-    python -m repro.cli run config.json
+    python -m repro.cli run config.json [--stats-json stats.json]
     python -m repro.cli example-config > config.json
+
+A second subcommand drives the batched force-evaluation service
+(:mod:`repro.serve`) with a synthetic mixed-size request stream::
+
+    python -m repro.cli serve serve.json [--stats-json metrics.json]
+    python -m repro.cli example-serve-config > serve.json
 
 Config schema (all lengths Å, times fs, temperatures K)::
 
@@ -48,6 +54,26 @@ EXAMPLE_CONFIG = {
         "minimize_first": False,
     },
     "output": {"trajectory": None, "every": 10},
+}
+
+EXAMPLE_SERVE_CONFIG = {
+    "potential": {"kind": "lennard_jones", "epsilon": 0.8, "sigma": 1.1, "cutoff": 3.0},
+    "serve": {
+        "n_workers": 2,
+        "max_batch": 8,
+        "max_queue": 64,
+        "batch_wait": 0.002,
+        "engine": "compiled",
+    },
+    "workload": {
+        "n_requests": 32,
+        "seed": 0,
+        "systems": [
+            {"kind": "molecule", "n_heavy": 3},
+            {"kind": "molecule", "n_heavy": 4},
+            {"kind": "molecule", "n_heavy": 5},
+        ],
+    },
 }
 
 
@@ -98,7 +124,12 @@ def build_potential(spec: dict):
     raise ValueError(f"unknown potential kind {kind!r}")
 
 
-def run_config(config: dict, quiet: bool = False):
+def write_stats_json(path, payload: dict) -> None:
+    """Write a machine-readable stats payload (the ``--stats-json`` target)."""
+    Path(path).write_text(json.dumps(payload, indent=2, default=float) + "\n")
+
+
+def run_config(config: dict, quiet: bool = False, stats_json=None):
     """Execute one configured MD run; returns the MDResult."""
     from .md import (
         BerendsenThermostat,
@@ -160,7 +191,84 @@ def run_config(config: dict, quiet: bool = False):
             f"engine: {stats['n_captures']} captures, {stats['n_replays']} replays,"
             f" {stats['recaptures']} recaptures"
         )
+    if stats_json is not None:
+        write_stats_json(
+            stats_json,
+            {
+                "engine": md.get("engine", "eager"),
+                "n_steps": result.n_steps,
+                "timesteps_per_second": result.timesteps_per_second,
+                "engine_stats": stats,
+            },
+        )
     return result
+
+
+def serve_config(config: dict, quiet: bool = False, stats_json=None) -> dict:
+    """Run the configured serving workload; returns the server stats dict.
+
+    Builds the potential, starts a :class:`repro.serve.ForceServer`, drives
+    it with a mixed-size synthetic request stream (cycling the ``workload``
+    system specs with varying seeds), and reports throughput, latency
+    percentiles, and the plan-cache replay rate.
+    """
+    import time as _time
+
+    from .serve import Client, ForceServer
+
+    def log(msg: str) -> None:
+        if not quiet:
+            print(msg)
+
+    potential = build_potential(config["potential"])
+    serve = config.get("serve", {})
+    workload = config.get("workload", {})
+    specs = workload.get("systems") or [{"kind": "molecule", "n_heavy": 4}]
+    n_requests = int(workload.get("n_requests", 32))
+    seed = int(workload.get("seed", 0))
+    systems = []
+    for k in range(n_requests):
+        spec = dict(specs[k % len(specs)])
+        spec.setdefault("seed", seed + k)
+        systems.append(build_system(spec))
+
+    server = ForceServer(
+        potential,
+        n_workers=int(serve.get("n_workers", 2)),
+        max_queue=int(serve.get("max_queue", 64)),
+        max_batch=int(serve.get("max_batch", 8)),
+        batch_wait=float(serve.get("batch_wait", 2e-3)),
+        engine=serve.get("engine", "compiled"),
+        default_timeout=serve.get("timeout"),
+    )
+    with server:
+        client = Client(server)
+        log(
+            f"serving {n_requests} requests "
+            f"({min(s.n_atoms for s in systems)}-{max(s.n_atoms for s in systems)}"
+            f" atoms) on {server.engine} engine ..."
+        )
+        t0 = _time.perf_counter()
+        client.evaluate_many(systems)
+        elapsed = _time.perf_counter() - t0
+        server.drain()
+        stats = server.stats()
+
+    latency = stats["histograms"].get("latency_s", {})
+    log(
+        f"{n_requests / elapsed:.1f} requests/s; latency p50 "
+        f"{latency.get('p50', 0.0) * 1e3:.2f} ms, p99 "
+        f"{latency.get('p99', 0.0) * 1e3:.2f} ms"
+    )
+    log(
+        f"batches: {stats['counters'].get('batches', 0)} "
+        f"(mean occupancy {stats['batcher']['mean_occupancy']:.1f}); "
+        f"plan replay rate {stats['replay_rate']:.1%}"
+    )
+    stats["requests_per_second"] = n_requests / elapsed
+    if stats_json is not None:
+        write_stats_json(stats_json, stats)
+    return stats
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -171,15 +279,42 @@ def main(argv: Optional[list] = None) -> int:
     run_p = sub.add_parser("run", help="execute a config")
     run_p.add_argument("config", type=Path)
     run_p.add_argument("--quiet", action="store_true")
-    sub.add_parser("example-config", help="print a starter config to stdout")
+    run_p.add_argument(
+        "--stats-json",
+        type=Path,
+        default=None,
+        help="write engine_stats() as machine-readable JSON to this path",
+    )
+    serve_p = sub.add_parser(
+        "serve", help="run a batched force-serving workload from a config"
+    )
+    serve_p.add_argument("config", type=Path)
+    serve_p.add_argument("--quiet", action="store_true")
+    serve_p.add_argument(
+        "--stats-json",
+        type=Path,
+        default=None,
+        help="write the server metrics snapshot as JSON to this path",
+    )
+    sub.add_parser("example-config", help="print a starter MD config to stdout")
+    sub.add_parser(
+        "example-serve-config", help="print a starter serving config to stdout"
+    )
 
     args = parser.parse_args(argv)
     if args.command == "example-config":
         json.dump(EXAMPLE_CONFIG, sys.stdout, indent=2)
         print()
         return 0
+    if args.command == "example-serve-config":
+        json.dump(EXAMPLE_SERVE_CONFIG, sys.stdout, indent=2)
+        print()
+        return 0
     config = json.loads(args.config.read_text())
-    run_config(config, quiet=args.quiet)
+    if args.command == "serve":
+        serve_config(config, quiet=args.quiet, stats_json=args.stats_json)
+    else:
+        run_config(config, quiet=args.quiet, stats_json=args.stats_json)
     return 0
 
 

@@ -24,6 +24,7 @@ edge arrays the ``np.add.at`` accumulation order over real edges is unchanged
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 import numpy as np
@@ -33,6 +34,34 @@ from ..perf.allocator import PaddingPolicy
 from .plan import ExecutionPlan
 
 __all__ = ["CompiledPotential"]
+
+
+class _EvalState:
+    """One private, bindable copy of the captured plan.
+
+    All mutable evaluation state — the padded input buffers and the plan's
+    compute buffers — lives here, so two states can bind and execute
+    concurrently without sharing a single array.  States are checked out of
+    a pool with ``list.pop()`` and returned with ``list.append()`` (both
+    atomic under the GIL), which is what keeps replays lock-free.
+    """
+
+    __slots__ = (
+        "plan",
+        "epoch",
+        "cap_atoms",
+        "cap_pairs",
+        "pos_buf",
+        "species_buf",
+        "mask_buf",
+        "input_bufs",
+        "pad_shift",
+        "n_replays",
+    )
+
+    def __init__(self) -> None:
+        self.plan: Optional[ExecutionPlan] = None
+        self.n_replays = 0
 
 
 class CompiledPotential:
@@ -86,10 +115,21 @@ class CompiledPotential:
         if pair_capacity is not None:
             self.pair_policy._capacity = int(pair_capacity)
         self.n_captures = 0
-        self.n_replays = 0
-        self._plan: Optional[ExecutionPlan] = None
-        self._cap_atoms = 0
-        self._cap_pairs = 0
+        # Concurrency model: capture (allocate + record) is guarded by
+        # ``_capture_lock`` so a burst of concurrent cold-start or overflow
+        # callers performs exactly one capture.  Replays are lock-free:
+        # each caller checks a private _EvalState out of ``_pool`` (atomic
+        # ``list.pop``), and pool misses clone the published ``_template``
+        # — cloning reads only shapes and immutable constants, so it is
+        # safe even while another thread executes the template.  ``_epoch``
+        # retires every outstanding state when a capture or ``invalidate``
+        # supersedes it.
+        self._capture_lock = threading.Lock()
+        self._template: Optional[_EvalState] = None
+        self._pool: list = []
+        self._states: list = []  # every state ever built (counter aggregation)
+        self._n_templates = 0
+        self._epoch = 0
 
     # -- proxies so a CompiledPotential drops into Simulation -----------------
     @property
@@ -114,20 +154,44 @@ class CompiledPotential:
         return max(0, self.n_captures - 1)
 
     @property
+    def n_replays(self) -> int:
+        """Total replays across all evaluation states.
+
+        Each state's counter is touched only by its checkout owner, so the
+        sum is exact whenever no evaluation is in flight.
+        """
+        return sum(s.n_replays for s in list(self._states))
+
+    @property
+    def n_clones(self) -> int:
+        """Evaluation states cloned for concurrent callers (not captures)."""
+        return len(self._states) - self._n_templates
+
+    @property
     def capacity_atoms(self) -> int:
-        return self._cap_atoms
+        t = self._template
+        return 0 if t is None else t.cap_atoms
 
     @property
     def capacity_pairs(self) -> int:
-        return self._cap_pairs
+        t = self._template
+        return 0 if t is None else t.cap_pairs
 
     @property
     def plan(self) -> Optional[ExecutionPlan]:
-        return self._plan
+        t = self._template
+        return None if t is None else t.plan
 
     def invalidate(self) -> None:
-        """Drop the captured plan (call after parameter updates)."""
-        self._plan = None
+        """Drop the captured plan (call after parameter updates).
+
+        Not safe to call concurrently with :meth:`evaluate` — invalidate
+        between evaluations, as after a training step.
+        """
+        with self._capture_lock:
+            self._epoch += 1  # retires every outstanding state
+            self._template = None
+            self._pool.clear()
 
     def stats(self) -> dict:
         """Capture/replay counters and arena statistics."""
@@ -135,14 +199,16 @@ class CompiledPotential:
             "n_captures": self.n_captures,
             "recaptures": self.recaptures,
             "n_replays": self.n_replays,
-            "capacity_atoms": self._cap_atoms,
-            "capacity_pairs": self._cap_pairs,
+            "n_clones": self.n_clones,
+            "capacity_atoms": self.capacity_atoms,
+            "capacity_pairs": self.capacity_pairs,
         }
-        if self._plan is not None:
-            out["plan_steps"] = self._plan.n_steps
-            out["arena_buffers"] = self._plan.arena.n_buffers
-            out["arena_bytes"] = self._plan.arena.total_bytes
-            out["arena_reuses"] = self._plan.arena.n_reused
+        plan = self.plan
+        if plan is not None:
+            out["plan_steps"] = plan.n_steps
+            out["arena_buffers"] = plan.arena.n_buffers
+            out["arena_bytes"] = plan.arena.total_bytes
+            out["arena_reuses"] = plan.arena.n_reused
         return out
 
     # -- evaluation -----------------------------------------------------------
@@ -151,8 +217,11 @@ class CompiledPotential:
 
         ``n_active`` restricts the force seed to the first atoms (shard
         owners in the parallel driver); defaults to all atoms.  Returns
-        ``(e_atoms, forces)`` — ``e_atoms`` is a view into a plan buffer,
-        consume it before the next call.
+        ``(e_atoms, forces)``; both are caller-owned arrays.
+
+        Safe for concurrent callers: replays run on per-caller evaluation
+        states (lock-free pool), captures are serialized so a burst of
+        overflow callers re-captures exactly once.
         """
         positions = np.asarray(positions, dtype=np.float64)
         species = np.asarray(species)
@@ -167,31 +236,57 @@ class CompiledPotential:
 
         inputs = self.potential.graph_inputs(species, nl)
         n_edges = int(nl.n_edges)
+        state = self._checkout(n, n_edges, positions, species, inputs, n_act)
+        try:
+            self._bind(state, positions, species, inputs, n_edges, n_act)
+            e_buf, g_buf = state.plan.execute()
+            state.n_replays += 1
+            # Copy the energy slice: the state goes back to the pool below
+            # and another caller may overwrite its buffers.  Forces are
+            # already a fresh array (the negation allocates).
+            return e_buf[:n].copy(), -g_buf[:n]
+        finally:
+            self._pool.append(state)
+
+    def _checkout(self, n, n_edges, positions, species, inputs, n_act) -> _EvalState:
+        """Acquire a private evaluation state fitting (n, n_edges).
+
+        Fast path: pop a pooled state (atomic, lock-free), discarding any
+        retired by a newer epoch or too small.  Pool miss: clone the
+        published template without locking — cloning reads only shapes and
+        shared constants.  Only when no usable template exists does the
+        caller take the capture lock, and exactly one of a concurrent
+        burst records the plan.
+        """
+        while True:
+            try:
+                state = self._pool.pop()
+            except IndexError:
+                break
+            if self._state_fits(state, n, n_edges):
+                return state
+            # Stale epoch or insufficient capacity: drop it for the GC.
+        template = self._template
+        if template is not None and self._state_fits(template, n, n_edges):
+            return self._clone(template)
+        with self._capture_lock:
+            template = self._template
+            if template is None or not self._state_fits(template, n, n_edges):
+                if self.exact_fit:
+                    self.atom_policy._capacity = 0
+                    self.pair_policy._capacity = 0
+                return self._capture(n, n_edges, positions, species, inputs, n_act)
+        # Lost the race to a capturing winner: its fresh template fits.
+        return self._clone(template)
+
+    def _state_fits(self, state: _EvalState, n: int, n_edges: int) -> bool:
+        if state.epoch != self._epoch:
+            return False
         if self.exact_fit:
             # Unpadded baseline: buffer shapes equal the inputs, so any size
             # change is a new "shape" and re-captures (Fig. 5, no padding).
-            need_capture = (
-                self._plan is None
-                or n + 1 != self._cap_atoms
-                or n_edges != self._cap_pairs
-            )
-        else:
-            need_capture = (
-                self._plan is None
-                or n + 1 > self._cap_atoms
-                or n_edges > self._cap_pairs
-            )
-        if need_capture:
-            if self.exact_fit:
-                self.atom_policy._capacity = 0
-                self.pair_policy._capacity = 0
-            self._allocate_buffers(n, n_edges, species, inputs)
-        self._bind(positions, species, inputs, n_edges, n_act)
-        if need_capture:
-            self._capture()
-        e_buf, g_buf = self._plan.execute()
-        self.n_replays += 1
-        return e_buf[:n], -g_buf[:n]
+            return n + 1 == state.cap_atoms and n_edges == state.cap_pairs
+        return n + 1 <= state.cap_atoms and n_edges <= state.cap_pairs
 
     def energy_and_forces(self, system, nl=None):
         """Drop-in for :meth:`Potential.energy_and_forces` (compiled path)."""
@@ -201,14 +296,15 @@ class CompiledPotential:
         return float(np.sum(e_atoms)), forces
 
     # -- internals ------------------------------------------------------------
-    def _allocate_buffers(self, n: int, n_edges: int, species, inputs) -> None:
+    def _allocate_state(self, n: int, n_edges: int, species, inputs) -> _EvalState:
+        state = _EvalState()
         cap_a = self.atom_policy.padded_size(n + 1)
         cap_e = self.pair_policy.padded_size(max(n_edges, 1))
-        self._cap_atoms, self._cap_pairs = cap_a, cap_e
-        self._pos_buf = np.zeros((cap_a, 3))
-        self._species_buf = np.zeros(cap_a, dtype=np.asarray(species).dtype)
-        self._mask_buf = np.zeros(cap_a)
-        self._input_bufs = {}
+        state.cap_atoms, state.cap_pairs = cap_a, cap_e
+        state.pos_buf = np.zeros((cap_a, 3))
+        state.species_buf = np.zeros(cap_a, dtype=np.asarray(species).dtype)
+        state.mask_buf = np.zeros(cap_a)
+        state.input_bufs = {}
         for key, arr in inputs.items():
             arr = np.asarray(arr)
             if arr.shape[:1] != (n_edges,):
@@ -216,41 +312,83 @@ class CompiledPotential:
                     f"graph_inputs[{key!r}] must have leading dim n_edges "
                     f"({n_edges}), got shape {arr.shape}"
                 )
-            self._input_bufs[key] = np.zeros((cap_e,) + arr.shape[1:], arr.dtype)
-        self._pad_shift = np.array([self.potential.cutoff, 0.0, 0.0])
+            state.input_bufs[key] = np.zeros((cap_e,) + arr.shape[1:], arr.dtype)
+        state.pad_shift = np.array([self.potential.cutoff, 0.0, 0.0])
+        return state
 
-    def _bind(self, positions, species, inputs, n_edges: int, n_active: int) -> None:
+    def _bind(
+        self, state: _EvalState, positions, species, inputs, n_edges: int,
+        n_active: int,
+    ) -> None:
         n = species.shape[0]
-        pad_atom = self._cap_atoms - 1
-        self._pos_buf[:n] = positions
-        self._pos_buf[n:] = 0.0
-        self._species_buf[:n] = species
-        self._species_buf[n:] = 0
-        self._mask_buf[:n_active] = 1.0
-        self._mask_buf[n_active:] = 0.0
-        for key, buf in self._input_bufs.items():
+        pad_atom = state.cap_atoms - 1
+        state.pos_buf[:n] = positions
+        state.pos_buf[n:] = 0.0
+        state.species_buf[:n] = species
+        state.species_buf[n:] = 0
+        state.mask_buf[:n_active] = 1.0
+        state.mask_buf[n_active:] = 0.0
+        for key, buf in state.input_bufs.items():
             arr = inputs[key]
             buf[:n_edges] = arr
             if key in ("i_idx", "j_idx"):
                 buf[n_edges:] = pad_atom
             elif key == "shifts":
-                buf[n_edges:] = self._pad_shift
+                buf[n_edges:] = state.pad_shift
             else:
                 buf[n_edges:] = 0
 
-    def _capture(self) -> None:
+    def _capture(
+        self, n, n_edges, positions, species, inputs, n_act
+    ) -> _EvalState:
+        """Record a fresh template plan (capture lock held by the caller)."""
         pot = self.potential
-        pos_t = ad.Tensor(self._pos_buf, requires_grad=True)
-        mask_t = ad.Tensor(self._mask_buf)
+        state = self._allocate_state(n, n_edges, species, inputs)
+        self._bind(state, positions, species, inputs, n_edges, n_act)
+        pos_t = ad.Tensor(state.pos_buf, requires_grad=True)
+        mask_t = ad.Tensor(state.mask_buf)
         traced_inputs = {
             key: (ad.Tensor(buf) if buf.dtype.kind == "f" else buf)
-            for key, buf in self._input_bufs.items()
+            for key, buf in state.input_bufs.items()
         }
         with pot.inference_mode():
             rec = ad.Recorder()
             with ad.recording(rec):
-                e_atoms = pot.traced_energies(pos_t, self._species_buf, traced_inputs)
+                e_atoms = pot.traced_energies(pos_t, state.species_buf, traced_inputs)
                 e_masked = (e_atoms * mask_t).sum()
                 (gpos,) = ad.grad(e_masked, [pos_t])
-            self._plan = ExecutionPlan(rec, [e_atoms, gpos])
+            state.plan = ExecutionPlan(rec, [e_atoms, gpos])
+        self._epoch += 1  # retires every pre-capture state, pooled or in flight
+        state.epoch = self._epoch
         self.n_captures += 1
+        self._n_templates += 1
+        self._states.append(state)
+        self._template = state
+        return state
+
+    def _clone(self, template: _EvalState) -> _EvalState:
+        """A private copy of the template for one more concurrent caller.
+
+        Reads only array shapes/dtypes and shared immutable constants, so
+        it is safe even while another thread is executing the template.
+        """
+        state = _EvalState()
+        state.epoch = template.epoch
+        state.cap_atoms, state.cap_pairs = template.cap_atoms, template.cap_pairs
+        state.pos_buf = np.empty_like(template.pos_buf)
+        state.species_buf = np.empty_like(template.species_buf)
+        state.mask_buf = np.empty_like(template.mask_buf)
+        state.input_bufs = {
+            key: np.empty_like(buf) for key, buf in template.input_bufs.items()
+        }
+        state.pad_shift = template.pad_shift
+        remap = {
+            id(template.pos_buf): state.pos_buf,
+            id(template.species_buf): state.species_buf,
+            id(template.mask_buf): state.mask_buf,
+        }
+        for key, buf in template.input_bufs.items():
+            remap[id(buf)] = state.input_bufs[key]
+        state.plan = template.plan.clone(remap)
+        self._states.append(state)
+        return state

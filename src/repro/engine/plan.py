@@ -163,6 +163,64 @@ class ExecutionPlan:
             vals[out_slot] = fn(buf, *[vals[p] for p in pslots], **static)
         return [vals[s] for s in self._out_slots]
 
+    def clone(self, remap: Optional[Dict[int, np.ndarray]] = None) -> "ExecutionPlan":
+        """A plan replaying the same kernel sequence on private buffers.
+
+        ``remap`` maps ``id(old_leaf_array) -> new_array`` for the input
+        buffers the caller rebinds per clone (they appear both as leaf
+        values and inside kernel ``static`` kwargs — e.g. gather/scatter
+        index arrays).  Leaves not in the map are shared with the source
+        plan: parameters and constants are only ever read during
+        :meth:`execute`.  Compute buffers are freshly allocated, not
+        copied — every compute slot is written by its kernel before any
+        step reads it, which is also why the arena hands out ``np.empty``.
+        The clone can replay concurrently with the source plan as long as
+        each plan has a single caller at a time.
+        """
+        remap = remap or {}
+        fresh: Dict[int, np.ndarray] = {}
+
+        def dup_buffer(buf: Optional[np.ndarray]) -> Optional[np.ndarray]:
+            # Keyed by id so arena buffer *sharing* between steps (a freed
+            # buffer reused by a later step) is reproduced in the clone —
+            # the liveness schedule depends on that aliasing pattern.
+            if buf is None:
+                return None
+            out = fresh.get(id(buf))
+            if out is None:
+                out = np.empty_like(buf)
+                fresh[id(buf)] = out
+            return out
+
+        def dup_static(value):
+            if isinstance(value, np.ndarray):
+                return remap.get(id(value), value)
+            if isinstance(value, tuple):
+                return tuple(dup_static(v) for v in value)
+            return value
+
+        new = object.__new__(ExecutionPlan)
+        new._steps = [
+            (
+                fn,
+                dup_buffer(buf),
+                out_slot,
+                pslots,
+                {k: dup_static(v) for k, v in static.items()},
+            )
+            for fn, buf, out_slot, pslots, static in self._steps
+        ]
+        new.arena = self.arena  # capture-time stats; clone buffers are private
+        new.n_steps = self.n_steps
+        new.n_leaves = self.n_leaves
+        new._out_slots = list(self._out_slots)
+        new._leaf_tensors = self._leaf_tensors
+        new._vals = [
+            remap.get(id(v), v) if isinstance(v, np.ndarray) else v
+            for v in self._vals[: self.n_leaves]
+        ] + [None] * (len(self._vals) - self.n_leaves)
+        return new
+
 
 def capture(
     build: Callable[[], Sequence[Tensor]],

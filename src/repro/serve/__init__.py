@@ -1,0 +1,57 @@
+"""repro.serve — a batched force-evaluation service on the compiled engine.
+
+The paper's deployment story (§V-C) is capture-once/replay-many inference
+with padded buffers; ``repro.engine`` reproduces that for a single MD
+stream.  This package is the layer that turns the engine into a *service*
+able to take heterogeneous concurrent traffic — the serving-side scaling
+follow-up to the kernel work (cf. Tan et al. 2025, high-performance
+inference for deep equivariant potentials):
+
+* :class:`ModelRegistry` — named/versioned potentials; compiled state is
+  built lazily and LRU-evicted, identity never is.
+* :class:`PlanCache` — maps arbitrary request sizes onto a geometric
+  ladder of padded plan capacities, so replay hit-rate stays near 100%
+  across mixed-size request streams.
+* :class:`MicroBatcher` — coalesces single-structure requests into padded
+  batches under an adaptive time window; batching is bitwise-exact
+  because structure graphs stay disjoint.
+* :class:`ForceServer` / :class:`Client` — worker pool, bounded admission
+  with shed-on-overload, per-request timeouts, graceful drain, and a
+  :class:`Metrics` registry (counters, latency/queue/occupancy
+  histograms, capture-vs-replay rates, JSON export).
+
+Quickstart::
+
+    from repro.serve import ForceServer, Client
+
+    with ForceServer(model, n_workers=2, max_batch=8) as server:
+        client = Client(server)
+        energy, forces = client.evaluate(system)
+        results = client.evaluate_many(systems)   # coalesced into batches
+        print(server.stats()["replay_rate"])
+"""
+
+from .batching import ForceRequest, MicroBatcher, concatenate_structures
+from .metrics import Counter, Histogram, Metrics
+from .plancache import PlanCache, SizeClasses
+from .registry import ModelEntry, ModelRegistry, UnknownModelError
+from .server import Client, ForceServer, RequestTimeout, ServeError, ServerOverloaded
+
+__all__ = [
+    "Client",
+    "Counter",
+    "ForceRequest",
+    "ForceServer",
+    "Histogram",
+    "Metrics",
+    "MicroBatcher",
+    "ModelEntry",
+    "ModelRegistry",
+    "PlanCache",
+    "RequestTimeout",
+    "ServeError",
+    "ServerOverloaded",
+    "SizeClasses",
+    "UnknownModelError",
+    "concatenate_structures",
+]

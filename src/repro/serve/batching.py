@@ -1,0 +1,212 @@
+"""Micro-batching: coalesce single-structure requests into padded batches.
+
+Independent structures concatenated along the atom axis (edges offset
+per-structure) evaluate in one force call that is *bitwise identical* to
+evaluating each structure alone: every kernel on the path is row-local in
+the leading dimension — elementwise ops, gathers, per-edge scatter-adds,
+and the engine's fixed-block matmul whose row results depend only on the
+row itself (``autodiff.kernels._blocked_matmul``).  Batching therefore
+changes throughput, never physics, which is the property the serving tests
+pin down against direct eager evaluation.
+
+:class:`MicroBatcher` implements the coalescing policy: requests are
+grouped per model key in FIFO order, and a batch is released when it
+reaches ``max_batch`` or when its oldest request has waited out the
+current window.  The window is *adaptive*: an EWMA of inter-arrival gaps
+estimates how long filling a batch will take, so heavy traffic pays almost
+no added latency (the batch fills instantly) while trickle traffic waits
+at most ``max_wait``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..md.neighborlist import NeighborList
+
+__all__ = ["ForceRequest", "MicroBatcher", "concatenate_structures"]
+
+
+@dataclass
+class ForceRequest:
+    """One queued energy/force evaluation for a single structure."""
+
+    system: object
+    model: str
+    future: object
+    nl: Optional[NeighborList] = None
+    t_enqueue: float = 0.0
+    deadline: Optional[float] = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_atoms(self) -> int:
+        return int(self.system.n_atoms)
+
+
+def concatenate_structures(systems, neighbor_lists):
+    """Concatenate structures into one evaluation-ready super-structure.
+
+    Returns ``(positions, species, nl, offsets)`` where ``offsets`` has
+    ``len(systems) + 1`` entries: structure ``k`` owns atom rows
+    ``offsets[k]:offsets[k+1]``.  Edges are shifted by each structure's
+    atom offset so the graphs stay disjoint — no cross-structure
+    interaction exists, which is what makes batched evaluation exact.
+    """
+    if len(systems) != len(neighbor_lists):
+        raise ValueError("one neighbor list per structure required")
+    offsets = np.zeros(len(systems) + 1, dtype=np.int64)
+    for k, s in enumerate(systems):
+        offsets[k + 1] = offsets[k] + s.n_atoms
+    positions = np.concatenate([np.asarray(s.positions) for s in systems])
+    species = np.concatenate([np.asarray(s.species) for s in systems])
+    edge_index = np.concatenate(
+        [nl.edge_index + off for nl, off in zip(neighbor_lists, offsets[:-1])],
+        axis=1,
+    )
+    shifts = np.concatenate([nl.shifts for nl in neighbor_lists])
+    return positions, species, NeighborList(edge_index, shifts), offsets
+
+
+class MicroBatcher:
+    """Group pending requests into per-model batches under a time window.
+
+    Parameters
+    ----------
+    max_batch:
+        Hard cap on structures per batch (a full batch releases instantly).
+    max_wait:
+        Upper bound in seconds on how long the oldest request of a partial
+        batch may wait before release.
+    adaptive:
+        When True, the effective window is
+        ``min(max_wait, ewma_gap * (max_batch - 1))`` — the estimated time
+        to fill the batch at the observed arrival rate — so batching adds
+        negligible latency under load and bounded latency when idle.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 8,
+        max_wait: float = 2e-3,
+        adaptive: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self.adaptive = bool(adaptive)
+        self._clock = clock
+        self._cv = threading.Condition()
+        self._queues: "OrderedDict[str, deque]" = OrderedDict()
+        self._n_pending = 0
+        self._closed = False
+        self._ewma_gap: Optional[float] = None
+        self._last_arrival: Optional[float] = None
+        self.n_batches = 0
+        self.n_coalesced = 0
+
+    # -- producer side --------------------------------------------------------
+    def put(self, request: ForceRequest) -> None:
+        """Enqueue a request (raises RuntimeError after close())."""
+        now = self._clock()
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            if self._last_arrival is not None:
+                gap = max(now - self._last_arrival, 0.0)
+                self._ewma_gap = (
+                    gap if self._ewma_gap is None else 0.8 * self._ewma_gap + 0.2 * gap
+                )
+            self._last_arrival = now
+            if not request.t_enqueue:
+                request.t_enqueue = now
+            self._queues.setdefault(request.model, deque()).append(request)
+            self._n_pending += 1
+            self._cv.notify()
+
+    def window(self) -> float:
+        """Current coalescing window in seconds."""
+        if not self.adaptive or self._ewma_gap is None or self.max_batch == 1:
+            return self.max_wait if self.max_batch > 1 else 0.0
+        return min(self.max_wait, self._ewma_gap * (self.max_batch - 1))
+
+    def pending(self) -> int:
+        """Requests currently queued (all models)."""
+        return self._n_pending
+
+    # -- consumer side --------------------------------------------------------
+    def get_batch(self, timeout: Optional[float] = None) -> Optional[List[ForceRequest]]:
+        """Next batch (same model, FIFO), or None on timeout / closed-empty.
+
+        Blocks until some model's batch is *ready* — full, or its oldest
+        request older than the window — then pops up to ``max_batch``
+        requests for the model with the oldest waiting request.
+        """
+        outer = None if timeout is None else self._clock() + timeout
+        with self._cv:
+            while True:
+                now = self._clock()
+                # After close() everything pending is ready: drain promptly
+                # instead of waiting out coalescing windows.
+                window = 0.0 if self._closed else self.window()
+                best_key = None
+                best_age = -1.0
+                next_ready = None
+                for key, q in self._queues.items():
+                    if not q:
+                        continue
+                    age = now - q[0].t_enqueue
+                    if len(q) >= self.max_batch or age >= window:
+                        if age > best_age:
+                            best_key, best_age = key, age
+                    else:
+                        ready_in = window - age
+                        if next_ready is None or ready_in < next_ready:
+                            next_ready = ready_in
+                if best_key is not None:
+                    q = self._queues[best_key]
+                    batch = [q.popleft() for _ in range(min(self.max_batch, len(q)))]
+                    self._n_pending -= len(batch)
+                    self.n_batches += 1
+                    self.n_coalesced += len(batch)
+                    return batch
+                if self._closed and self._n_pending == 0:
+                    return None
+                wait = next_ready
+                if outer is not None:
+                    remaining = outer - now
+                    if remaining <= 0:
+                        return None
+                    wait = remaining if wait is None else min(wait, remaining)
+                self._cv.wait(wait)
+
+    def close(self) -> None:
+        """Stop accepting; blocked consumers drain the backlog then get None."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+
+    def stats(self) -> dict:
+        """Coalescing statistics (batches, mean occupancy, current window)."""
+        with self._cv:
+            return {
+                "n_batches": self.n_batches,
+                "n_coalesced": self.n_coalesced,
+                "mean_occupancy": (
+                    self.n_coalesced / self.n_batches if self.n_batches else 0.0
+                ),
+                "pending": self._n_pending,
+                "window_s": self.window(),
+            }

@@ -1,0 +1,186 @@
+"""Named, versioned potentials with lazily built, LRU-bounded plan caches.
+
+A serving process typically hosts several potentials at once — production
+and candidate versions of a model, plus cheap baselines — but compiled
+plans (buffer arenas, captured kernel lists) are the expensive part, not
+the weights.  The registry therefore separates identity from hot state:
+
+* every ``register()``-ed potential stays resolvable by ``"name"`` (latest
+  version) or ``"name:version"`` (pinned) for the life of the process;
+* each entry's :class:`~repro.serve.plancache.PlanCache` is created on
+  first use and counts against ``max_compiled``; exceeding the bound
+  evicts the least-recently-*used* entry's plans (its arenas and captured
+  graphs), which are transparently rebuilt if that model is used again.
+
+This is the same capture-state-is-a-cache stance as
+``CompiledPotential.invalidate()``: weights updated in place call
+:meth:`ModelRegistry.invalidate` to drop the stale plans.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from .plancache import PlanCache
+
+__all__ = ["ModelRegistry", "ModelEntry", "UnknownModelError"]
+
+
+class UnknownModelError(KeyError):
+    """Raised when a request names a model the registry does not hold."""
+
+
+class ModelEntry:
+    """One registered (name, version) with its lazily built plan cache."""
+
+    __slots__ = ("name", "version", "potential", "plan_cache", "_cache_opts")
+
+    def __init__(self, name: str, version: str, potential, cache_opts: dict) -> None:
+        self.name = name
+        self.version = version
+        self.potential = potential
+        self.plan_cache: Optional[PlanCache] = None
+        self._cache_opts = cache_opts
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}:{self.version}"
+
+    @property
+    def compiled(self) -> bool:
+        """Whether this entry currently holds live compiled state."""
+        return self.plan_cache is not None
+
+    def ensure_cache(self) -> PlanCache:
+        """The entry's plan cache, building it on first use."""
+        if self.plan_cache is None:
+            self.plan_cache = PlanCache(self.potential, **self._cache_opts)
+        return self.plan_cache
+
+    def invalidate(self) -> None:
+        """Drop compiled state (e.g. after an in-place weight update)."""
+        self.plan_cache = None
+
+
+class ModelRegistry:
+    """Resolve model keys to entries; bound the number of compiled ones.
+
+    Parameters
+    ----------
+    max_compiled:
+        How many entries may hold live compiled plans at once.  Identity is
+        never evicted — only the expensive capture state is, LRU-first.
+    plan_cache_opts:
+        Keyword arguments forwarded to each entry's :class:`PlanCache`
+        (``max_plans``, ``growth``, floors).
+    """
+
+    def __init__(
+        self, max_compiled: int = 4, plan_cache_opts: Optional[dict] = None
+    ) -> None:
+        if max_compiled < 1:
+            raise ValueError("max_compiled must be >= 1")
+        self.max_compiled = int(max_compiled)
+        self._cache_opts = dict(plan_cache_opts or {})
+        self._lock = threading.RLock()
+        self._entries: Dict[str, ModelEntry] = {}
+        self._latest: Dict[str, str] = {}
+        # LRU order over entries that currently hold compiled state.
+        self._hot: "OrderedDict[str, ModelEntry]" = OrderedDict()
+        self._default: Optional[str] = None
+        self.n_evictions = 0
+
+    def register(self, name: str, potential, version: str = "v1") -> ModelEntry:
+        """Register (or replace) ``name:version``; first model is the default."""
+        if ":" in name:
+            raise ValueError("model name must not contain ':'")
+        with self._lock:
+            entry = ModelEntry(name, str(version), potential, self._cache_opts)
+            self._entries[entry.key] = entry
+            self._latest[name] = entry.version
+            self._hot.pop(entry.key, None)  # replacing drops stale plans
+            if self._default is None:
+                self._default = name
+            return entry
+
+    @property
+    def default_model(self) -> Optional[str]:
+        """The model name used when a request does not specify one."""
+        return self._default
+
+    def resolve_key(self, key: Optional[str]) -> str:
+        """Normalize ``None`` / ``"name"`` / ``"name:version"`` to a full key."""
+        with self._lock:
+            if key is None:
+                key = self._default
+            if key is None:
+                raise UnknownModelError("registry is empty")
+            if ":" not in key:
+                version = self._latest.get(key)
+                if version is None:
+                    raise UnknownModelError(key)
+                key = f"{key}:{version}"
+            if key not in self._entries:
+                raise UnknownModelError(key)
+            return key
+
+    def get(self, key: Optional[str] = None) -> ModelEntry:
+        """The entry for ``key``, with compiled state ready and touched.
+
+        Building or touching an entry's plan cache moves it to the MRU end;
+        if more than ``max_compiled`` entries hold plans, the LRU entry's
+        plans are dropped (the entry itself stays registered).
+        """
+        with self._lock:
+            entry = self._entries[self.resolve_key(key)]
+            entry.ensure_cache()
+            self._hot[entry.key] = entry
+            self._hot.move_to_end(entry.key)
+            while len(self._hot) > self.max_compiled:
+                _, cold = self._hot.popitem(last=False)
+                cold.invalidate()
+                self.n_evictions += 1
+            return entry
+
+    def peek(self, key: Optional[str] = None) -> ModelEntry:
+        """The entry for ``key`` without building plans or touching LRU."""
+        with self._lock:
+            return self._entries[self.resolve_key(key)]
+
+    def invalidate(self, key: Optional[str] = None) -> None:
+        """Drop a model's compiled plans (call after updating its weights)."""
+        with self._lock:
+            entry = self._entries[self.resolve_key(key)]
+            entry.invalidate()
+            self._hot.pop(entry.key, None)
+
+    def names(self) -> List[str]:
+        """Registered model names (without versions)."""
+        with self._lock:
+            return sorted(self._latest)
+
+    def keys(self) -> List[str]:
+        """Every registered ``name:version`` key."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        """Registry occupancy plus per-compiled-entry plan-cache stats."""
+        with self._lock:
+            hot = list(self._hot.values())
+            out = {
+                "n_registered": len(self._entries),
+                "n_compiled": len(hot),
+                "max_compiled": self.max_compiled,
+                "evictions": self.n_evictions,
+                "default_model": self._default,
+            }
+        out["models"] = {
+            e.key: e.plan_cache.stats() for e in hot if e.plan_cache is not None
+        }
+        return out

@@ -1,0 +1,401 @@
+"""The force-evaluation service: worker pool, admission control, batching.
+
+:class:`ForceServer` is the concurrency layer around the compiled engine —
+the in-process analogue of the serving stack a production potential runs
+behind.  The dataflow per request is::
+
+    Client.submit ──▶ admission (bounded queue, shed-with-error)
+                  ──▶ MicroBatcher (per-model coalescing window)
+                  ──▶ worker pool ──▶ ModelRegistry ──▶ PlanCache bucket
+                  ──▶ CompiledPotential.evaluate (one padded batch replay)
+                  ──▶ per-structure energy/forces on each request's Future
+
+Guarantees:
+
+* **Exactness** — served energies and forces are bitwise-identical (in
+  float64) to direct eager evaluation of each structure, because batching
+  concatenates disjoint graphs and every kernel is row-local (see
+  ``serve.batching``).  Zero-edge structures short-circuit through the
+  eager path so model-specific empty-graph energies stay exact too.
+* **Backpressure** — admission beyond ``max_queue`` pending requests
+  raises :class:`ServerOverloaded` immediately (shed-with-error; the
+  caller retries or degrades, the server never builds unbounded backlog).
+* **Timeouts** — a request whose queue wait exceeds its budget fails with
+  :class:`RequestTimeout` at pickup instead of wasting a force call.
+* **Graceful drain** — :meth:`ForceServer.stop` stops admission, lets the
+  workers finish every admitted request, then joins the pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import autodiff as ad
+from ..md.neighborlist import neighbor_list
+from .batching import ForceRequest, MicroBatcher, concatenate_structures
+from .metrics import Metrics, OCCUPANCY_BUCKETS
+from .registry import ModelRegistry
+
+__all__ = ["ForceServer", "Client", "ServeError", "ServerOverloaded", "RequestTimeout"]
+
+
+class ServeError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class ServerOverloaded(ServeError):
+    """Admission rejected: the bounded request queue is full (shed)."""
+
+
+class RequestTimeout(ServeError):
+    """The request waited in queue past its deadline and was dropped."""
+
+
+def _build_nl(potential, system):
+    """Model-prepared neighbor list when available, plain cutoff list else."""
+    prepare = getattr(potential, "prepare_neighbors", None)
+    if prepare is not None:
+        return prepare(system)
+    return neighbor_list(system, potential.cutoff)
+
+
+class ForceServer:
+    """Concurrent batched energy/force evaluation over registered models.
+
+    Parameters
+    ----------
+    models:
+        A :class:`ModelRegistry`, or a single potential (auto-registered as
+        ``"default"``).
+    n_workers:
+        Worker threads.  Distinct models / size buckets evaluate in
+        parallel; one bucket's plan is single-flight (its entry lock).
+    max_queue:
+        Pending-request bound; admission beyond it sheds with
+        :class:`ServerOverloaded`.
+    max_batch / batch_wait:
+        Micro-batching knobs (see :class:`~repro.serve.batching.MicroBatcher`).
+    engine:
+        ``"compiled"`` (plan-cache replay, the production path) or
+        ``"eager"`` (tape per batch; the baseline the benchmarks compare
+        against).
+    default_timeout:
+        Per-request queue-wait budget in seconds (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        models,
+        n_workers: int = 2,
+        max_queue: int = 64,
+        max_batch: int = 8,
+        batch_wait: float = 2e-3,
+        engine: str = "compiled",
+        default_timeout: Optional[float] = None,
+        metrics: Optional[Metrics] = None,
+        start: bool = True,
+    ) -> None:
+        if engine not in ("compiled", "eager"):
+            raise ValueError(f"unknown engine {engine!r} (compiled|eager)")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if isinstance(models, ModelRegistry):
+            self.registry = models
+        else:
+            self.registry = ModelRegistry()
+            self.registry.register("default", models)
+        self.engine = engine
+        self.max_queue = int(max_queue)
+        self.default_timeout = default_timeout
+        self.metrics = metrics or Metrics()
+        self._batcher = MicroBatcher(max_batch=max_batch, max_wait=batch_wait)
+        self._lock = threading.Lock()
+        self._done_cv = threading.Condition(self._lock)
+        self._accepting = False
+        self._closed = False
+        self._admitted = 0
+        self._completed = 0
+        self._workers: List[threading.Thread] = []
+        self._n_workers = int(n_workers)
+        if start:
+            self.start()
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "ForceServer":
+        """Spawn the worker pool and open admission (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise ServeError("server already stopped")
+            if self._workers:
+                return self
+            self._accepting = True
+            for k in range(self._n_workers):
+                t = threading.Thread(
+                    target=self._worker_loop, name=f"force-worker-{k}", daemon=True
+                )
+                t.start()
+                self._workers.append(t)
+        return self
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every admitted request has completed.
+
+        Returns False if ``timeout`` expired with work still in flight.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._done_cv:
+            while self._completed < self._admitted:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._done_cv.wait(remaining)
+        return True
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop admission, optionally drain the backlog, join the workers."""
+        with self._lock:
+            self._accepting = False
+        if drain:
+            self.drain(timeout=timeout)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._batcher.close()
+        for t in self._workers:
+            t.join(timeout=5.0)
+        # Anything still queued after a no-drain stop is failed, not lost.
+        leftover = self._batcher.get_batch(timeout=0.0)
+        while leftover:
+            for req in leftover:
+                self._fail(req, ServeError("server stopped"), "requests_failed")
+            leftover = self._batcher.get_batch(timeout=0.0)
+
+    def __enter__(self) -> "ForceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # -- request side ---------------------------------------------------------
+    def submit(
+        self,
+        system,
+        model: Optional[str] = None,
+        nl=None,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Queue one structure; returns a Future of ``(energy, forces)``.
+
+        Raises :class:`ServerOverloaded` when the queue is full and
+        :class:`~repro.serve.registry.UnknownModelError` for unknown model
+        keys — both synchronously, so callers can react without touching
+        the future.
+        """
+        key = self.registry.resolve_key(model)
+        now = time.monotonic()
+        timeout = self.default_timeout if timeout is None else timeout
+        with self._lock:
+            if not self._accepting:
+                raise ServeError("server is not accepting requests")
+            depth = self._batcher.pending()
+            if depth >= self.max_queue:
+                self.metrics.counter("requests_shed").inc()
+                raise ServerOverloaded(
+                    f"queue full ({depth}/{self.max_queue} pending)"
+                )
+            fut: Future = Future()
+            req = ForceRequest(
+                system=system,
+                model=key,
+                future=fut,
+                nl=nl,
+                t_enqueue=now,
+                deadline=None if timeout is None else now + float(timeout),
+            )
+            self._admitted += 1
+            self._batcher.put(req)
+        self.metrics.counter("requests_admitted").inc()
+        self.metrics.histogram("queue_depth", OCCUPANCY_BUCKETS).observe(depth + 1)
+        return fut
+
+    def evaluate(
+        self, system, model: Optional[str] = None, nl=None, timeout: Optional[float] = None
+    ) -> Tuple[float, np.ndarray]:
+        """Blocking single-structure evaluation: ``(energy, forces)``."""
+        return self.submit(system, model=model, nl=nl, timeout=timeout).result()
+
+    def evaluate_many(
+        self, systems: Sequence, model: Optional[str] = None, timeout: Optional[float] = None
+    ) -> List[Tuple[float, np.ndarray]]:
+        """Submit a burst of structures, gather results in order.
+
+        Submitting everything before gathering is what lets the
+        micro-batcher coalesce the burst into padded batches.
+        """
+        futures = [self.submit(s, model=model, timeout=timeout) for s in systems]
+        return [f.result() for f in futures]
+
+    # -- worker side ----------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._batcher.get_batch(timeout=0.05)
+            if batch is None:
+                if self._closed:
+                    return
+                continue
+            try:
+                self._process(batch)
+            except Exception as exc:  # defensive: a bug must not kill the pool
+                for req in batch:
+                    if not req.future.done():
+                        self._fail(req, exc, "requests_failed")
+
+    def _finish(self, req: ForceRequest, result) -> None:
+        req.future.set_result(result)
+        self.metrics.counter("requests_served").inc()
+        self.metrics.histogram("latency_s").observe(time.monotonic() - req.t_enqueue)
+        self._mark_completed(1)
+
+    def _fail(self, req: ForceRequest, exc: Exception, counter: str) -> None:
+        if not req.future.done():
+            req.future.set_exception(exc)
+        self.metrics.counter(counter).inc()
+        self._mark_completed(1)
+
+    def _mark_completed(self, n: int) -> None:
+        with self._done_cv:
+            self._completed += n
+            self._done_cv.notify_all()
+
+    def _process(self, batch: List[ForceRequest]) -> None:
+        now = time.monotonic()
+        for req in batch:
+            self.metrics.histogram("queue_wait_s").observe(now - req.t_enqueue)
+        live: List[ForceRequest] = []
+        for req in batch:
+            if req.deadline is not None and now > req.deadline:
+                self._fail(
+                    req,
+                    RequestTimeout(
+                        f"request waited {now - req.t_enqueue:.3f}s in queue"
+                    ),
+                    "requests_timeout",
+                )
+            else:
+                live.append(req)
+        if not live:
+            return
+        self.metrics.counter("batches").inc()
+        self.metrics.histogram("batch_occupancy", OCCUPANCY_BUCKETS).observe(len(live))
+
+        key = live[0].model
+        entry = self.registry.peek(key) if self.engine == "eager" else self.registry.get(key)
+        potential = entry.potential
+        nls = [
+            req.nl if req.nl is not None else _build_nl(potential, req.system)
+            for req in live
+        ]
+        # Zero-edge structures take the eager path: models may define a
+        # non-trivial empty-graph energy (e.g. Wolf self-interaction) that
+        # the traced graph cannot express, and exactness beats batching.
+        dense = [(req, nl) for req, nl in zip(live, nls) if nl.n_edges > 0]
+        for req, nl in zip(live, nls):
+            if nl.n_edges == 0:
+                e, f = potential.energy_and_forces(req.system, nl)
+                self._finish(req, (float(e), f))
+        if not dense:
+            return
+
+        systems = [req.system for req, _ in dense]
+        positions, species, nl_cat, offsets = concatenate_structures(
+            systems, [nl for _, nl in dense]
+        )
+        if self.engine == "compiled":
+            cache = entry.ensure_cache()
+            pentry = cache.acquire(len(species), nl_cat.n_edges)
+            with pentry.lock:
+                # evaluate() itself is safe for concurrent callers (private
+                # per-caller evaluation states); the lock makes the
+                # before/after capture-counter delta attributable to THIS
+                # batch, and funnels same-bucket batches through one state
+                # instead of growing the clone pool per worker.
+                captures_before = pentry.compiled.n_captures
+                e_atoms, forces = pentry.compiled.evaluate(positions, species, nl_cat)
+                results = self._split(e_atoms, forces, offsets)
+                captured = pentry.compiled.n_captures - captures_before
+            self.metrics.counter("plan_captures").inc(captured)
+            self.metrics.counter("plan_replays").inc(1 - captured)
+        else:
+            pos_t = ad.Tensor(positions, requires_grad=True)
+            e_atoms = potential.atomic_energies(pos_t, species, nl_cat)
+            e_atoms.sum().backward()
+            grad = pos_t.grad
+            forces = -grad.data if grad is not None else np.zeros_like(positions)
+            results = self._split(e_atoms.data, forces, offsets)
+        for (req, _), result in zip(dense, results):
+            self._finish(req, result)
+
+    @staticmethod
+    def _split(e_atoms, forces, offsets) -> List[Tuple[float, np.ndarray]]:
+        """Per-structure ``(energy, forces)`` copies from batched arrays."""
+        out = []
+        for a, b in zip(offsets[:-1], offsets[1:]):
+            out.append((float(np.sum(e_atoms[a:b])), np.array(forces[a:b])))
+        return out
+
+    # -- observability --------------------------------------------------------
+    def stats(self) -> dict:
+        """Metrics snapshot merged with registry/batcher state.
+
+        ``replay_rate`` is the capture-vs-replay split of every batch
+        evaluation since start — the serving-level Fig. 5 counter.
+        """
+        snap = self.metrics.snapshot()
+        snap["registry"] = self.registry.stats()
+        snap["batcher"] = self._batcher.stats()
+        counters = snap["counters"]
+        replays = counters.get("plan_replays", 0)
+        captures = counters.get("plan_captures", 0)
+        total = replays + captures
+        snap["replay_rate"] = replays / total if total else 0.0
+        snap["engine"] = self.engine
+        return snap
+
+
+class Client:
+    """Thin in-process client bound to a server and (optionally) a model.
+
+    The client is the integration point user code sees: ``evaluate`` for
+    one structure, ``evaluate_many`` for a burst (which the server
+    coalesces into padded batches), ``submit`` for explicit futures.
+    """
+
+    def __init__(self, server: ForceServer, model: Optional[str] = None) -> None:
+        self.server = server
+        self.model = model
+
+    def submit(self, system, nl=None, timeout: Optional[float] = None) -> Future:
+        """Queue one structure; returns a Future of ``(energy, forces)``."""
+        return self.server.submit(system, model=self.model, nl=nl, timeout=timeout)
+
+    def evaluate(
+        self, system, nl=None, timeout: Optional[float] = None
+    ) -> Tuple[float, np.ndarray]:
+        """Blocking evaluation of one structure."""
+        return self.server.evaluate(system, model=self.model, nl=nl, timeout=timeout)
+
+    def evaluate_many(
+        self, systems: Sequence, timeout: Optional[float] = None
+    ) -> List[Tuple[float, np.ndarray]]:
+        """Evaluate a burst of structures (batched server-side)."""
+        return self.server.evaluate_many(systems, model=self.model, timeout=timeout)

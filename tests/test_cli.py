@@ -5,7 +5,15 @@ import json
 import numpy as np
 import pytest
 
-from repro.cli import EXAMPLE_CONFIG, build_potential, build_system, main, run_config
+from repro.cli import (
+    EXAMPLE_CONFIG,
+    EXAMPLE_SERVE_CONFIG,
+    build_potential,
+    build_system,
+    main,
+    run_config,
+    serve_config,
+)
 
 
 class TestBuilders:
@@ -82,11 +90,45 @@ class TestRunConfig:
         assert path.read_text().startswith("81\n")
 
 
+class TestServeConfig:
+    def _config(self, **serve_overrides):
+        cfg = json.loads(json.dumps(EXAMPLE_SERVE_CONFIG))  # deep copy
+        cfg["workload"]["n_requests"] = 8
+        cfg["serve"].update(serve_overrides)
+        return cfg
+
+    def test_serve_workload_runs(self):
+        stats = serve_config(self._config(), quiet=True)
+        assert stats["counters"]["requests_served"] == 8
+        assert stats["requests_per_second"] > 0
+        assert stats["engine"] == "compiled"
+        # Everything completed: nothing shed, nothing timed out.
+        assert stats["counters"].get("requests_shed", 0) == 0
+        assert stats["counters"].get("requests_timeout", 0) == 0
+
+    def test_serve_eager_engine(self):
+        stats = serve_config(self._config(engine="eager"), quiet=True)
+        assert stats["engine"] == "eager"
+        assert stats["counters"]["requests_served"] == 8
+
+    def test_serve_stats_json_written(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        serve_config(self._config(), quiet=True, stats_json=path)
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["requests_served"] == 8
+        assert "latency_s" in payload["histograms"]
+
+
 class TestMain:
     def test_example_config_roundtrip(self, capsys):
         assert main(["example-config"]) == 0
         printed = capsys.readouterr().out
         assert json.loads(printed)["system"]["kind"] == "water"
+
+    def test_example_serve_config_roundtrip(self, capsys):
+        assert main(["example-serve-config"]) == 0
+        printed = capsys.readouterr().out
+        assert "serve" in json.loads(printed)
 
     def test_run_from_file(self, tmp_path, capsys):
         cfg = json.loads(json.dumps(EXAMPLE_CONFIG))
@@ -97,3 +139,28 @@ class TestMain:
         assert main(["run", str(path)]) == 0
         out = capsys.readouterr().out
         assert "timesteps/s" in out
+
+    def test_run_stats_json(self, tmp_path, capsys):
+        cfg = json.loads(json.dumps(EXAMPLE_CONFIG))
+        cfg["system"] = {"kind": "water", "n_grid": 3}
+        cfg["potential"] = {"kind": "lennard_jones", "cutoff": 3.0, "n_species": 4}
+        cfg["md"].update({"steps": 3, "engine": "compiled"})
+        cfg_path = tmp_path / "c.json"
+        cfg_path.write_text(json.dumps(cfg))
+        stats_path = tmp_path / "stats.json"
+        assert main(["run", str(cfg_path), "--stats-json", str(stats_path)]) == 0
+        payload = json.loads(stats_path.read_text())
+        assert payload["engine"] == "compiled"
+        assert payload["n_steps"] == 3
+        assert payload["engine_stats"]["n_captures"] >= 1
+
+    def test_serve_from_file(self, tmp_path, capsys):
+        cfg = json.loads(json.dumps(EXAMPLE_SERVE_CONFIG))
+        cfg["workload"]["n_requests"] = 6
+        cfg_path = tmp_path / "s.json"
+        cfg_path.write_text(json.dumps(cfg))
+        stats_path = tmp_path / "metrics.json"
+        assert main(["serve", str(cfg_path), "--stats-json", str(stats_path)]) == 0
+        out = capsys.readouterr().out
+        assert "requests/s" in out
+        assert json.loads(stats_path.read_text())["counters"]["requests_served"] == 6

@@ -9,6 +9,8 @@ plus the capacity-overflow/recapture machinery and the engine modes of the
 serial and parallel MD drivers.
 """
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -299,6 +301,115 @@ class TestParallelEngineMode:
         assert ps.evaluator.engine_stats()["n_replays"] > 0
 
 
+class TestConcurrentCapture:
+    """Recapture-on-overflow under concurrent callers (the serving regime).
+
+    The contract: capture (allocate + record) is guarded by a lock with a
+    double-checked capacity test, so a burst of concurrent cold-start or
+    overflow callers performs *exactly one* capture; replays never take the
+    lock — each caller checks a private evaluation state out of an atomic
+    pool (pool misses clone the captured template), so concurrent replays
+    share no buffers and every caller's result is bitwise eager.
+    """
+
+    N_THREADS = 8
+
+    def _burst(self, cm, system, nl):
+        barrier = threading.Barrier(self.N_THREADS)
+        results, errors = [], []
+
+        def work():
+            try:
+                barrier.wait()
+                results.append(cm.energy_and_forces(system, nl))
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        return results
+
+    def test_concurrent_cold_start_captures_once(self, rng):
+        pot = make_potential("lj")
+        cm = pot.compile()
+        system = make_system(rng, n=20, box=8.0)
+        nl = build_nl(pot, system)
+        e0, f0 = pot.energy_and_forces(system, nl)
+        results = self._burst(cm, system, nl)
+        # One capture total — not one per thread racing into the cold start.
+        assert cm.n_captures == 1
+        assert cm.n_replays == self.N_THREADS
+        # Identical inputs ⇒ every thread saw the eager answer.
+        for e, f in results:
+            assert e == e0
+            np.testing.assert_array_equal(f, f0)
+
+    def test_concurrent_overflow_recaptures_once(self, rng):
+        pot = make_potential("lj")
+        cm = pot.compile()
+        small = make_system(rng, n=8, box=8.0)
+        cm.energy_and_forces(small, build_nl(pot, small))
+        assert cm.n_captures == 1
+        big = make_system(rng, n=40, box=9.0)
+        nl_big = build_nl(pot, big)
+        e0, f0 = pot.energy_and_forces(big, nl_big)
+        results = self._burst(cm, big, nl_big)
+        # The overflow burst recaptured exactly once, and every caller in
+        # the burst (winner, cloners, pool reusers) got the eager answer.
+        assert cm.n_captures == 2
+        for e, f in results:
+            assert e == e0
+            np.testing.assert_array_equal(f, f0)
+        # Post-burst state is consistent: a serial call is bitwise eager.
+        e, f = cm.energy_and_forces(big, nl_big)
+        assert e == e0
+        np.testing.assert_array_equal(f, f0)
+        assert cm.n_captures == 2
+
+    def test_concurrent_distinct_inputs_bitwise(self, rng):
+        """Interleaved callers with different structures never cross-talk."""
+        pot = make_potential("lj")
+        cm = pot.compile()
+        systems = [make_system(rng, n=12 + 2 * k, box=8.0) for k in range(4)]
+        cases = [(s, build_nl(pot, s)) for s in systems]
+        expected = [pot.energy_and_forces(s, nl) for s, nl in cases]
+        for s, nl in cases:  # warm: capacity then covers every size
+            cm.energy_and_forces(s, nl)
+        warm_captures = cm.n_captures
+        warm_replays = cm.n_replays
+        barrier = threading.Barrier(len(cases))
+        failures = []
+
+        def work(k):
+            system, nl = cases[k]
+            e0, f0 = expected[k]
+            try:
+                barrier.wait()
+                for _ in range(10):
+                    e, f = cm.energy_and_forces(system, nl)
+                    assert e == e0
+                    np.testing.assert_array_equal(f, f0)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(k,)) for k in range(len(cases))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        # The warm capacity served every thread; extra concurrency showed
+        # up as cloned evaluation states, not recaptures.
+        assert cm.n_captures == warm_captures
+        assert cm.n_replays == warm_replays + 10 * len(cases)
+
+
 class TestInferenceModeDiscovery:
     def test_freezable_modules_found_recursively(self):
         """Nested MLPs inside layer lists must be frozen by inference_mode."""
@@ -326,6 +437,31 @@ class TestPlanAndArena:
         outputs, plan = capture(build)
         (total,) = plan.execute()
         assert float(total) == float((a * b + a).sum())
+
+    def test_plan_clone_is_independent(self):
+        """clone() remaps leaf value buffers AND static index arrays."""
+        x_buf = np.arange(6.0)
+        idx_buf = np.array([0, 2, 2, 5], dtype=np.int64)
+
+        def build():
+            picked = ad.gather(ad.Tensor(x_buf), idx_buf)
+            return ad.scatter_add(picked * 2.0, idx_buf, 6).sum()
+
+        _, plan = capture(build)
+        (r0,) = plan.execute()
+        expected0 = float(2.0 * x_buf[idx_buf].sum())
+        assert float(r0) == expected0
+
+        x2 = np.empty_like(x_buf)
+        i2 = np.empty_like(idx_buf)
+        clone = plan.clone({id(x_buf): x2, id(idx_buf): i2})
+        x2[:] = np.arange(6.0)[::-1]
+        i2[:] = [1, 1, 3, 4]
+        (rc,) = clone.execute()
+        assert float(rc) == float(2.0 * x2[i2].sum())
+        # The original plan still reads its own buffers, untouched.
+        (r1,) = plan.execute()
+        assert float(r1) == expected0
 
     def test_arena_reuses_buffers_across_shapes(self):
         arena = BufferArena()

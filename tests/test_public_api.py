@@ -56,6 +56,7 @@ class TestExports:
             "repro.parallel",
             "repro.perf",
             "repro.data",
+            "repro.serve",
         ],
     )
     def test_all_exports_resolve(self, modname):
@@ -79,6 +80,7 @@ class TestExports:
             "repro.parallel",
             "repro.perf",
             "repro.data",
+            "repro.serve",
         ],
     )
     def test_public_items_documented(self, modname):

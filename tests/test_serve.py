@@ -1,0 +1,614 @@
+"""Serving-layer tests: exactness, caching, batching, backpressure, lifecycle.
+
+The acceptance contract for ``repro.serve`` mirrors the engine's: served
+energies and forces must be *bitwise* identical (float64) to direct eager
+evaluation of each structure — batching, padding, plan reuse and thread
+hand-offs change throughput, never physics.  Around that core, these tests
+pin down the operational behaviours a service needs: registry versioning
+and LRU eviction of compiled state, bucket-cache hit/miss accounting,
+micro-batch coalescing, shed-with-error backpressure, queue-wait timeouts,
+and graceful drain.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.md import Cell, System, neighbor_list
+from repro.models import LennardJones, MorsePotential
+from repro.models.electrostatics import WolfCoulomb
+from repro.serve import (
+    Client,
+    ForceServer,
+    Metrics,
+    MicroBatcher,
+    ModelRegistry,
+    PlanCache,
+    RequestTimeout,
+    ServeError,
+    ServerOverloaded,
+    SizeClasses,
+    UnknownModelError,
+    concatenate_structures,
+)
+from repro.serve.batching import ForceRequest
+from repro.serve.metrics import Histogram
+
+
+def make_system(n=12, seed=0, box=8.0):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, box, size=(n, 3))
+    spec = rng.integers(0, 2, size=n)
+    return System(pos, spec, Cell.cubic(box))
+
+
+def make_lj():
+    return LennardJones(epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2)
+
+
+def make_morse():
+    D = np.full((2, 2), 0.4)
+    a = np.full((2, 2), 1.6)
+    r0 = np.full((2, 2), 1.4)
+    return MorsePotential(D, a, r0, cutoff=3.5)
+
+
+class SlowLJ(LennardJones):
+    """LJ whose neighbor-list build sleeps: a controllable slow model."""
+
+    def __init__(self, delay, **kw):
+        super().__init__(**kw)
+        self.delay = delay
+
+    def prepare_neighbors(self, system):
+        time.sleep(self.delay)
+        return neighbor_list(system, self.cutoff)
+
+
+def direct_eager(pot, system):
+    """The reference result: eager evaluation with the server's NL recipe."""
+    prepare = getattr(pot, "prepare_neighbors", None)
+    nl = prepare(system) if prepare is not None else neighbor_list(system, pot.cutoff)
+    return pot.energy_and_forces(system, nl)
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counters_and_get_or_create(self):
+        m = Metrics()
+        m.counter("requests").inc()
+        m.counter("requests").inc(4)
+        assert m.counter("requests").value == 5
+        assert m.snapshot()["counters"] == {"requests": 5}
+
+    def test_histogram_moments_and_percentiles(self):
+        m = Metrics()
+        h = m.histogram("lat", buckets=[0.001, 0.01, 0.1, 1.0])
+        for x in [0.002, 0.003, 0.004, 0.05, 0.5]:
+            h.observe(x)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["min"] == 0.002 and snap["max"] == 0.5
+        assert snap["mean"] == pytest.approx(sum([0.002, 0.003, 0.004, 0.05, 0.5]) / 5)
+        # Percentiles are bucket-interpolated: right bucket, monotone in q.
+        assert 0.001 <= h.percentile(0.5) <= 0.01
+        assert h.percentile(0.99) <= 0.5
+        assert h.percentile(0.2) <= h.percentile(0.8)
+
+    def test_histogram_rejects_bad_buckets(self):
+        lock = threading.Lock()
+        with pytest.raises(ValueError):
+            Histogram("h", [1.0, 0.5], lock)
+        with pytest.raises(ValueError):
+            Histogram("h", [], lock)
+
+    def test_snapshot_json_roundtrip_and_delta(self):
+        m = Metrics()
+        m.counter("a").inc(3)
+        m.histogram("h").observe(0.01)
+        before = m.snapshot()
+        m.counter("a").inc(2)
+        m.counter("b").inc()
+        delta = Metrics.delta_since(before, m.snapshot())
+        assert delta == {"a": 2, "b": 1}
+        parsed = json.loads(m.to_json())
+        assert parsed["counters"]["a"] == 5
+        assert parsed["histograms"]["h"]["count"] == 1
+
+    def test_write_json(self, tmp_path):
+        m = Metrics()
+        m.counter("x").inc()
+        path = tmp_path / "metrics.json"
+        m.write_json(path)
+        assert json.loads(path.read_text())["counters"]["x"] == 1
+
+
+# ---------------------------------------------------------------------------
+# size classes and plan cache
+# ---------------------------------------------------------------------------
+
+
+class TestSizeClasses:
+    def test_ladder_covers_and_is_deterministic(self):
+        sc = SizeClasses(floor=16, growth=1.5)
+        for n in [1, 16, 17, 24, 25, 100, 1000]:
+            c = sc.round_up(n)
+            assert c >= n
+            assert sc.round_up(n) == c  # stable
+        assert sc.round_up(5) == 16  # floor
+        # Ladder is geometric: distinct classes stay sparse.
+        classes = {sc.round_up(n) for n in range(1, 2000)}
+        assert len(classes) < 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizeClasses(floor=0)
+        with pytest.raises(ValueError):
+            SizeClasses(growth=1.0)
+
+
+class TestPlanCache:
+    def test_hit_miss_accounting(self):
+        cache = PlanCache(make_lj(), max_plans=4)
+        e1 = cache.acquire(10, 60)
+        e2 = cache.acquire(11, 55)  # same buckets
+        assert e1 is e2
+        assert (cache.n_hits, cache.n_misses) == (1, 1)
+        cache.acquire(200, 900)  # new bucket
+        assert (cache.n_hits, cache.n_misses) == (1, 2)
+        stats = cache.stats()
+        assert stats["n_plans"] == 2
+        assert stats["hit_rate"] == pytest.approx(1 / 3)
+
+    def test_mixed_sizes_map_to_few_buckets(self):
+        cache = PlanCache(make_lj(), max_plans=32)
+        for n in range(5, 60):
+            cache.acquire(n, n * 6)
+        # 55 distinct request sizes collapse onto a small (atom, pair)
+        # class grid — the property that keeps replay hit-rate high.
+        assert cache.n_plans <= 12
+
+    def test_lru_eviction(self):
+        cache = PlanCache(make_lj(), max_plans=2)
+        k_small = cache.acquire(10, 64).key
+        cache.acquire(100, 600)
+        cache.acquire(10, 64)  # touch small → MRU
+        cache.acquire(400, 4000)  # evicts the middle bucket
+        assert cache.n_evictions == 1
+        assert k_small in cache.keys()
+        assert cache.n_plans == 2
+
+    def test_bucketed_evaluate_replays_and_is_exact(self):
+        pot = make_lj()
+        cache = PlanCache(pot)
+        for seed in range(4):
+            system = make_system(n=14, seed=seed)
+            nl = neighbor_list(system, pot.cutoff)
+            e0, f0 = pot.energy_and_forces(system, nl)
+            entry = cache.acquire(system.n_atoms, nl.n_edges)
+            with entry.lock:
+                e_atoms, forces = entry.compiled.evaluate(
+                    system.positions, system.species, nl
+                )
+                assert float(np.sum(e_atoms[: system.n_atoms])) == e0
+                np.testing.assert_array_equal(forces[: system.n_atoms], f0)
+        stats = cache.stats()
+        assert stats["n_captures"] == 1  # one bucket, one capture
+        assert stats["n_replays"] == 4
+
+    def test_clear_drops_plans(self):
+        cache = PlanCache(make_lj())
+        cache.acquire(10, 64)
+        cache.clear()
+        assert cache.n_plans == 0
+        assert cache.n_evictions == 1
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+class TestModelRegistry:
+    def test_register_resolve_and_default(self):
+        reg = ModelRegistry()
+        reg.register("lj", make_lj())
+        reg.register("morse", make_morse())
+        assert reg.default_model == "lj"
+        assert reg.resolve_key(None) == "lj:v1"
+        assert reg.resolve_key("morse") == "morse:v1"
+        assert reg.names() == ["lj", "morse"]
+
+    def test_version_pinning_and_latest(self):
+        reg = ModelRegistry()
+        reg.register("lj", make_lj(), version="v1")
+        v2 = make_lj()
+        reg.register("lj", v2, version="v2")
+        assert reg.resolve_key("lj") == "lj:v2"
+        assert reg.get("lj").potential is v2
+        assert reg.get("lj:v1").potential is not v2
+        assert set(reg.keys()) == {"lj:v1", "lj:v2"}
+
+    def test_unknown_model_raises(self):
+        reg = ModelRegistry()
+        with pytest.raises(UnknownModelError):
+            reg.resolve_key(None)  # empty registry
+        reg.register("lj", make_lj())
+        with pytest.raises(UnknownModelError):
+            reg.get("nequip")
+        with pytest.raises(UnknownModelError):
+            reg.get("lj:v9")
+
+    def test_lru_evicts_compiled_state_not_identity(self):
+        reg = ModelRegistry(max_compiled=2)
+        for name in ("a", "b", "c"):
+            reg.register(name, make_lj())
+        ea = reg.get("a")
+        reg.get("b")
+        assert ea.compiled
+        reg.get("c")  # exceeds max_compiled → evicts a's plans
+        assert reg.n_evictions == 1
+        assert not ea.compiled
+        assert "a" in reg.names()  # identity survives
+        assert reg.get("a").compiled  # transparently rebuilt (evicting b or c)
+        assert reg.stats()["n_compiled"] == 2
+
+    def test_invalidate_drops_plans(self):
+        reg = ModelRegistry()
+        reg.register("lj", make_lj())
+        entry = reg.get("lj")
+        entry.ensure_cache().acquire(10, 64)
+        reg.invalidate("lj")
+        assert not reg.peek("lj").compiled
+
+    def test_colon_in_name_rejected(self):
+        with pytest.raises(ValueError):
+            ModelRegistry().register("a:b", make_lj())
+
+
+# ---------------------------------------------------------------------------
+# micro-batcher
+# ---------------------------------------------------------------------------
+
+
+def _req(model="m", t=None):
+    return ForceRequest(
+        system=None, model=model, future=None, t_enqueue=t if t is not None else 0.0
+    )
+
+
+class TestMicroBatcher:
+    def test_full_batch_releases_immediately(self):
+        b = MicroBatcher(max_batch=4, max_wait=10.0)  # window would block
+        for _ in range(4):
+            b.put(_req())
+        batch = b.get_batch(timeout=0.5)
+        assert batch is not None and len(batch) == 4
+        assert b.pending() == 0
+
+    def test_partial_batch_waits_out_the_window(self):
+        b = MicroBatcher(max_batch=8, max_wait=0.05, adaptive=False)
+        b.put(_req())
+        t0 = time.monotonic()
+        batch = b.get_batch(timeout=1.0)
+        waited = time.monotonic() - t0
+        assert len(batch) == 1
+        assert waited >= 0.02  # held for (most of) the window
+
+    def test_batches_never_mix_models(self):
+        b = MicroBatcher(max_batch=8, max_wait=0.0)
+        for k in range(6):
+            b.put(_req(model="x" if k % 2 else "y"))
+        seen = []
+        while b.pending():
+            batch = b.get_batch(timeout=0.2)
+            assert len({r.model for r in batch}) == 1
+            seen.append((batch[0].model, len(batch)))
+        assert sorted(seen) == [("x", 3), ("y", 3)]
+
+    def test_fifo_within_model(self):
+        b = MicroBatcher(max_batch=8, max_wait=0.0)
+        now = time.monotonic()
+        for k in range(5):
+            b.put(_req(t=now + k * 1e-6))
+        batch = b.get_batch(timeout=0.2)
+        stamps = [r.t_enqueue for r in batch]
+        assert stamps == sorted(stamps)
+
+    def test_adaptive_window_tracks_arrival_rate(self):
+        clock_val = [0.0]
+        b = MicroBatcher(max_batch=5, max_wait=1.0, clock=lambda: clock_val[0])
+        for _ in range(10):
+            clock_val[0] += 0.001  # 1 ms gaps
+            b.put(_req(t=clock_val[0]))
+        # window ≈ gap * (max_batch - 1) = 4 ms, far below max_wait.
+        assert 0.0 < b.window() < 0.1
+
+    def test_close_drains_then_none(self):
+        b = MicroBatcher(max_batch=8, max_wait=10.0)
+        b.put(_req())
+        b.close()
+        # Closed ⇒ the coalescing window no longer applies: drain promptly.
+        assert len(b.get_batch(timeout=0.2)) == 1
+        assert b.get_batch(timeout=0.0) is None
+        with pytest.raises(RuntimeError):
+            b.put(_req())
+
+    def test_get_batch_times_out_empty(self):
+        b = MicroBatcher()
+        t0 = time.monotonic()
+        assert b.get_batch(timeout=0.02) is None
+        assert time.monotonic() - t0 < 1.0
+
+
+# ---------------------------------------------------------------------------
+# concatenation
+# ---------------------------------------------------------------------------
+
+
+class TestConcatenation:
+    def test_offsets_and_edge_shifting(self):
+        s1, s2 = make_system(n=5, seed=1), make_system(n=7, seed=2)
+        nl1 = neighbor_list(s1, 3.0)
+        nl2 = neighbor_list(s2, 3.0)
+        pos, spec, nl, offsets = concatenate_structures([s1, s2], [nl1, nl2])
+        assert pos.shape == (12, 3) and spec.shape == (12,)
+        assert offsets.tolist() == [0, 5, 12]
+        assert nl.n_edges == nl1.n_edges + nl2.n_edges
+        # Graphs stay disjoint: s2's edges index only s2's atom rows.
+        tail = nl.edge_index[:, nl1.n_edges :]
+        assert tail.min() >= 5 if tail.size else True
+
+    def test_mismatched_lengths_rejected(self):
+        s = make_system(n=5, seed=1)
+        with pytest.raises(ValueError):
+            concatenate_structures([s], [])
+
+
+# ---------------------------------------------------------------------------
+# the server: exactness
+# ---------------------------------------------------------------------------
+
+
+class TestServedExactness:
+    @pytest.mark.parametrize("engine", ["compiled", "eager"])
+    def test_served_results_bitwise_match_direct_eager(self, engine):
+        """The acceptance criterion: serving is invisible in float64."""
+        pot = make_lj()
+        systems = [make_system(n=8 + (k % 9), seed=k) for k in range(24)]
+        with ForceServer(pot, n_workers=2, max_batch=6, engine=engine) as server:
+            results = Client(server).evaluate_many(systems)
+        for system, (e, f) in zip(systems, results):
+            e0, f0 = direct_eager(pot, system)
+            assert e == e0
+            np.testing.assert_array_equal(f, f0)
+
+    def test_morse_served_bitwise(self):
+        pot = make_morse()
+        systems = [make_system(n=10 + k, seed=k) for k in range(8)]
+        with ForceServer(pot, n_workers=2, max_batch=4) as server:
+            results = server.evaluate_many(systems)
+        for system, (e, f) in zip(systems, results):
+            e0, f0 = direct_eager(pot, system)
+            assert e == e0
+            np.testing.assert_array_equal(f, f0)
+
+    def test_zero_edge_structures_use_exact_empty_path(self):
+        """Models with non-trivial empty-graph energies (Wolf self-term)."""
+        pot = WolfCoulomb(np.array([0.4, -0.4]), alpha=0.3, cutoff=3.5)
+        sparse = System(
+            np.array([[0.0, 0.0, 0.0], [20.0, 20.0, 20.0]]),
+            np.array([0, 1]),
+            Cell.cubic(50.0),
+        )
+        dense = make_system(n=10, seed=3)
+        with ForceServer(pot, n_workers=1, max_batch=4) as server:
+            (e_s, f_s), (e_d, f_d) = server.evaluate_many([sparse, dense])
+        e0, f0 = direct_eager(pot, sparse)
+        assert e_s == e0 and e_s != 0.0  # the self-energy survived serving
+        np.testing.assert_array_equal(f_s, f0)
+        e1, f1 = direct_eager(pot, dense)
+        assert e_d == e1
+        np.testing.assert_array_equal(f_d, f1)
+
+    def test_caller_supplied_neighbor_list_is_respected(self):
+        pot = make_lj()
+        system = make_system(n=12, seed=5)
+        nl = neighbor_list(system, pot.cutoff)
+        e0, f0 = pot.energy_and_forces(system, nl)
+        with ForceServer(pot, n_workers=1) as server:
+            e, f = server.evaluate(system, nl=nl)
+        assert e == e0
+        np.testing.assert_array_equal(f, f0)
+
+    def test_multi_model_routing(self):
+        reg = ModelRegistry()
+        lj, morse = make_lj(), make_morse()
+        reg.register("lj", lj)
+        reg.register("morse", morse)
+        system = make_system(n=12, seed=7)
+        with ForceServer(reg, n_workers=2) as server:
+            e_lj, _ = server.evaluate(system, model="lj")
+            e_m, _ = server.evaluate(system, model="morse")
+        assert e_lj == direct_eager(lj, system)[0]
+        assert e_m == direct_eager(morse, system)[0]
+        assert e_lj != e_m
+
+
+# ---------------------------------------------------------------------------
+# the server: plan reuse
+# ---------------------------------------------------------------------------
+
+
+class TestReplayRate:
+    def test_mixed_size_stream_replays_after_warmup(self):
+        """≥95% plan replays post-warmup on heterogeneous request sizes."""
+        pot = make_lj()
+        systems = [make_system(n=9 + (k % 12), seed=k) for k in range(40)]
+        with ForceServer(pot, n_workers=2, max_batch=8) as server:
+            client = Client(server)
+            client.evaluate_many(systems)  # warmup: discovers the buckets
+            before = server.metrics.snapshot()
+            for _ in range(3):
+                client.evaluate_many(systems)
+            delta = Metrics.delta_since(before, server.metrics.snapshot())
+        replays = delta.get("plan_replays", 0)
+        captures = delta.get("plan_captures", 0)
+        assert replays + captures > 0
+        rate = replays / (replays + captures)
+        assert rate >= 0.95, f"post-warmup replay rate {rate:.2%}"
+
+    def test_single_size_stream_uses_one_plan(self):
+        pot = make_lj()
+        systems = [make_system(n=12, seed=k) for k in range(12)]
+        with ForceServer(pot, n_workers=1, max_batch=1) as server:
+            server.evaluate_many(systems)
+            stats = server.stats()
+        model_stats = stats["registry"]["models"]["default:v1"]
+        assert model_stats["n_plans"] <= 2  # edge counts may straddle a class
+        assert model_stats["misses"] == model_stats["n_plans"]
+        assert model_stats["hits"] == 12 - model_stats["misses"]
+
+
+# ---------------------------------------------------------------------------
+# the server: backpressure, timeouts, lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_full_queue_sheds_with_error(self):
+        reg = ModelRegistry()
+        reg.register("slow", SlowLJ(0.15, epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2))
+        system = make_system(n=6, seed=0)
+        with ForceServer(reg, n_workers=1, max_queue=3, max_batch=1) as server:
+            futures = []
+            with pytest.raises(ServerOverloaded):
+                for _ in range(8):  # worker absorbs ≤1; pending must hit the cap
+                    futures.append(server.submit(system, model="slow"))
+            assert server.metrics.counter("requests_shed").value >= 1
+            # Admitted requests still complete: shedding is not failure.
+            for fut in futures:
+                e, f = fut.result(timeout=10.0)
+                assert np.isfinite(e)
+        snap = server.stats()
+        assert snap["counters"]["requests_shed"] >= 1
+        assert snap["counters"]["requests_served"] == len(futures)
+
+    def test_server_recovers_after_shedding(self):
+        pot = make_lj()
+        system = make_system(n=10, seed=1)
+        reg = ModelRegistry()
+        reg.register("slow", SlowLJ(0.1, epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2))
+        reg.register("fast", pot)
+        with ForceServer(reg, n_workers=1, max_queue=2, max_batch=1) as server:
+            try:
+                for _ in range(6):
+                    server.submit(system, model="slow")
+            except ServerOverloaded:
+                pass
+            server.drain(timeout=10.0)
+            e, _ = server.evaluate(system, model="fast")
+            assert e == direct_eager(pot, system)[0]
+
+
+class TestTimeouts:
+    def test_stale_request_fails_with_timeout(self):
+        reg = ModelRegistry()
+        reg.register("slow", SlowLJ(0.25, epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2))
+        reg.register("fast", make_lj())
+        system = make_system(n=6, seed=0)
+        with ForceServer(reg, n_workers=1, max_batch=1) as server:
+            blocker = server.submit(system, model="slow")
+            stale = server.submit(system, model="fast", timeout=0.05)
+            with pytest.raises(RequestTimeout):
+                stale.result(timeout=10.0)
+            blocker.result(timeout=10.0)
+            assert server.metrics.counter("requests_timeout").value == 1
+
+    def test_generous_timeout_succeeds(self):
+        pot = make_lj()
+        system = make_system(n=10, seed=2)
+        with ForceServer(pot, n_workers=1, default_timeout=30.0) as server:
+            e, _ = server.evaluate(system)
+        assert e == direct_eager(pot, system)[0]
+
+
+class TestLifecycle:
+    def test_drain_completes_all_admitted(self):
+        pot = make_lj()
+        systems = [make_system(n=10, seed=k) for k in range(10)]
+        server = ForceServer(pot, n_workers=2, max_batch=4)
+        futures = [server.submit(s) for s in systems]
+        assert server.drain(timeout=10.0)
+        assert all(f.done() for f in futures)
+        server.stop()
+
+    def test_stop_rejects_new_work(self):
+        server = ForceServer(make_lj(), n_workers=1)
+        server.stop()
+        with pytest.raises(ServeError):
+            server.submit(make_system())
+
+    def test_context_manager_drains_on_exit(self):
+        with ForceServer(make_lj(), n_workers=1) as server:
+            fut = server.submit(make_system(n=10, seed=0))
+        assert fut.done() and fut.exception() is None
+
+    def test_unknown_model_raises_at_submit(self):
+        with ForceServer(make_lj(), n_workers=1) as server:
+            with pytest.raises(UnknownModelError):
+                server.submit(make_system(), model="nope")
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ForceServer(make_lj(), engine="jit", start=False)
+        with pytest.raises(ValueError):
+            ForceServer(make_lj(), n_workers=0, start=False)
+        with pytest.raises(ValueError):
+            ForceServer(make_lj(), max_queue=0, start=False)
+
+    def test_stats_shape(self):
+        with ForceServer(make_lj(), n_workers=1) as server:
+            server.evaluate(make_system(n=10, seed=0))
+            stats = server.stats()
+        assert stats["engine"] == "compiled"
+        assert 0.0 <= stats["replay_rate"] <= 1.0
+        assert "latency_s" in stats["histograms"]
+        assert stats["counters"]["requests_served"] == 1
+        json.dumps(stats, default=float)  # snapshot must be serializable
+
+
+# ---------------------------------------------------------------------------
+# concurrency: many clients, one server
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrentClients:
+    def test_parallel_submitters_all_get_exact_results(self):
+        pot = make_lj()
+        systems = [make_system(n=8 + (k % 7), seed=k) for k in range(24)]
+        expected = [direct_eager(pot, s) for s in systems]
+        results = [None] * len(systems)
+        with ForceServer(pot, n_workers=3, max_batch=4, max_queue=64) as server:
+            def submit_range(lo, hi):
+                for k in range(lo, hi):
+                    results[k] = server.evaluate(systems[k])
+
+            threads = [
+                threading.Thread(target=submit_range, args=(lo, lo + 8))
+                for lo in (0, 8, 16)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for (e, f), (e0, f0) in zip(results, expected):
+            assert e == e0
+            np.testing.assert_array_equal(f, f0)

@@ -1,0 +1,86 @@
+"""Resilience overhead: guarded MD must cost ≤5% of steps/s.
+
+The resilience subsystem only earns its place in the inner loop if it is
+nearly free: a watchdog check per step (finiteness scans of arrays
+already in cache, plus a cached-median spike test) and an atomic
+fsync'd checkpoint write every ``DEFAULT_CHECKPOINT_EVERY`` steps.  This
+benchmark times the same LJ trajectory bare and guarded
+(watchdog + checkpointing at the default interval) and asserts the
+guarded run keeps ≥95% of the bare steps/s.
+
+Bare and guarded runs are interleaved round-robin — on a shared CI box,
+sequential A-then-B timing folds CPU-frequency drift into the ratio.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from conftest import fmt_table
+from repro.md import Cell, LangevinThermostat, Simulation, System
+from repro.models import LennardJones
+from repro.resilience import ForceWatchdog
+
+N_STEPS = 200
+REPEATS = 7
+
+
+def make_sim(watchdog=None):
+    rng = np.random.default_rng(7)
+    n_side, a = 5, 1.7
+    grid = np.stack(
+        np.meshgrid(*[np.arange(n_side)] * 3, indexing="ij"), axis=-1
+    ).reshape(-1, 3)
+    positions = a * grid + rng.normal(scale=0.02, size=(n_side**3, 3))
+    system = System(
+        positions, np.zeros(n_side**3, dtype=int), Cell.cubic(a * n_side)
+    )
+    system.velocities = rng.normal(scale=0.05, size=positions.shape)
+    return Simulation(
+        system,
+        LennardJones(epsilon=0.05, sigma=1.5, cutoff=3.0),
+        dt=0.2,
+        thermostat=LangevinThermostat(30.0, friction=0.05, seed=3),
+        watchdog=watchdog,
+    )
+
+
+def run_once(guarded):
+    sim = make_sim(watchdog=ForceWatchdog(policy="abort") if guarded else None)
+    kwargs = {}
+    if guarded:
+        kwargs = {"checkpoint_dir": Path(tempfile.mkdtemp()) / "ck"}
+    return sim.run(N_STEPS, **kwargs).timesteps_per_second
+
+
+def test_watchdog_and_checkpoint_overhead(reporter, benchmark):
+    run_once(False), run_once(True)  # warmup both paths
+    bare_rates, guarded_rates = [], []
+    for _ in range(REPEATS):
+        bare_rates.append(run_once(False))
+        guarded_rates.append(run_once(True))
+    bare = float(np.median(bare_rates))
+    guarded = float(np.median(guarded_rates))
+    overhead = 1.0 - guarded / bare
+
+    rows = [
+        ("bare", f"{bare:.1f}", "-"),
+        ("watchdog + checkpoints", f"{guarded:.1f}", f"{100 * overhead:+.1f}%"),
+    ]
+    reporter(
+        "resilience_overhead",
+        fmt_table(
+            ["config", f"steps/s (median of {REPEATS})", "overhead"],
+            rows,
+            title=f"Resilience overhead, 125-atom LJ NVT, {N_STEPS} steps",
+        ),
+        data={"bare": bare, "guarded": guarded, "overhead": overhead},
+    )
+
+    assert overhead < 0.05, (
+        f"guarded MD lost {100 * overhead:.1f}% steps/s (budget: 5%)"
+    )
+
+    sim = make_sim(watchdog=ForceWatchdog(policy="abort"))
+    benchmark.pedantic(lambda: sim.run(5), rounds=2, iterations=1)

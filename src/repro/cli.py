@@ -13,6 +13,12 @@ A second subcommand drives the batched force-evaluation service
     python -m repro.cli serve serve.json [--stats-json metrics.json]
     python -m repro.cli example-serve-config > serve.json
 
+Runs configured with ``"md": {"checkpoint_dir": ...}`` persist verified
+checkpoints (and a copy of their config) as they go, and can be picked
+up after a crash exactly where they left off::
+
+    python -m repro.cli resume ckpts/ [--steps N] [--stats-json stats.json]
+
 Config schema (all lengths Å, times fs, temperatures K)::
 
     {
@@ -26,7 +32,8 @@ Config schema (all lengths Å, times fs, temperatures K)::
       "md": {"steps": 100, "dt": 0.5, "temperature": 300.0,
              "thermostat": "langevin" | "berendsen" | null,
              "friction": 0.02, "seed": 0, "minimize_first": true,
-             "engine": "eager" | "compiled"},
+             "engine": "eager" | "compiled",
+             "checkpoint_dir": "ckpts/", "checkpoint_every": 100},
       "output": {"trajectory": "traj.xyz", "every": 10}
     }
 """
@@ -129,44 +136,37 @@ def write_stats_json(path, payload: dict) -> None:
     Path(path).write_text(json.dumps(payload, indent=2, default=float) + "\n")
 
 
-def run_config(config: dict, quiet: bool = False, stats_json=None):
-    """Execute one configured MD run; returns the MDResult."""
-    from .md import (
-        BerendsenThermostat,
-        LangevinThermostat,
-        Simulation,
-        TrajectoryRecorder,
-        minimize,
-        stability_report,
-    )
+def build_thermostat(md: dict):
+    """The configured thermostat instance (or None)."""
+    from .md import BerendsenThermostat, LangevinThermostat
 
-    def log(msg: str) -> None:
-        if not quiet:
-            print(msg)
+    kind = md.get("thermostat")
+    temperature = float(md.get("temperature", 300.0))
+    if kind == "langevin":
+        return LangevinThermostat(
+            temperature, friction=md.get("friction", 0.02), seed=md.get("seed", 0)
+        )
+    if kind == "berendsen":
+        return BerendsenThermostat(temperature, tau=md.get("tau", 100.0))
+    if kind is None:
+        return None
+    raise ValueError(f"unknown thermostat {kind!r}")
+
+
+def build_simulation(config: dict):
+    """``(sim, recorder, md_section)`` from a config.
+
+    No minimization or velocity seeding happens here — ``run`` does both
+    before integrating, ``resume`` overwrites all dynamic state from the
+    checkpoint anyway.  Both subcommands therefore share one builder, so
+    a resumed simulation is structurally identical to the original.
+    """
+    from .md import Simulation, TrajectoryRecorder
 
     system = build_system(config["system"])
     potential = build_potential(config["potential"])
     md = config.get("md", {})
     out = config.get("output", {})
-
-    log(f"system: {system.n_atoms} atoms; potential: {config['potential']['kind']}")
-    if md.get("minimize_first"):
-        res = minimize(system, potential, max_steps=md.get("minimize_steps", 100))
-        log(f"minimized: {res.n_iterations} iterations, max|F| = {res.max_force:.3f}")
-
-    temperature = float(md.get("temperature", 300.0))
-    system.seed_velocities(temperature, np.random.default_rng(md.get("seed", 0)))
-    thermostat = None
-    kind = md.get("thermostat")
-    if kind == "langevin":
-        thermostat = LangevinThermostat(
-            temperature, friction=md.get("friction", 0.02), seed=md.get("seed", 0)
-        )
-    elif kind == "berendsen":
-        thermostat = BerendsenThermostat(temperature, tau=md.get("tau", 100.0))
-    elif kind is not None:
-        raise ValueError(f"unknown thermostat {kind!r}")
-
     recorder = TrajectoryRecorder(
         path=out.get("trajectory"), every=int(out.get("every", 10))
     )
@@ -174,34 +174,122 @@ def run_config(config: dict, quiet: bool = False, stats_json=None):
         system,
         potential,
         dt=float(md.get("dt", 0.5)),
-        thermostat=thermostat,
+        thermostat=build_thermostat(md),
         recorder=recorder,
         engine=md.get("engine", "eager"),
     )
-    result = sim.run(int(md.get("steps", 100)))
+    return sim, recorder, md
+
+
+def _finish_run(sim, recorder, result, md, quiet, stats_json, extra=None):
+    """Shared run/resume epilogue: report, engine stats, JSON payload."""
+    from .md import stability_report
+
+    def log(msg: str) -> None:
+        if not quiet:
+            print(msg)
+
     recorder.close()
     report = stability_report(result, frames=recorder.frames or None)
     log(str(report))
-    log(
-        f"{result.n_steps} steps at {result.timesteps_per_second:.2f} timesteps/s"
-    )
+    log(f"{result.n_steps} steps at {result.timesteps_per_second:.2f} timesteps/s")
     stats = sim.engine_stats()
     if stats is not None:
         log(
             f"engine: {stats['n_captures']} captures, {stats['n_replays']} replays,"
             f" {stats['recaptures']} recaptures"
         )
+    if sim.n_recoveries:
+        log(f"watchdog: recovered from {sim.n_recoveries} instability event(s)")
     if stats_json is not None:
-        write_stats_json(
-            stats_json,
-            {
-                "engine": md.get("engine", "eager"),
-                "n_steps": result.n_steps,
-                "timesteps_per_second": result.timesteps_per_second,
-                "engine_stats": stats,
-            },
-        )
+        payload = {
+            "engine": md.get("engine", "eager"),
+            "n_steps": result.n_steps,
+            "timesteps_per_second": result.timesteps_per_second,
+            "n_recoveries": sim.n_recoveries,
+            "engine_stats": stats,
+        }
+        payload.update(extra or {})
+        write_stats_json(stats_json, payload)
     return result
+
+
+def run_config(config: dict, quiet: bool = False, stats_json=None):
+    """Execute one configured MD run; returns the MDResult."""
+    from .md import minimize
+
+    def log(msg: str) -> None:
+        if not quiet:
+            print(msg)
+
+    sim, recorder, md = build_simulation(config)
+    system = sim.system
+
+    log(f"system: {system.n_atoms} atoms; potential: {config['potential']['kind']}")
+    if md.get("minimize_first"):
+        res = minimize(system, sim.potential, max_steps=md.get("minimize_steps", 100))
+        log(f"minimized: {res.n_iterations} iterations, max|F| = {res.max_force:.3f}")
+
+    temperature = float(md.get("temperature", 300.0))
+    system.seed_velocities(temperature, np.random.default_rng(md.get("seed", 0)))
+
+    ckpt_dir = md.get("checkpoint_dir")
+    extra = {}
+    if ckpt_dir is not None:
+        # Persist the config next to the checkpoints so ``resume`` can
+        # rebuild an identical simulation without the original file.
+        ckpt_dir = Path(ckpt_dir)
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        (ckpt_dir / "config.json").write_text(json.dumps(config, indent=2) + "\n")
+        extra["checkpoint_dir"] = str(ckpt_dir)
+    result = sim.run(
+        int(md.get("steps", 100)),
+        checkpoint_every=md.get("checkpoint_every"),
+        checkpoint_dir=ckpt_dir,
+    )
+    return _finish_run(sim, recorder, result, md, quiet, stats_json, extra)
+
+
+def resume_config(
+    ckpt_dir, steps: Optional[int] = None, quiet: bool = False, stats_json=None
+):
+    """Resume an interrupted checkpointed run; returns the MDResult.
+
+    Rebuilds the simulation from ``<ckpt_dir>/config.json``, restores the
+    newest verified checkpoint (corrupt files are skipped), and continues
+    — by default to the step count the original config asked for, or for
+    ``steps`` more steps when given.
+    """
+    from .resilience import CheckpointManager
+
+    def log(msg: str) -> None:
+        if not quiet:
+            print(msg)
+
+    ckpt_dir = Path(ckpt_dir)
+    config_path = ckpt_dir / "config.json"
+    if not config_path.exists():
+        raise FileNotFoundError(
+            f"{config_path} not found — was this run started with "
+            "'md.checkpoint_dir' set?"
+        )
+    config = json.loads(config_path.read_text())
+    manager = CheckpointManager(ckpt_dir)
+    step, state = manager.load_latest()
+    sim, recorder, md = build_simulation(config)
+    sim.set_state(state)
+    if steps is None:
+        n = max(0, int(md.get("steps", 100)) - sim.step_count)
+    else:
+        n = int(steps)
+    log(f"resumed from checkpoint at step {step}; running {n} more step(s)")
+    result = sim.run(
+        n,
+        checkpoint_every=md.get("checkpoint_every"),
+        checkpoint_manager=manager,
+    )
+    extra = {"resumed_from_step": step, "checkpoint_dir": str(ckpt_dir)}
+    return _finish_run(sim, recorder, result, md, quiet, stats_json, extra)
 
 
 def serve_config(config: dict, quiet: bool = False, stats_json=None) -> dict:
@@ -285,6 +373,23 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help="write engine_stats() as machine-readable JSON to this path",
     )
+    resume_p = sub.add_parser(
+        "resume", help="resume an interrupted run from its checkpoint directory"
+    )
+    resume_p.add_argument("checkpoint_dir", type=Path)
+    resume_p.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="run this many more steps (default: finish the configured total)",
+    )
+    resume_p.add_argument("--quiet", action="store_true")
+    resume_p.add_argument(
+        "--stats-json",
+        type=Path,
+        default=None,
+        help="write engine_stats() as machine-readable JSON to this path",
+    )
     serve_p = sub.add_parser(
         "serve", help="run a batched force-serving workload from a config"
     )
@@ -309,6 +414,14 @@ def main(argv: Optional[list] = None) -> int:
     if args.command == "example-serve-config":
         json.dump(EXAMPLE_SERVE_CONFIG, sys.stdout, indent=2)
         print()
+        return 0
+    if args.command == "resume":
+        resume_config(
+            args.checkpoint_dir,
+            steps=args.steps,
+            quiet=args.quiet,
+            stats_json=args.stats_json,
+        )
         return 0
     config = json.loads(args.config.read_text())
     if args.command == "serve":

@@ -115,6 +115,14 @@ class CompiledPotential:
         if pair_capacity is not None:
             self.pair_policy._capacity = int(pair_capacity)
         self.n_captures = 0
+        # Degradation chain (replay failure → recapture once → eager):
+        # counters expose how often each stage fired; ``fault_hook`` is the
+        # deterministic injection point (called with the stage name before
+        # each replay; an exception it raises counts as that stage failing).
+        self.n_replay_failures = 0
+        self.n_failure_recaptures = 0
+        self.n_eager_fallbacks = 0
+        self.fault_hook = None
         # Concurrency model: capture (allocate + record) is guarded by
         # ``_capture_lock`` so a burst of concurrent cold-start or overflow
         # callers performs exactly one capture.  Replays are lock-free:
@@ -202,6 +210,9 @@ class CompiledPotential:
             "n_clones": self.n_clones,
             "capacity_atoms": self.capacity_atoms,
             "capacity_pairs": self.capacity_pairs,
+            "n_replay_failures": self.n_replay_failures,
+            "n_failure_recaptures": self.n_failure_recaptures,
+            "n_eager_fallbacks": self.n_eager_fallbacks,
         }
         plan = self.plan
         if plan is not None:
@@ -239,14 +250,61 @@ class CompiledPotential:
         state = self._checkout(n, n_edges, positions, species, inputs, n_act)
         try:
             self._bind(state, positions, species, inputs, n_edges, n_act)
+            if self.fault_hook is not None:
+                self.fault_hook("replay")
             e_buf, g_buf = state.plan.execute()
+        except Exception:
+            # A failed replay leaves the state's buffers in an unknown
+            # condition: discard it (never pool it) and degrade.
+            self.n_replay_failures += 1
+            return self._evaluate_degraded(
+                n, n_edges, positions, species, nl, inputs, n_act
+            )
+        state.n_replays += 1
+        # Copy the energy slice: the state goes back to the pool below
+        # and another caller may overwrite its buffers.  Forces are
+        # already a fresh array (the negation allocates).
+        result = (e_buf[:n].copy(), -g_buf[:n])
+        self._pool.append(state)
+        return result
+
+    def _evaluate_degraded(
+        self, n, n_edges, positions, species, nl, inputs, n_act
+    ):
+        """Fallback chain after a replay failure: recapture once, then eager.
+
+        The corrupt template (if any) is dropped and a fresh plan captured
+        under the capture lock; if the recaptured plan also fails, this
+        evaluation completes on the eager autodiff tape so a broken plan
+        degrades throughput, never correctness.
+        """
+        try:
+            with self._capture_lock:
+                state = self._capture(n, n_edges, positions, species, inputs, n_act)
+                if self.fault_hook is not None:
+                    self.fault_hook("recapture")
+                e_buf, g_buf = state.plan.execute()
             state.n_replays += 1
-            # Copy the energy slice: the state goes back to the pool below
-            # and another caller may overwrite its buffers.  Forces are
-            # already a fresh array (the negation allocates).
-            return e_buf[:n].copy(), -g_buf[:n]
-        finally:
+            self.n_failure_recaptures += 1
+            result = (e_buf[:n].copy(), -g_buf[:n])
             self._pool.append(state)
+            return result
+        except Exception:
+            # Invalidate so later calls do not keep replaying a bad plan.
+            self.invalidate()
+            self.n_eager_fallbacks += 1
+            return self._evaluate_eager(positions, species, nl, n_act)
+
+    def _evaluate_eager(self, positions, species, nl, n_act):
+        """Last-resort eager evaluation on the underlying potential."""
+        pos = ad.Tensor(np.asarray(positions, dtype=np.float64), requires_grad=True)
+        e_atoms = self.potential.atomic_energies(pos, species, nl)
+        n = int(np.asarray(species).shape[0])
+        e_seed = e_atoms[:n_act].sum() if n_act < n else e_atoms.sum()
+        e_seed.backward()
+        grad = pos.grad
+        forces = -grad.data if grad is not None else np.zeros((n, 3))
+        return np.asarray(e_atoms.data, dtype=np.float64).copy(), forces
 
     def _checkout(self, n, n_edges, positions, species, inputs, n_act) -> _EvalState:
         """Acquire a private evaluation state fitting (n, n_edges).

@@ -2,10 +2,24 @@
 
 Sequence per step (velocity Verlet): half kick → drift → neighbor
 check/rebuild (Verlet skin; positions are wrapped exactly at rebuilds so
-stored shift vectors stay valid) → force call → half kick → thermostat.  The
-driver records energies, temperatures, per-step pair counts (which feed the
-fig. 5 allocator simulation) and wall-time throughput in timesteps/s — the
-paper's primary performance metric.
+stored shift vectors stay valid) → force call → half kick → thermostat →
+barostat.  The driver records energies, temperatures, per-step pair counts
+(which feed the fig. 5 allocator simulation) and wall-time throughput in
+timesteps/s — the paper's primary performance metric.
+
+Resilience (paper §VII-B: 2.5M-step runs on failure-prone hardware):
+
+* Non-finite forces **fail fast** by default — a NaN never propagates
+  silently into the recorded trajectory.
+* An optional :class:`~repro.resilience.ForceWatchdog` adds energy-spike
+  detection and a ``"recover"`` policy that restores the last checkpoint
+  and replays instead of aborting.
+* ``run(..., checkpoint_every=, checkpoint_dir=)`` streams atomic,
+  checksummed snapshots of *complete* state — positions, velocities, cell,
+  thermostat/barostat internals (including RNG state), neighbor-list
+  bookkeeping, cached forces — so a restored run continues the
+  uninterrupted trajectory **bitwise** in float64 (see
+  ``tests/test_resilience.py``).
 
 Multi-rank runs use :mod:`repro.parallel.driver`, which wraps the same
 potential in a spatial decomposition; this serial driver is the reference
@@ -20,10 +34,15 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..resilience.guards import NumericalInstabilityError, validate_energy_forces
 from .integrators import VelocityVerlet
-from .neighborlist import VerletList
+from .neighborlist import NeighborList, VerletList
 from .system import System
 from .trajectory import TrajectoryRecorder
+
+#: Default snapshot interval when checkpointing is enabled without an
+#: explicit ``checkpoint_every``.
+DEFAULT_CHECKPOINT_EVERY = 100
 
 
 @dataclass
@@ -47,8 +66,51 @@ class MDResult:
         return self.n_steps / self.wall_time if self.wall_time > 0 else float("inf")
 
 
+def _capture_coupling_state(obj) -> Optional[dict]:
+    """Thermostat/barostat internals worth checkpointing (duck-typed).
+
+    Covers every coupling object in the tree: Nosé–Hoover's friction
+    variable, Langevin's RNG stream, Berendsen barostat's last pressure.
+    """
+    if obj is None:
+        return None
+    state: dict = {}
+    if hasattr(obj, "xi"):
+        state["xi"] = float(obj.xi)
+    if hasattr(obj, "rng"):
+        state["rng"] = obj.rng.bit_generator.state
+    if hasattr(obj, "last_pressure"):
+        state["last_pressure"] = obj.last_pressure
+    return state
+
+
+def _restore_coupling_state(obj, state: Optional[dict]) -> None:
+    if obj is None or state is None:
+        return
+    if "xi" in state:
+        obj.xi = state["xi"]
+    if "rng" in state:
+        obj.rng.bit_generator.state = state["rng"]
+    if "last_pressure" in state:
+        obj.last_pressure = state["last_pressure"]
+
+
 class Simulation:
-    """Single-process MD of a :class:`System` under a Potential."""
+    """Single-process MD of a :class:`System` under a Potential.
+
+    Parameters
+    ----------
+    thermostat:
+        Optional NVT coupling, applied once per step after the second
+        half-kick.
+    barostat:
+        Optional NPT coupling (e.g. :class:`~repro.md.BerendsenBarostat`),
+        applied after the thermostat with the current forces.
+    watchdog:
+        Optional :class:`~repro.resilience.ForceWatchdog`.  Without one,
+        non-finite forces still abort the run (fail fast); with one, the
+        energy-spike detector and the checkpoint-recover policy are active.
+    """
 
     def __init__(
         self,
@@ -56,9 +118,11 @@ class Simulation:
         potential,
         dt: float = 0.5,
         thermostat=None,
+        barostat=None,
         skin: float = 0.4,
         recorder: Optional[TrajectoryRecorder] = None,
         engine: str = "eager",
+        watchdog=None,
     ) -> None:
         from ..engine import CompiledPotential
 
@@ -83,9 +147,12 @@ class Simulation:
         self.engine = engine
         self.integrator = VelocityVerlet(dt)
         self.thermostat = thermostat
+        self.barostat = barostat
+        self.watchdog = watchdog
         self.verlet = VerletList(self.potential.cutoff, skin=skin)
         self.recorder = recorder
         self.step_count = 0
+        self.n_recoveries = 0
         self._forces: Optional[np.ndarray] = None
         self._pe: float = 0.0
         self._callbacks: List[Callable[[int, "Simulation"], None]] = []
@@ -120,24 +187,178 @@ class Simulation:
         e, f = self._evaluator.energy_and_forces(self.system, nl)
         return e, f, nl.n_edges
 
-    def run(self, n_steps: int, record_every: int = 1) -> MDResult:
-        """Advance ``n_steps``; returns recorded time series."""
+    # -- checkpointable state -------------------------------------------------
+    def get_state(self) -> dict:
+        """Complete restart state; see :meth:`set_state` for the inverse.
+
+        Captures everything the step loop reads: phase-space coordinates,
+        the cell, coupling internals (thermostat RNG stream, Nosé–Hoover
+        friction, barostat pressure memory), cached forces/energy, and the
+        Verlet-list bookkeeping (reference positions + current list), so a
+        restored run follows the *same* rebuild/wrap schedule — the
+        ingredient that makes resume bitwise-identical rather than merely
+        statistically equivalent.
+        """
+        verlet_state: dict = {
+            "ref_positions": (
+                None
+                if self.verlet._ref_positions is None
+                else self.verlet._ref_positions.copy()
+            ),
+            "n_builds": self.verlet.n_builds,
+            "nl": None,
+        }
+        if self.verlet._nl is not None:
+            verlet_state["nl"] = (
+                self.verlet._nl.edge_index.copy(),
+                self.verlet._nl.shifts.copy(),
+            )
+        return {
+            "format": 1,
+            "step_count": self.step_count,
+            "positions": self.system.positions.copy(),
+            "velocities": self.system.velocities.copy(),
+            "cell_lengths": (
+                None if self.system.cell is None else self.system.cell.lengths.copy()
+            ),
+            "pe": float(self._pe),
+            "forces": None if self._forces is None else self._forces.copy(),
+            "thermostat": _capture_coupling_state(self.thermostat),
+            "barostat": _capture_coupling_state(self.barostat),
+            "verlet": verlet_state,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore :meth:`get_state` output (same system size/topology)."""
+        if state.get("format") != 1:
+            raise ValueError(f"unknown checkpoint format {state.get('format')!r}")
+        positions = np.asarray(state["positions"], dtype=np.float64)
+        if positions.shape != self.system.positions.shape:
+            raise ValueError(
+                f"checkpoint holds {positions.shape[0]} atoms, "
+                f"simulation has {self.system.n_atoms}"
+            )
+        self.system.positions[...] = positions
+        self.system.velocities[...] = np.asarray(state["velocities"])
+        if state["cell_lengths"] is not None:
+            if self.system.cell is None:
+                raise ValueError("checkpoint has a cell but the system does not")
+            self.system.cell.lengths[...] = np.asarray(state["cell_lengths"])
+        self.step_count = int(state["step_count"])
+        self._pe = float(state["pe"])
+        self._forces = None if state["forces"] is None else np.array(state["forces"])
+        _restore_coupling_state(self.thermostat, state["thermostat"])
+        _restore_coupling_state(self.barostat, state["barostat"])
+        verlet_state = state["verlet"]
+        self.verlet.n_builds = int(verlet_state["n_builds"])
+        ref = verlet_state["ref_positions"]
+        self.verlet._ref_positions = None if ref is None else np.array(ref)
+        if verlet_state["nl"] is None:
+            self.verlet._nl = None
+        else:
+            edge_index, shifts = verlet_state["nl"]
+            self.verlet._nl = NeighborList(np.array(edge_index), np.array(shifts))
+
+    # -- guarded degradation --------------------------------------------------
+    def _check_health(self, manager) -> bool:
+        """Watchdog gate after a force call; True = continue the step."""
+        if self.watchdog is None:
+            # Fail fast: never integrate or record a non-finite force call.
+            validate_energy_forces(
+                self._pe, self._forces, context=f"step {self.step_count + 1}"
+            )
+            return True
+        if self.watchdog.check(self._pe, self._forces, step=self.step_count + 1):
+            return True
+        # Recover policy: roll back to the newest verified checkpoint.
+        if manager is None:
+            raise NumericalInstabilityError(
+                f"{self.watchdog.last_error}; recovery requested but no "
+                "checkpointing is active (pass checkpoint_dir/checkpoint_every)"
+            )
+        _, snapshot = manager.load_latest()
+        self.set_state(snapshot)
+        self.watchdog.reset_history()
+        self.watchdog.on_recovered()
+        self.n_recoveries += 1
+        return False
+
+    def run(
+        self,
+        n_steps: int,
+        record_every: int = 1,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir=None,
+        checkpoint_manager=None,
+    ) -> MDResult:
+        """Advance ``n_steps``; returns recorded time series.
+
+        Parameters
+        ----------
+        checkpoint_every:
+            Snapshot interval in steps (defaults to
+            ``DEFAULT_CHECKPOINT_EVERY`` when a checkpoint sink is given).
+        checkpoint_dir / checkpoint_manager:
+            Where snapshots go: a directory (a
+            :class:`~repro.resilience.CheckpointManager` is created with
+            default retention) or an explicit manager.  An initial snapshot
+            is written before the first step if the sink is empty, so the
+            recover policy always has a floor to roll back to.
+
+        Watchdog recovery rolls the records back too, so the returned time
+        series never contains rolled-back steps (an on-disk trajectory
+        file, however, is append-only — rolled-back frames are re-written
+        on replay; in-memory recorder frames are truncated).
+        """
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        manager = checkpoint_manager
+        if manager is None and checkpoint_dir is not None:
+            from ..resilience import CheckpointManager
+
+            manager = CheckpointManager(checkpoint_dir)
+        if manager is not None and checkpoint_every is None:
+            checkpoint_every = DEFAULT_CHECKPOINT_EVERY
+        if checkpoint_every is not None and manager is None:
+            raise ValueError(
+                "checkpoint_every needs a checkpoint_dir or checkpoint_manager"
+            )
+
+        rec_steps: List[int] = []
         times, pes, kes, temps, pairs = [], [], [], [], []
+        n_pairs = 0
         if self._forces is None:
             self._pe, self._forces, n_pairs = self._compute_forces()
+            validate_energy_forces(self._pe, self._forces, context="initial forces")
+        if manager is not None and not manager.steps():
+            manager.save(self.get_state(), self.step_count)
+
+        start = self.step_count
+        target = start + n_steps
         t0 = time.perf_counter()
-        for k in range(n_steps):
+        while self.step_count < target:
             self.integrator.half_kick(self.system, self._forces)
             self.integrator.drift(self.system)
             # Positions are wrapped by the Verlet list exactly when it
             # rebuilds (stale shift vectors + wrapping do not mix).
             self._pe, self._forces, n_pairs = self._compute_forces()
+            if not self._check_health(manager):
+                # Rolled back: drop records newer than the restored step and
+                # replay from there.
+                while rec_steps and rec_steps[-1] > self.step_count:
+                    rec_steps.pop()
+                    times.pop(), pes.pop(), kes.pop(), temps.pop(), pairs.pop()
+                self._truncate_recorder()
+                continue
             self.integrator.half_kick(self.system, self._forces)
             if self.thermostat is not None:
                 self.thermostat.apply(self.system, self.integrator.dt)
+            if self.barostat is not None:
+                self.barostat.apply(self.system, self._forces, self.integrator.dt)
             self.step_count += 1
             t_now = self.step_count * self.integrator.dt
-            if k % record_every == 0:
+            if (self.step_count - start - 1) % record_every == 0:
+                rec_steps.append(self.step_count)
                 times.append(t_now)
                 pes.append(self._pe)
                 kes.append(self.system.kinetic_energy())
@@ -147,6 +368,11 @@ class Simulation:
                 self.recorder.record(self.step_count, t_now, self.system)
             for cb in self._callbacks:
                 cb(self.step_count, self)
+            if (
+                manager is not None
+                and (self.step_count - start) % checkpoint_every == 0
+            ):
+                manager.save(self.get_state(), self.step_count)
         wall = time.perf_counter() - t0
         return MDResult(
             times=np.asarray(times),
@@ -157,3 +383,13 @@ class Simulation:
             wall_time=wall,
             n_steps=n_steps,
         )
+
+    def _truncate_recorder(self) -> None:
+        """Drop in-memory recorder frames newer than the restored step."""
+        rec = self.recorder
+        if rec is None or not rec.keep_in_memory:
+            return
+        t_now = self.step_count * self.integrator.dt
+        while rec.times and rec.times[-1] > t_now:
+            rec.times.pop()
+            rec.frames.pop()

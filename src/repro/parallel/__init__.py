@@ -24,9 +24,9 @@ implements the same parallelization the paper relies on:
 
 from .topology import ProcessGrid
 from .loadbalance import BalancedProcessGrid
-from .comm import VirtualCluster, CommStats
+from .comm import VirtualCluster, CommStats, CommError
 from .decomposition import DomainDecomposition, RankShard
-from .driver import ParallelForceEvaluator, ParallelSimulation
+from .driver import ParallelForceEvaluator, ParallelSimulation, RankFailure
 from .perfmodel import (
     ClusterSpec,
     PerfModel,
@@ -39,10 +39,12 @@ __all__ = [
     "BalancedProcessGrid",
     "VirtualCluster",
     "CommStats",
+    "CommError",
     "DomainDecomposition",
     "RankShard",
     "ParallelForceEvaluator",
     "ParallelSimulation",
+    "RankFailure",
     "ClusterSpec",
     "PerfModel",
     "strong_scaling_curve",

@@ -8,15 +8,31 @@ because those measured volumes drive the performance model that
 regenerates the paper's scaling figures — and they are also the direct
 quantitative form of the paper's §IV-A argument for why strictly-local
 models parallelize and message-passing ones do not.
+
+Fault tolerance: a :class:`~repro.resilience.FaultPlan` can be attached to
+drop or delay individual messages (channels ``comm.drop`` /
+``comm.delay``).  Delivery then follows the MPI-with-retransmit model:
+``recv`` retries a bounded number of times, each retry "re-sending" the
+lost payload (counted in the ``retransmit`` traffic category, since real
+retransmissions consume real bandwidth).  Only when the payload is truly
+gone after ``max_retries`` does :class:`CommError` surface to the driver,
+which treats it like a rank failure (rebuild + reassign; see
+:mod:`repro.parallel.driver`).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+__all__ = ["CommError", "CommStats", "VirtualCluster"]
+
+
+class CommError(RuntimeError):
+    """A message could not be delivered within the retry budget."""
 
 
 @dataclass
@@ -55,14 +71,40 @@ class VirtualCluster:
     ``send``/``recv`` move a tuple of numpy arrays from one rank to another
     under a (category, tag) key.  Self-sends are allowed (periodic wrap on a
     1-rank axis) and are counted as zero-cost local copies.
+
+    Parameters
+    ----------
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan`; consulted once per
+        non-local send on the ``comm.drop`` and ``comm.delay`` channels.
+    max_retries:
+        Redelivery attempts ``recv`` makes for a dropped/delayed message
+        before raising :class:`CommError`.
     """
 
-    def __init__(self, n_ranks: int) -> None:
+    def __init__(
+        self,
+        n_ranks: int,
+        fault_plan=None,
+        max_retries: int = 3,
+    ) -> None:
         if n_ranks < 1:
             raise ValueError("need at least one rank")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.n_ranks = int(n_ranks)
         self.stats = CommStats()
+        self.fault_plan = fault_plan
+        self.max_retries = int(max_retries)
+        self.n_dropped = 0
+        self.n_delayed = 0
+        self.n_retransmits = 0
         self._mailboxes: Dict[Tuple[int, int, str, int], List] = {}
+        # Undelivered copies recoverable by retransmission, keyed like
+        # mailboxes: dropped payloads (sender still holds the data) and
+        # delayed payloads (in flight, arrive one recv attempt late).
+        self._lost: Dict[Tuple[int, int, str, int], List] = {}
+        self._delayed: Dict[Tuple[int, int, str, int], List] = {}
 
     def send(
         self,
@@ -75,25 +117,80 @@ class VirtualCluster:
         self._check(src)
         self._check(dst)
         key = (src, dst, category, tag)
-        self._mailboxes.setdefault(key, []).append(payload)
         if src != dst:
             nbytes = sum(np.asarray(a).nbytes for a in payload)
             self.stats.record(category, nbytes)
+            if self.fault_plan is not None:
+                from ..resilience.faults import COMM_DELAY, COMM_DROP
+
+                if self.fault_plan.fires(COMM_DROP):
+                    self.n_dropped += 1
+                    self._lost.setdefault(key, []).append(payload)
+                    return
+                if self.fault_plan.fires(COMM_DELAY):
+                    self.n_delayed += 1
+                    self._delayed.setdefault(key, []).append(payload)
+                    return
+        self._mailboxes.setdefault(key, []).append(payload)
 
     def recv(
         self, dst: int, src: int, category: str, tag: int = 0
     ) -> Tuple[np.ndarray, ...]:
         key = (src, dst, category, tag)
-        box = self._mailboxes.get(key)
-        if not box:
-            raise RuntimeError(
-                f"no message from rank {src} to {dst} in category {category!r} tag {tag}"
-            )
-        return box.pop(0)
+        for attempt in range(self.max_retries + 1):
+            box = self._mailboxes.get(key)
+            if box:
+                return box.pop(0)
+            if not self._redeliver(key):
+                break
+        raise CommError(
+            f"no message from rank {src} to {dst} in category {category!r} "
+            f"tag {tag} after {self.max_retries} retries"
+        )
+
+    def _redeliver(self, key) -> bool:
+        """Move one recoverable payload into the mailbox; False if none."""
+        delayed = self._delayed.get(key)
+        if delayed:
+            # A delayed message simply arrives on the next attempt — no
+            # extra traffic, it was already on the wire.
+            self._mailboxes.setdefault(key, []).append(delayed.pop(0))
+            return True
+        lost = self._lost.get(key)
+        if lost:
+            # Retransmission: the sender still owns the payload and resends
+            # it, which costs real bandwidth — account it.
+            payload = lost.pop(0)
+            self.n_retransmits += 1
+            nbytes = sum(np.asarray(a).nbytes for a in payload)
+            self.stats.record("retransmit", nbytes)
+            self._mailboxes.setdefault(key, []).append(payload)
+            return True
+        return False
+
+    def purge(self) -> int:
+        """Drop every undelivered message (driver recovery); returns count."""
+        n = self.pending()
+        self._mailboxes.clear()
+        self._lost.clear()
+        self._delayed.clear()
+        return n
 
     def pending(self) -> int:
         """Undelivered message count (should be 0 at phase boundaries)."""
-        return sum(len(v) for v in self._mailboxes.values())
+        return sum(
+            len(v)
+            for boxes in (self._mailboxes, self._lost, self._delayed)
+            for v in boxes.values()
+        )
+
+    def fault_stats(self) -> dict:
+        return {
+            "n_dropped": self.n_dropped,
+            "n_delayed": self.n_delayed,
+            "n_retransmits": self.n_retransmits,
+            "max_retries": self.max_retries,
+        }
 
     def _check(self, rank: int) -> None:
         if not 0 <= rank < self.n_ranks:

@@ -17,10 +17,22 @@ The evaluator is *exact*: assembled energies and forces equal the serial
 driver's up to floating-point summation order (asserted in tests), which
 is the reproduction of the paper's claim that strict locality makes
 spatial decomposition semantically invisible.
+
+Fault tolerance: dropped/delayed exchanges are retransmitted inside
+:class:`~repro.parallel.comm.VirtualCluster`; when retransmission is
+exhausted (:class:`~repro.parallel.comm.CommError`) or a rank failure is
+injected (:class:`RankFailure`), the evaluator purges in-flight traffic,
+rebuilds the decomposition — reassigning the failed rank's atoms exactly
+as a restarted replacement node would repartition — and retries the step,
+bounded by ``max_retries``.  Because all authoritative state (positions,
+velocities) lives in the global :class:`System`, recovery is a pure
+recompute: the retried step produces the same forces as an undisturbed
+one.
 """
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
@@ -30,11 +42,24 @@ import numpy as np
 from .. import autodiff as ad
 from ..md.integrators import VelocityVerlet
 from ..md.neighborlist import filter_by_pair_cutoffs
-from ..md.simulation import MDResult
+from ..md.simulation import (
+    MDResult,
+    _capture_coupling_state,
+    _restore_coupling_state,
+)
 from ..md.system import System
-from .comm import VirtualCluster
+from ..resilience.guards import validate_energy_forces
+from .comm import CommError, VirtualCluster
 from .decomposition import DomainDecomposition, RankShard
 from .topology import ProcessGrid
+
+
+class RankFailure(RuntimeError):
+    """A (simulated) rank loss during a force evaluation."""
+
+    def __init__(self, rank: int) -> None:
+        super().__init__(f"rank {rank} failed")
+        self.rank = rank
 
 
 @dataclass
@@ -62,12 +87,20 @@ class ParallelForceEvaluator:
         cluster: Optional[VirtualCluster] = None,
         skin: float = 0.0,
         engine: str = "eager",
+        fault_plan=None,
+        max_retries: int = 3,
     ) -> None:
         if engine not in ("eager", "compiled"):
             raise ValueError(f"unknown engine {engine!r} (use 'eager' or 'compiled')")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.potential = potential
         self.grid = grid
-        self.cluster = cluster or VirtualCluster(grid.n_ranks)
+        self.cluster = cluster or VirtualCluster(grid.n_ranks, fault_plan=fault_plan)
+        self.fault_plan = fault_plan
+        self.max_retries = int(max_retries)
+        self.n_failures = 0
+        self.n_recoveries = 0
         self.skin = float(skin)
         self.engine = engine
         # One compiled evaluator per rank: each rank captures at its own
@@ -79,6 +112,16 @@ class ParallelForceEvaluator:
         )
         self._shards: Optional[List[RankShard]] = None
         self._ref_positions: Optional[np.ndarray] = None
+
+    def resilience_stats(self) -> dict:
+        """Failure/recovery counters plus the cluster's fault accounting."""
+        out = {
+            "n_failures": self.n_failures,
+            "n_recoveries": self.n_recoveries,
+            "max_retries": self.max_retries,
+        }
+        out.update(self.cluster.fault_stats())
+        return out
 
     def engine_stats(self) -> Optional[dict]:
         """Aggregated per-rank capture/replay counters (None when eager)."""
@@ -130,7 +173,46 @@ class ParallelForceEvaluator:
 
     # -- evaluation ----------------------------------------------------------------
     def compute(self, system: System) -> Tuple[float, np.ndarray, RankWorkStats]:
-        """(total energy, assembled forces, per-rank work stats)."""
+        """(total energy, assembled forces, per-rank work stats).
+
+        Retries on :class:`~repro.parallel.comm.CommError` (retransmission
+        exhausted) and :class:`RankFailure` (injected rank loss): in-flight
+        traffic is purged, the decomposition is rebuilt from the global
+        system — reassigning the lost rank's shard — and the evaluation
+        reruns, up to ``max_retries`` times.
+        """
+        attempts = 0
+        while True:
+            try:
+                return self._compute_once(system)
+            except (CommError, RankFailure) as exc:
+                self.n_failures += 1
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise
+                self._recover(exc)
+                self.n_recoveries += 1
+
+    def _recover(self, exc: BaseException) -> None:
+        """Reset comm + decomposition state so the next attempt is clean."""
+        self.cluster.purge()
+        self._shards = None
+        self._ref_positions = None
+        if isinstance(exc, RankFailure):
+            # The replacement node arrives empty: its compiled capture
+            # state is gone and gets rebuilt on first use.
+            self._compiled.pop(exc.rank, None)
+
+    def _compute_once(
+        self, system: System
+    ) -> Tuple[float, np.ndarray, RankWorkStats]:
+        if self.fault_plan is not None:
+            from ..resilience.faults import RANK_FAIL
+
+            if self.fault_plan.fires(RANK_FAIL):
+                # Deterministic victim: cycle through the grid.
+                victim = (self.fault_plan.draws(RANK_FAIL) - 1) % self.grid.n_ranks
+                raise RankFailure(victim)
         shards = self._prepare(system)
         n = system.n_atoms
         forces = np.zeros((n, 3))
@@ -181,7 +263,15 @@ class ParallelForceEvaluator:
 
 
 class ParallelSimulation:
-    """NVE/NVT MD over a virtual cluster (mirrors md.Simulation)."""
+    """NVE/NVT MD over a virtual cluster (mirrors md.Simulation).
+
+    Supports the same checkpoint/restart contract as the serial driver:
+    ``run(..., checkpoint_every=, checkpoint_dir=)`` snapshots the global
+    phase space, thermostat internals, cached forces, *and* the evaluator's
+    decomposition bookkeeping (shards + reference positions), so a restored
+    parallel run follows the identical reneighbor/migration schedule and
+    reproduces the uninterrupted trajectory bitwise.
+    """
 
     def __init__(
         self,
@@ -192,6 +282,8 @@ class ParallelSimulation:
         thermostat=None,
         skin: float = 0.4,
         engine: str = "eager",
+        fault_plan=None,
+        max_retries: int = 3,
     ) -> None:
         if system.cell is None:
             raise ValueError("parallel MD requires a periodic cell")
@@ -200,27 +292,112 @@ class ParallelSimulation:
         self.integrator = VelocityVerlet(dt)
         self.thermostat = thermostat
         self.grid = ProcessGrid.create(n_ranks, system.cell)
-        self.cluster = VirtualCluster(n_ranks)
+        self.cluster = VirtualCluster(n_ranks, fault_plan=fault_plan)
         self.evaluator = ParallelForceEvaluator(
-            potential, self.grid, self.cluster, skin=skin, engine=engine
+            potential,
+            self.grid,
+            self.cluster,
+            skin=skin,
+            engine=engine,
+            fault_plan=fault_plan,
+            max_retries=max_retries,
         )
         self.step_count = 0
         self._forces: Optional[np.ndarray] = None
         self._pe = 0.0
         self.last_stats: Optional[RankWorkStats] = None
 
-    def run(self, n_steps: int, record_every: int = 1) -> MDResult:
+    # -- checkpointable state -------------------------------------------------
+    def get_state(self) -> dict:
+        """Complete restart state (global + decomposition bookkeeping)."""
+        ev = self.evaluator
+        return {
+            "format": 1,
+            "parallel": True,
+            "step_count": self.step_count,
+            "positions": self.system.positions.copy(),
+            "velocities": self.system.velocities.copy(),
+            "cell_lengths": self.system.cell.lengths.copy(),
+            "pe": float(self._pe),
+            "forces": None if self._forces is None else self._forces.copy(),
+            "thermostat": _capture_coupling_state(self.thermostat),
+            "shards": copy.deepcopy(ev._shards),
+            "ref_positions": (
+                None if ev._ref_positions is None else ev._ref_positions.copy()
+            ),
+            "prev_owner": (
+                None
+                if ev.decomp._prev_owner is None
+                else ev.decomp._prev_owner.copy()
+            ),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore :meth:`get_state` output (same system size and ranks)."""
+        if state.get("format") != 1 or not state.get("parallel"):
+            raise ValueError("not a parallel simulation checkpoint")
+        positions = np.asarray(state["positions"], dtype=np.float64)
+        if positions.shape != self.system.positions.shape:
+            raise ValueError(
+                f"checkpoint holds {positions.shape[0]} atoms, "
+                f"simulation has {self.system.n_atoms}"
+            )
+        self.system.positions[...] = positions
+        self.system.velocities[...] = np.asarray(state["velocities"])
+        self.system.cell.lengths[...] = np.asarray(state["cell_lengths"])
+        self.step_count = int(state["step_count"])
+        self._pe = float(state["pe"])
+        self._forces = None if state["forces"] is None else np.array(state["forces"])
+        _restore_coupling_state(self.thermostat, state["thermostat"])
+        ev = self.evaluator
+        ev._shards = copy.deepcopy(state["shards"])
+        ref = state["ref_positions"]
+        ev._ref_positions = None if ref is None else np.array(ref)
+        prev = state["prev_owner"]
+        ev.decomp._prev_owner = None if prev is None else np.array(prev)
+
+    def run(
+        self,
+        n_steps: int,
+        record_every: int = 1,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir=None,
+        checkpoint_manager=None,
+    ) -> MDResult:
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        manager = checkpoint_manager
+        if manager is None and checkpoint_dir is not None:
+            from ..resilience import CheckpointManager
+
+            manager = CheckpointManager(checkpoint_dir)
+        if manager is not None and checkpoint_every is None:
+            checkpoint_every = 100
+        if checkpoint_every is not None and manager is None:
+            raise ValueError(
+                "checkpoint_every needs a checkpoint_dir or checkpoint_manager"
+            )
+
         times, pes, kes, temps, pairs = [], [], [], [], []
         if self._forces is None:
             self._pe, self._forces, self.last_stats = self.evaluator.compute(
                 self.system
             )
+            validate_energy_forces(self._pe, self._forces, context="initial forces")
+        if manager is not None and not manager.steps():
+            manager.save(self.get_state(), self.step_count)
+        start = self.step_count
         t0 = time.perf_counter()
         for k in range(n_steps):
             self.integrator.half_kick(self.system, self._forces)
             self.integrator.drift(self.system)
             self._pe, self._forces, self.last_stats = self.evaluator.compute(
                 self.system
+            )
+            # Fail fast: a non-finite force must never be integrated into
+            # the trajectory (same guard as the serial driver).
+            validate_energy_forces(
+                self._pe, self._forces, context=f"step {self.step_count + 1}"
             )
             self.integrator.half_kick(self.system, self._forces)
             if self.thermostat is not None:
@@ -232,6 +409,11 @@ class ParallelSimulation:
                 kes.append(self.system.kinetic_energy())
                 temps.append(self.system.temperature())
                 pairs.append(int(self.last_stats.n_edges.sum()))
+            if (
+                manager is not None
+                and (self.step_count - start) % checkpoint_every == 0
+            ):
+                manager.save(self.get_state(), self.step_count)
         wall = time.perf_counter() - t0
         return MDResult(
             times=np.asarray(times),

@@ -1,0 +1,210 @@
+"""Deterministic fault injection: the test harness for every guard.
+
+A resilience layer is only as trustworthy as the failures it has been
+exercised against, and stochastic chaos testing cannot go in a unit
+suite.  :class:`FaultPlan` therefore makes fault schedules *deterministic
+and seedable*: every injection site draws from its own named channel, and
+whether a given draw fires depends only on (seed, channel, draw index) —
+never on wall-clock, thread timing, or global RNG state.  The same plan
+replayed against the same workload injects the same faults.
+
+Channels used by the built-in injection sites:
+
+* ``comm.drop`` / ``comm.delay`` — :class:`repro.parallel.comm.VirtualCluster`
+  consults these per message send.
+* ``parallel.rank_fail`` — :class:`repro.parallel.driver.ParallelForceEvaluator`
+  consults once per force evaluation (a firing simulates losing a rank).
+* ``serve.worker_crash`` / ``serve.worker_stall`` — the
+  :class:`repro.serve.ForceServer` worker consults per batch attempt.
+* ``engine.replay_fail`` — :class:`repro.engine.CompiledPotential` consults
+  per replay (a firing poisons the replay, exercising the fallback chain).
+* ``potential.corrupt`` — :class:`FaultyPotential` consults per force call
+  and overwrites part of the output with NaN/inf.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+__all__ = [
+    "COMM_DROP",
+    "COMM_DELAY",
+    "RANK_FAIL",
+    "WORKER_CRASH",
+    "WORKER_STALL",
+    "REPLAY_FAIL",
+    "POTENTIAL_CORRUPT",
+    "InjectedFault",
+    "FaultPlan",
+    "FaultyPotential",
+]
+
+COMM_DROP = "comm.drop"
+COMM_DELAY = "comm.delay"
+RANK_FAIL = "parallel.rank_fail"
+WORKER_CRASH = "serve.worker_crash"
+WORKER_STALL = "serve.worker_stall"
+REPLAY_FAIL = "engine.replay_fail"
+POTENTIAL_CORRUPT = "potential.corrupt"
+
+
+class InjectedFault(RuntimeError):
+    """Raised at an injection site standing in for a real failure."""
+
+    def __init__(self, channel: str, index: int) -> None:
+        super().__init__(f"injected fault on {channel!r} (event #{index})")
+        self.channel = channel
+        self.index = index
+
+
+def _channel_seed(seed: int, channel: str) -> int:
+    """Stable per-channel stream seed (not process-salted like hash())."""
+    digest = hashlib.sha256(channel.encode("utf-8")).digest()
+    return (int(seed) & 0xFFFFFFFF) ^ int.from_bytes(digest[:8], "little")
+
+
+class FaultPlan:
+    """A seeded, per-channel schedule of injected faults.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; each channel derives an independent stream from it.
+    rates:
+        ``{channel: probability}`` — each draw on the channel fires with
+        that probability, deterministically given the draw index.
+    at:
+        ``{channel: iterable of draw indices}`` — exact-schedule mode; the
+        channel fires on those draw indices only (overrides ``rates`` for
+        that channel).  Draw indices start at 0.
+
+    A plan is mutable state (per-channel draw counters advance with each
+    :meth:`fires` call); build one plan per experiment.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rates: Optional[Mapping[str, float]] = None,
+        at: Optional[Mapping[str, Iterable[int]]] = None,
+    ) -> None:
+        self.seed = int(seed)
+        self.rates = {str(k): float(v) for k, v in (rates or {}).items()}
+        for channel, p in self.rates.items():
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"rate for {channel!r} must be in [0, 1], got {p}")
+        self.at = {str(k): frozenset(int(i) for i in v) for k, v in (at or {}).items()}
+        self._counters: Dict[str, int] = defaultdict(int)
+        self._fired: Dict[str, int] = defaultdict(int)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def _stream(self, channel: str) -> np.random.Generator:
+        rng = self._streams.get(channel)
+        if rng is None:
+            rng = self._streams[channel] = np.random.default_rng(
+                _channel_seed(self.seed, channel)
+            )
+        return rng
+
+    # -- the injection-site API -----------------------------------------------
+    def fires(self, channel: str) -> bool:
+        """Advance ``channel``'s draw counter; True when a fault fires now."""
+        index = self._counters[channel]
+        self._counters[channel] = index + 1
+        if channel in self.at:
+            hit = index in self.at[channel]
+        else:
+            p = self.rates.get(channel, 0.0)
+            # Draw even when p == 0 so adding a rate later does not shift
+            # the stream of channels configured in the same plan.
+            u = float(self._stream(channel).uniform()) if channel in self.rates else 1.0
+            hit = u < p
+        if hit:
+            self._fired[channel] += 1
+        return hit
+
+    def raise_if_fires(self, channel: str) -> None:
+        """Raise :class:`InjectedFault` when the channel fires."""
+        if self.fires(channel):
+            raise InjectedFault(channel, self._counters[channel] - 1)
+
+    # -- accounting -----------------------------------------------------------
+    def draws(self, channel: str) -> int:
+        return self._counters[channel]
+
+    def fired(self, channel: str) -> int:
+        return self._fired[channel]
+
+    def stats(self) -> dict:
+        channels = sorted(set(self._counters) | set(self.rates) | set(self.at))
+        return {
+            "seed": self.seed,
+            "channels": {
+                c: {"draws": self._counters[c], "fired": self._fired[c]}
+                for c in channels
+            },
+        }
+
+
+class FaultyPotential:
+    """Wrap a potential so its output is corrupted on schedule.
+
+    When ``plan.fires(channel)``, the wrapped result is poisoned: the
+    ``"nan"`` mode sets the first force component to NaN, ``"inf"`` sets
+    the energy to +inf — the two blow-up signatures an MD watchdog and the
+    serve-side output validation must catch.  All other calls pass through
+    untouched, so a guarded caller that retries gets the exact clean
+    result.
+    """
+
+    def __init__(
+        self,
+        potential,
+        plan: FaultPlan,
+        mode: str = "nan",
+        channel: str = POTENTIAL_CORRUPT,
+    ) -> None:
+        if mode not in ("nan", "inf"):
+            raise ValueError(f"unknown corruption mode {mode!r} (nan|inf)")
+        self.potential = potential
+        self.plan = plan
+        self.mode = mode
+        self.channel = channel
+
+    # -- potential protocol proxies -------------------------------------------
+    @property
+    def cutoff(self) -> float:
+        return self.potential.cutoff
+
+    @property
+    def pair_cutoffs(self):
+        # AttributeError propagates when the wrapped potential has no
+        # pair-cutoff matrix, so ``getattr(pot, "pair_cutoffs", default)``
+        # behaves identically through the wrapper.
+        return self.potential.pair_cutoffs
+
+    def prepare_neighbors(self, system):
+        prepare = getattr(self.potential, "prepare_neighbors", None)
+        if prepare is not None:
+            return prepare(system)
+        from ..md.neighborlist import neighbor_list
+
+        return neighbor_list(system, self.cutoff)
+
+    def atomic_energies(self, positions, species, nl):
+        return self.potential.atomic_energies(positions, species, nl)
+
+    def energy_and_forces(self, system, nl=None):
+        energy, forces = self.potential.energy_and_forces(system, nl)
+        if self.plan.fires(self.channel):
+            forces = np.array(forces, copy=True)
+            if self.mode == "nan":
+                if forces.size:
+                    forces[0, 0] = np.nan
+            else:
+                energy = float("inf")
+        return energy, forces

@@ -1,0 +1,154 @@
+"""Numerical guards: non-finite detection and energy-spike watchdogs.
+
+A NaN in the force array is the MD equivalent of silent data corruption:
+velocity Verlet propagates it to every coupled degree of freedom within a
+few steps and the trajectory file fills with garbage that *looks* like
+output.  The paper's 42 ns stability claim (§VII-B) is meaningful only
+because blow-ups are detected, not averaged over — so the guard layer
+fails fast by default and recovers from a checkpoint when asked to.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "NumericalInstabilityError",
+    "validate_energy_forces",
+    "ForceWatchdog",
+]
+
+
+class NumericalInstabilityError(RuntimeError):
+    """Non-finite energy/forces or an energy spike beyond tolerance."""
+
+
+def validate_energy_forces(energy, forces, context: str = "") -> None:
+    """Raise :class:`NumericalInstabilityError` on any non-finite output."""
+    where = f" ({context})" if context else ""
+    if not np.isfinite(energy):
+        raise NumericalInstabilityError(f"non-finite energy {energy!r}{where}")
+    forces = np.asarray(forces)
+    if not np.isfinite(forces).all():
+        bad = int(np.count_nonzero(~np.isfinite(forces).all(axis=-1)))
+        raise NumericalInstabilityError(
+            f"non-finite forces on {bad} atom(s){where}"
+        )
+
+
+class ForceWatchdog:
+    """Per-step health check on (energy, forces) with abort/recover policy.
+
+    Two detectors:
+
+    * **Non-finite** — any NaN/inf in the energy or force array.
+    * **Energy spike** — once ``min_history`` samples are banked, a
+      potential energy further than ``spike_factor`` robust widths
+      (median absolute deviation, floored by ``abs_floor``) from the
+      rolling median trips the watchdog.  This catches the "forces are
+      finite but the integrator just exploded" failure mode that precedes
+      the NaN by a few steps.
+
+    Policy:
+
+    * ``"abort"`` — :meth:`check` raises :class:`NumericalInstabilityError`.
+    * ``"recover"`` — :meth:`check` returns False; the caller (the MD
+      driver) restores the last checkpoint and continues.  After
+      ``max_recoveries`` trips the watchdog escalates to abort anyway —
+      a deterministic blow-up would otherwise loop forever.
+    """
+
+    POLICIES = ("abort", "recover")
+
+    def __init__(
+        self,
+        policy: str = "abort",
+        spike_factor: Optional[float] = 1e3,
+        min_history: int = 16,
+        window: int = 64,
+        abs_floor: float = 1e-8,
+        max_recoveries: int = 3,
+    ) -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown policy {policy!r} (abort|recover)")
+        if spike_factor is not None and spike_factor <= 0:
+            raise ValueError("spike_factor must be positive (or None to disable)")
+        if max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
+        self.policy = policy
+        self.spike_factor = spike_factor
+        self.min_history = int(min_history)
+        self.abs_floor = float(abs_floor)
+        self._history: deque = deque(maxlen=int(window))
+        # Median/MAD over the window are refreshed every few appends, not
+        # every check — a rolling robust center moves by O(1/window) per
+        # sample, far inside a spike_factor-sized dead band, and the
+        # recompute would otherwise dominate the per-step cost.
+        self._stats_every = 8
+        self._stats_age = self._stats_every  # force compute on first use
+        self._median = 0.0
+        self._scale = float(abs_floor)
+        self.max_recoveries = int(max_recoveries)
+        self.n_checks = 0
+        self.n_trips = 0
+        self.n_recoveries = 0
+        self.last_error: Optional[str] = None
+
+    # -- detection ------------------------------------------------------------
+    def _diagnose(self, energy, forces) -> Optional[str]:
+        if not np.isfinite(energy):
+            return f"non-finite energy {energy!r}"
+        forces = np.asarray(forces)
+        if not np.isfinite(forces).all():
+            bad = int(np.count_nonzero(~np.isfinite(forces).all(axis=-1)))
+            return f"non-finite forces on {bad} atom(s)"
+        if self.spike_factor is not None and len(self._history) >= self.min_history:
+            if self._stats_age >= self._stats_every:
+                hist = np.asarray(self._history)
+                self._median = float(np.median(hist))
+                mad = float(np.median(np.abs(hist - self._median)))
+                self._scale = max(1.4826 * mad, self.abs_floor)
+                self._stats_age = 0
+            dev = abs(float(energy) - self._median)
+            if dev > self.spike_factor * self._scale:
+                return (
+                    f"energy spike: |{energy:.6g} - median {self._median:.6g}| "
+                    f"= {dev:.3g} > {self.spike_factor:g} x {self._scale:.3g}"
+                )
+        return None
+
+    def check(self, energy, forces, step: Optional[int] = None) -> bool:
+        """True when healthy (energy banked); False/raise when tripped."""
+        self.n_checks += 1
+        problem = self._diagnose(energy, forces)
+        if problem is None:
+            self._history.append(float(energy))
+            self._stats_age += 1
+            return True
+        self.n_trips += 1
+        where = "" if step is None else f" at step {step}"
+        self.last_error = f"{problem}{where}"
+        if self.policy == "abort" or self.n_recoveries >= self.max_recoveries:
+            raise NumericalInstabilityError(self.last_error)
+        return False
+
+    def on_recovered(self) -> None:
+        """Record one successful checkpoint restore (recover policy)."""
+        self.n_recoveries += 1
+
+    def reset_history(self) -> None:
+        """Drop banked energies (call after restoring an older state)."""
+        self._history.clear()
+        self._stats_age = self._stats_every
+
+    def stats(self) -> dict:
+        return {
+            "policy": self.policy,
+            "n_checks": self.n_checks,
+            "n_trips": self.n_trips,
+            "n_recoveries": self.n_recoveries,
+            "last_error": self.last_error,
+        }

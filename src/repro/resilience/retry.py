@@ -1,0 +1,219 @@
+"""Retry with exponential backoff + jitter, and a circuit breaker.
+
+Two standard production-degradation primitives, tuned for determinism so
+they can be property-tested:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *seeded* full jitter.  The delay sequence for a given (seed, attempt)
+  is reproducible, so tests assert exact schedules instead of sleeping
+  and hoping.
+* :class:`CircuitBreaker` — closed → open after N consecutive failures,
+  open → half-open after a cooldown, half-open admits a single probe
+  which closes (success) or re-opens (failure) the circuit.  The clock is
+  injectable, so state transitions are testable without real time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Tuple, Type
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "CircuitOpenError"]
+
+
+class CircuitOpenError(RuntimeError):
+    """An operation was refused because its circuit breaker is open."""
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded full jitter.
+
+    Delay before retry ``k`` (1-based) is drawn uniformly from
+    ``[0, min(max_delay, base_delay * multiplier**(k-1))]`` — "full
+    jitter", which de-synchronizes retry storms — scaled down to a
+    deterministic stream by ``seed``.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries after the first attempt (0 disables retrying).
+    base_delay / multiplier / max_delay:
+        Backoff schedule in seconds.
+    jitter:
+        Fraction of the backoff ceiling that is randomized (1.0 = full
+        jitter, 0.0 = deterministic exponential backoff).
+    sleep:
+        Injectable sleep function (tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 3,
+        base_delay: float = 1e-3,
+        multiplier: float = 2.0,
+        max_delay: float = 0.25,
+        jitter: float = 1.0,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.max_retries = int(max_retries)
+        self.base_delay = float(base_delay)
+        self.multiplier = float(multiplier)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self._rng = np.random.default_rng(seed)
+        self._sleep = sleep
+        self.n_retries = 0
+        self.n_giveups = 0
+
+    def delay(self, attempt: int) -> float:
+        """Backoff delay before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        ceiling = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        if self.jitter == 0.0:
+            return ceiling
+        u = float(self._rng.uniform())
+        return ceiling * (1.0 - self.jitter) + ceiling * self.jitter * u
+
+    def call(
+        self,
+        fn: Callable,
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ):
+        """``fn()`` with bounded retries; re-raises the last failure."""
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except retry_on as exc:
+                attempt += 1
+                if attempt > self.max_retries:
+                    self.n_giveups += 1
+                    raise
+                self.n_retries += 1
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self._sleep(self.delay(attempt))
+
+    def stats(self) -> dict:
+        return {
+            "max_retries": self.max_retries,
+            "n_retries": self.n_retries,
+            "n_giveups": self.n_giveups,
+        }
+
+
+class CircuitBreaker:
+    """Closed / open / half-open circuit over consecutive failures.
+
+    * **closed** — everything flows; ``failure_threshold`` *consecutive*
+      failures open the circuit.
+    * **open** — :meth:`allow` returns False until ``reset_timeout``
+      seconds have passed since opening.
+    * **half-open** — exactly one caller is admitted as a probe; its
+      success closes the circuit, its failure re-opens it (and restarts
+      the cooldown).
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_inflight = False
+        self.n_opens = 0
+        self.n_rejections = 0
+        self.transitions: List[str] = []
+
+    @property
+    def state(self) -> str:
+        # Promote open → half-open lazily on inspection.
+        if (
+            self._state == self.OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._transition(self.HALF_OPEN)
+        return self._state
+
+    def _transition(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            self.transitions.append(state)
+            if state == self.HALF_OPEN:
+                self._probe_inflight = False
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In half-open state exactly one caller gets True (the probe);
+        everyone else is rejected until the probe reports back.
+        """
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        self.n_rejections += 1
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._probe_inflight = False
+        if self._state != self.CLOSED:
+            self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        self._probe_inflight = False
+        if self._state == self.HALF_OPEN:
+            self._open()
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state == self.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self.n_opens += 1
+        self._transition(self.OPEN)
+
+    def stats(self) -> dict:
+        return {
+            "state": self.state,
+            "failure_threshold": self.failure_threshold,
+            "reset_timeout": self.reset_timeout,
+            "n_opens": self.n_opens,
+            "n_rejections": self.n_rejections,
+        }

@@ -35,9 +35,19 @@ from .batching import ForceRequest, MicroBatcher, concatenate_structures
 from .metrics import Counter, Histogram, Metrics
 from .plancache import PlanCache, SizeClasses
 from .registry import ModelEntry, ModelRegistry, UnknownModelError
-from .server import Client, ForceServer, RequestTimeout, ServeError, ServerOverloaded
+from .server import (
+    CircuitOpen,
+    Client,
+    ForceServer,
+    ModelFailure,
+    RequestTimeout,
+    ServeError,
+    ServerOverloaded,
+    WorkerCrash,
+)
 
 __all__ = [
+    "CircuitOpen",
     "Client",
     "Counter",
     "ForceRequest",
@@ -46,6 +56,7 @@ __all__ = [
     "Metrics",
     "MicroBatcher",
     "ModelEntry",
+    "ModelFailure",
     "ModelRegistry",
     "PlanCache",
     "RequestTimeout",
@@ -53,5 +64,6 @@ __all__ = [
     "ServerOverloaded",
     "SizeClasses",
     "UnknownModelError",
+    "WorkerCrash",
     "concatenate_structures",
 ]

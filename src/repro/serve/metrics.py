@@ -194,12 +194,25 @@ class Metrics:
             return h
 
     def snapshot(self) -> dict:
-        """Consistent JSON-able view of every counter and histogram."""
+        """Consistent JSON-able view of every counter and histogram.
+
+        Counters following the ``errors_<class>`` convention are also
+        aggregated into an ``errors`` breakdown (class → count, plus a
+        ``total``) so degradation is visible at a glance in
+        ``--stats-json`` output without scanning the flat counter list.
+        """
         with self._lock:
             counters = {name: c._value for name, c in self._counters.items()}
             hists = list(self._histograms.values())
+        errors = {
+            name[len("errors_"):]: value
+            for name, value in counters.items()
+            if name.startswith("errors_")
+        }
+        errors["total"] = sum(errors.values())
         return {
             "counters": counters,
+            "errors": errors,
             "histograms": {h.name: h.snapshot() for h in hists},
         }
 

@@ -23,6 +23,7 @@ import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional
 
+from ..resilience.retry import CircuitBreaker
 from .plancache import PlanCache
 
 __all__ = ["ModelRegistry", "ModelEntry", "UnknownModelError"]
@@ -35,13 +36,25 @@ class UnknownModelError(KeyError):
 class ModelEntry:
     """One registered (name, version) with its lazily built plan cache."""
 
-    __slots__ = ("name", "version", "potential", "plan_cache", "_cache_opts")
+    __slots__ = (
+        "name", "version", "potential", "plan_cache", "breaker", "_cache_opts"
+    )
 
-    def __init__(self, name: str, version: str, potential, cache_opts: dict) -> None:
+    def __init__(
+        self,
+        name: str,
+        version: str,
+        potential,
+        cache_opts: dict,
+        breaker_opts: Optional[dict] = None,
+    ) -> None:
         self.name = name
         self.version = version
         self.potential = potential
         self.plan_cache: Optional[PlanCache] = None
+        # Per-model circuit breaker: one misbehaving model must not take
+        # down requests against the healthy ones it shares a server with.
+        self.breaker = CircuitBreaker(**(breaker_opts or {}))
         self._cache_opts = cache_opts
 
     @property
@@ -78,12 +91,16 @@ class ModelRegistry:
     """
 
     def __init__(
-        self, max_compiled: int = 4, plan_cache_opts: Optional[dict] = None
+        self,
+        max_compiled: int = 4,
+        plan_cache_opts: Optional[dict] = None,
+        breaker_opts: Optional[dict] = None,
     ) -> None:
         if max_compiled < 1:
             raise ValueError("max_compiled must be >= 1")
         self.max_compiled = int(max_compiled)
         self._cache_opts = dict(plan_cache_opts or {})
+        self._breaker_opts = dict(breaker_opts or {})
         self._lock = threading.RLock()
         self._entries: Dict[str, ModelEntry] = {}
         self._latest: Dict[str, str] = {}
@@ -97,7 +114,10 @@ class ModelRegistry:
         if ":" in name:
             raise ValueError("model name must not contain ':'")
         with self._lock:
-            entry = ModelEntry(name, str(version), potential, self._cache_opts)
+            entry = ModelEntry(
+                name, str(version), potential, self._cache_opts,
+                breaker_opts=self._breaker_opts,
+            )
             self._entries[entry.key] = entry
             self._latest[name] = entry.version
             self._hot.pop(entry.key, None)  # replacing drops stale plans
@@ -156,6 +176,11 @@ class ModelRegistry:
             entry.invalidate()
             self._hot.pop(entry.key, None)
 
+    def breaker(self, key: Optional[str] = None) -> CircuitBreaker:
+        """The circuit breaker guarding ``key`` (no LRU touch)."""
+        with self._lock:
+            return self._entries[self.resolve_key(key)].breaker
+
     def names(self) -> List[str]:
         """Registered model names (without versions)."""
         with self._lock:
@@ -183,4 +208,8 @@ class ModelRegistry:
         out["models"] = {
             e.key: e.plan_cache.stats() for e in hot if e.plan_cache is not None
         }
+        with self._lock:
+            out["breakers"] = {
+                e.key: e.breaker.state for e in self._entries.values()
+            }
         return out

@@ -24,6 +24,13 @@ Guarantees:
   :class:`RequestTimeout` at pickup instead of wasting a force call.
 * **Graceful drain** — :meth:`ForceServer.stop` stops admission, lets the
   workers finish every admitted request, then joins the pool.
+* **No silent garbage** — every batch result is validated (finite energy
+  and forces) before any future resolves; a bad evaluation is retried
+  with backoff and, if it keeps failing, surfaces as an explicit
+  :class:`ModelFailure`.  Models that fail repeatedly trip a per-model
+  circuit breaker so one broken model cannot monopolize the workers
+  (requests against it shed immediately with :class:`CircuitOpen` until
+  a half-open probe succeeds).
 """
 
 from __future__ import annotations
@@ -37,11 +44,22 @@ import numpy as np
 
 from .. import autodiff as ad
 from ..md.neighborlist import neighbor_list
+from ..resilience.guards import NumericalInstabilityError, validate_energy_forces
+from ..resilience.retry import RetryPolicy
 from .batching import ForceRequest, MicroBatcher, concatenate_structures
 from .metrics import Metrics, OCCUPANCY_BUCKETS
 from .registry import ModelRegistry
 
-__all__ = ["ForceServer", "Client", "ServeError", "ServerOverloaded", "RequestTimeout"]
+__all__ = [
+    "ForceServer",
+    "Client",
+    "ServeError",
+    "ServerOverloaded",
+    "RequestTimeout",
+    "ModelFailure",
+    "CircuitOpen",
+    "WorkerCrash",
+]
 
 
 class ServeError(RuntimeError):
@@ -54,6 +72,18 @@ class ServerOverloaded(ServeError):
 
 class RequestTimeout(ServeError):
     """The request waited in queue past its deadline and was dropped."""
+
+
+class ModelFailure(ServeError):
+    """Evaluation kept failing (exception or non-finite output) after retries."""
+
+
+class CircuitOpen(ServeError):
+    """The model's circuit breaker is open; request shed without evaluation."""
+
+
+class WorkerCrash(ServeError):
+    """An injected (or real) worker crash during batch evaluation."""
 
 
 def _build_nl(potential, system):
@@ -86,6 +116,15 @@ class ForceServer:
         against).
     default_timeout:
         Per-request queue-wait budget in seconds (None = unbounded).
+    retry_policy:
+        :class:`~repro.resilience.RetryPolicy` applied around each batch
+        evaluation (worker crashes and non-finite output are retried with
+        seeded-jitter backoff).  Default: 2 retries, millisecond delays.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan`; consulted per batch
+        on the ``serve.worker_crash`` / ``serve.worker_stall`` channels.
+    stall_time:
+        How long an injected worker stall sleeps (seconds).
     """
 
     def __init__(
@@ -98,6 +137,9 @@ class ForceServer:
         engine: str = "compiled",
         default_timeout: Optional[float] = None,
         metrics: Optional[Metrics] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan=None,
+        stall_time: float = 0.01,
         start: bool = True,
     ) -> None:
         if engine not in ("compiled", "eager"):
@@ -115,11 +157,17 @@ class ForceServer:
         self.max_queue = int(max_queue)
         self.default_timeout = default_timeout
         self.metrics = metrics or Metrics()
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_retries=2, base_delay=1e-3, max_delay=0.02
+        )
+        self.fault_plan = fault_plan
+        self.stall_time = float(stall_time)
         self._batcher = MicroBatcher(max_batch=max_batch, max_wait=batch_wait)
         self._lock = threading.Lock()
         self._done_cv = threading.Condition(self._lock)
         self._accepting = False
         self._closed = False
+        self._aborting = False
         self._admitted = 0
         self._completed = 0
         self._workers: List[threading.Thread] = []
@@ -161,9 +209,17 @@ class ForceServer:
         return True
 
     def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
-        """Stop admission, optionally drain the backlog, join the workers."""
+        """Stop admission, optionally drain the backlog, join the workers.
+
+        With ``drain=False``, batches still queued are *failed*, never
+        dropped: workers switch to abort mode (any batch they pick up is
+        completed with :class:`ServeError`), and whatever remains after
+        the pool joins is failed here — every admitted future resolves.
+        """
         with self._lock:
             self._accepting = False
+            if not drain:
+                self._aborting = True
         if drain:
             self.drain(timeout=timeout)
         with self._lock:
@@ -177,7 +233,10 @@ class ForceServer:
         leftover = self._batcher.get_batch(timeout=0.0)
         while leftover:
             for req in leftover:
-                self._fail(req, ServeError("server stopped"), "requests_failed")
+                self._fail(
+                    req, ServeError("server stopped"), "requests_failed",
+                    "shutdown",
+                )
             leftover = self._batcher.get_batch(timeout=0.0)
 
     def __enter__(self) -> "ForceServer":
@@ -210,6 +269,7 @@ class ForceServer:
             depth = self._batcher.pending()
             if depth >= self.max_queue:
                 self.metrics.counter("requests_shed").inc()
+                self.metrics.counter("errors_overload").inc()
                 raise ServerOverloaded(
                     f"queue full ({depth}/{self.max_queue} pending)"
                 )
@@ -258,7 +318,7 @@ class ForceServer:
             except Exception as exc:  # defensive: a bug must not kill the pool
                 for req in batch:
                     if not req.future.done():
-                        self._fail(req, exc, "requests_failed")
+                        self._fail(req, exc, "requests_failed", "model_failure")
 
     def _finish(self, req: ForceRequest, result) -> None:
         req.future.set_result(result)
@@ -266,10 +326,18 @@ class ForceServer:
         self.metrics.histogram("latency_s").observe(time.monotonic() - req.t_enqueue)
         self._mark_completed(1)
 
-    def _fail(self, req: ForceRequest, exc: Exception, counter: str) -> None:
+    def _fail(
+        self,
+        req: ForceRequest,
+        exc: Exception,
+        counter: str,
+        err_class: Optional[str] = None,
+    ) -> None:
         if not req.future.done():
             req.future.set_exception(exc)
         self.metrics.counter(counter).inc()
+        if err_class is not None:
+            self.metrics.counter(f"errors_{err_class}").inc()
         self._mark_completed(1)
 
     def _mark_completed(self, n: int) -> None:
@@ -278,6 +346,13 @@ class ForceServer:
             self._done_cv.notify_all()
 
     def _process(self, batch: List[ForceRequest]) -> None:
+        if self._aborting:
+            for req in batch:
+                self._fail(
+                    req, ServeError("server stopped"), "requests_failed",
+                    "shutdown",
+                )
+            return
         now = time.monotonic()
         for req in batch:
             self.metrics.histogram("queue_wait_s").observe(now - req.t_enqueue)
@@ -290,6 +365,7 @@ class ForceServer:
                         f"request waited {now - req.t_enqueue:.3f}s in queue"
                     ),
                     "requests_timeout",
+                    "timeout",
                 )
             else:
                 live.append(req)
@@ -300,50 +376,103 @@ class ForceServer:
 
         key = live[0].model
         entry = self.registry.peek(key) if self.engine == "eager" else self.registry.get(key)
-        potential = entry.potential
+        if not entry.breaker.allow():
+            # Fail fast: the model has been failing consistently; shedding
+            # here protects the workers for healthy models.  A half-open
+            # probe batch is admitted once per reset window.
+            for req in live:
+                self._fail(
+                    req,
+                    CircuitOpen(f"circuit open for model {key}"),
+                    "requests_failed",
+                    "circuit_open",
+                )
+            return
         nls = [
-            req.nl if req.nl is not None else _build_nl(potential, req.system)
+            req.nl if req.nl is not None else _build_nl(entry.potential, req.system)
             for req in live
         ]
+        try:
+            results = self.retry_policy.call(
+                lambda: self._evaluate_batch(entry, live, nls),
+                retry_on=(WorkerCrash, NumericalInstabilityError),
+                on_retry=lambda attempt, exc: (
+                    entry.breaker.record_failure(),
+                    self.metrics.counter("batch_retries").inc(),
+                ),
+            )
+        except Exception as exc:
+            entry.breaker.record_failure()
+            wrapped = exc if isinstance(exc, ServeError) else ModelFailure(str(exc))
+            for req in live:
+                self._fail(req, wrapped, "requests_failed", "model_failure")
+            return
+        entry.breaker.record_success()
+        # Futures resolve only after the WHOLE batch computed and validated
+        # — a retry can therefore never double-resolve a future, and no
+        # caller ever observes a non-finite result.
+        for req, result in zip(live, results):
+            self._finish(req, result)
+
+    def _evaluate_batch(
+        self, entry, live: List[ForceRequest], nls: List
+    ) -> List[Tuple[float, np.ndarray]]:
+        """Results for every request in order; finishes no futures.
+
+        Raises on any evaluation failure or non-finite output — the caller
+        owns retry/shed policy.
+        """
+        if self.fault_plan is not None:
+            from ..resilience.faults import WORKER_CRASH, WORKER_STALL
+
+            if self.fault_plan.fires(WORKER_STALL):
+                time.sleep(self.stall_time)
+            if self.fault_plan.fires(WORKER_CRASH):
+                raise WorkerCrash("injected worker crash")
+        potential = entry.potential
+        results: List = [None] * len(live)
         # Zero-edge structures take the eager path: models may define a
         # non-trivial empty-graph energy (e.g. Wolf self-interaction) that
         # the traced graph cannot express, and exactness beats batching.
-        dense = [(req, nl) for req, nl in zip(live, nls) if nl.n_edges > 0]
-        for req, nl in zip(live, nls):
+        dense = [i for i, nl in enumerate(nls) if nl.n_edges > 0]
+        for i, nl in enumerate(nls):
             if nl.n_edges == 0:
-                e, f = potential.energy_and_forces(req.system, nl)
-                self._finish(req, (float(e), f))
-        if not dense:
-            return
-
-        systems = [req.system for req, _ in dense]
-        positions, species, nl_cat, offsets = concatenate_structures(
-            systems, [nl for _, nl in dense]
-        )
-        if self.engine == "compiled":
-            cache = entry.ensure_cache()
-            pentry = cache.acquire(len(species), nl_cat.n_edges)
-            with pentry.lock:
-                # evaluate() itself is safe for concurrent callers (private
-                # per-caller evaluation states); the lock makes the
-                # before/after capture-counter delta attributable to THIS
-                # batch, and funnels same-bucket batches through one state
-                # instead of growing the clone pool per worker.
-                captures_before = pentry.compiled.n_captures
-                e_atoms, forces = pentry.compiled.evaluate(positions, species, nl_cat)
-                results = self._split(e_atoms, forces, offsets)
-                captured = pentry.compiled.n_captures - captures_before
-            self.metrics.counter("plan_captures").inc(captured)
-            self.metrics.counter("plan_replays").inc(1 - captured)
-        else:
-            pos_t = ad.Tensor(positions, requires_grad=True)
-            e_atoms = potential.atomic_energies(pos_t, species, nl_cat)
-            e_atoms.sum().backward()
-            grad = pos_t.grad
-            forces = -grad.data if grad is not None else np.zeros_like(positions)
-            results = self._split(e_atoms.data, forces, offsets)
-        for (req, _), result in zip(dense, results):
-            self._finish(req, result)
+                e, f = potential.energy_and_forces(live[i].system, nl)
+                results[i] = (float(e), f)
+        if dense:
+            systems = [live[i].system for i in dense]
+            positions, species, nl_cat, offsets = concatenate_structures(
+                systems, [nls[i] for i in dense]
+            )
+            if self.engine == "compiled":
+                cache = entry.ensure_cache()
+                pentry = cache.acquire(len(species), nl_cat.n_edges)
+                with pentry.lock:
+                    # evaluate() itself is safe for concurrent callers
+                    # (private per-caller evaluation states); the lock makes
+                    # the before/after capture-counter delta attributable to
+                    # THIS batch, and funnels same-bucket batches through
+                    # one state instead of growing the clone pool per worker.
+                    captures_before = pentry.compiled.n_captures
+                    e_atoms, forces = pentry.compiled.evaluate(
+                        positions, species, nl_cat
+                    )
+                    split = self._split(e_atoms, forces, offsets)
+                    captured = pentry.compiled.n_captures - captures_before
+                self.metrics.counter("plan_captures").inc(captured)
+                self.metrics.counter("plan_replays").inc(1 - captured)
+            else:
+                pos_t = ad.Tensor(positions, requires_grad=True)
+                e_atoms = potential.atomic_energies(pos_t, species, nl_cat)
+                e_atoms.sum().backward()
+                grad = pos_t.grad
+                forces = -grad.data if grad is not None else np.zeros_like(positions)
+                split = self._split(e_atoms.data, forces, offsets)
+            for i, result in zip(dense, split):
+                results[i] = result
+        for (e, f) in results:
+            validate_energy_forces(e, f, context=f"model {entry.key}")
+        return results
 
     @staticmethod
     def _split(e_atoms, forces, offsets) -> List[Tuple[float, np.ndarray]]:

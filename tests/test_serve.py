@@ -20,11 +20,15 @@ import pytest
 from repro.md import Cell, System, neighbor_list
 from repro.models import LennardJones, MorsePotential
 from repro.models.electrostatics import WolfCoulomb
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.resilience.faults import POTENTIAL_CORRUPT, WORKER_CRASH, WORKER_STALL
 from repro.serve import (
+    CircuitOpen,
     Client,
     ForceServer,
     Metrics,
     MicroBatcher,
+    ModelFailure,
     ModelRegistry,
     PlanCache,
     RequestTimeout,
@@ -612,3 +616,211 @@ class TestConcurrentClients:
         for (e, f), (e0, f0) in zip(results, expected):
             assert e == e0
             np.testing.assert_array_equal(f, f0)
+
+
+# ---------------------------------------------------------------------------
+# resilience: shutdown semantics, fault injection, circuit breaking
+# ---------------------------------------------------------------------------
+
+
+class CorruptingLJ(LennardJones):
+    """LJ whose per-atom energies go NaN on scheduled calls (fault harness)."""
+
+    def __init__(self, plan, **kw):
+        super().__init__(**kw)
+        self.plan = plan
+
+    def atomic_energies(self, positions, species, nl):
+        e = super().atomic_energies(positions, species, nl)
+        if self.plan.fires(POTENTIAL_CORRUPT):
+            return e * float("nan")
+        return e
+
+
+class HealsAfterLJ(LennardJones):
+    """LJ that raises for the first ``fails_left`` evaluations, then works."""
+
+    def __init__(self, fails_left, **kw):
+        super().__init__(**kw)
+        self.fails_left = fails_left
+
+    def atomic_energies(self, positions, species, nl):
+        if self.fails_left > 0:
+            self.fails_left -= 1
+            raise RuntimeError("model backend down")
+        return super().atomic_energies(positions, species, nl)
+
+
+class TestShutdownResilience:
+    def test_stop_no_drain_fails_pending_futures(self):
+        pot = SlowLJ(delay=0.05, epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2)
+        server = ForceServer(
+            pot, n_workers=1, max_batch=1, batch_wait=0.0, engine="eager"
+        )
+        futures = [server.submit(make_system(n=10, seed=k)) for k in range(8)]
+        server.stop(drain=False)
+        # Every admitted future resolves — finished or explicitly failed,
+        # never left hanging.
+        for fut in futures:
+            assert fut.done()
+            exc = fut.exception()
+            assert exc is None or isinstance(exc, ServeError)
+        assert any(isinstance(f.exception(), ServeError) for f in futures)
+        errors = server.stats()["errors"]
+        assert errors["shutdown"] >= 1
+
+    def test_concurrent_stop_calls_resolve_everything(self):
+        pot = SlowLJ(delay=0.02, epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2)
+        server = ForceServer(
+            pot, n_workers=2, max_batch=1, batch_wait=0.0, engine="eager"
+        )
+        futures = [server.submit(make_system(n=10, seed=k)) for k in range(10)]
+        threads = [
+            threading.Thread(target=server.stop, kwargs={"drain": False})
+            for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for fut in futures:
+            assert fut.done()
+            exc = fut.exception()
+            assert exc is None or isinstance(exc, ServeError)
+
+
+class TestFaultInjectionServing:
+    def test_injected_faults_all_requests_complete_correctly(self):
+        """Worker crashes + stalls + NaN bursts: retries absorb everything,
+        and every result equals the fault-free evaluation bitwise."""
+        plan = FaultPlan(
+            at={
+                WORKER_CRASH: [2, 7, 8],
+                WORKER_STALL: [4],
+                POTENTIAL_CORRUPT: [5, 11],
+            }
+        )
+        pot = CorruptingLJ(plan, epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2)
+        ref = make_lj()
+        systems = [make_system(n=8 + (k % 5), seed=k) for k in range(24)]
+        server = ForceServer(
+            pot,
+            n_workers=1,  # sequential batches: the schedule is deterministic
+            max_batch=2,
+            engine="eager",
+            fault_plan=plan,
+            stall_time=0.001,
+            retry_policy=RetryPolicy(
+                max_retries=4, base_delay=1e-4, max_delay=1e-3, seed=2
+            ),
+        )
+        futures = [server.submit(s) for s in systems]
+        server.stop(drain=True)
+        assert plan.fired(WORKER_CRASH) == 3
+        assert plan.fired(POTENTIAL_CORRUPT) == 2
+        for fut, s in zip(futures, systems):
+            assert fut.exception() is None
+            e, f = fut.result()
+            e0, f0 = direct_eager(ref, s)
+            assert e == e0
+            np.testing.assert_array_equal(f, f0)
+        stats = server.stats()
+        assert stats["counters"]["batch_retries"] >= 5
+        assert stats["errors"]["total"] == 0  # every fault was absorbed
+
+    def test_persistent_failure_is_explicit_and_opens_breaker(self):
+        registry = ModelRegistry(
+            breaker_opts={"failure_threshold": 2, "reset_timeout": 3600.0}
+        )
+        plan = FaultPlan(rates={POTENTIAL_CORRUPT: 1.0})
+        registry.register(
+            "bad", CorruptingLJ(plan, epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2)
+        )
+        server = ForceServer(
+            registry,
+            n_workers=1,
+            max_batch=1,
+            batch_wait=0.0,
+            engine="eager",
+            retry_policy=RetryPolicy(
+                max_retries=1, base_delay=0.0, sleep=lambda _t: None
+            ),
+        )
+        futures = [server.submit(make_system(n=8, seed=k), model="bad") for k in range(5)]
+        server.stop(drain=True)
+        excs = [f.exception() for f in futures]
+        assert all(isinstance(e, (ModelFailure, CircuitOpen)) for e in excs)
+        assert isinstance(excs[0], ModelFailure)  # retried, then gave up
+        assert any(isinstance(e, CircuitOpen) for e in excs)  # then shed fast
+        stats = server.stats()
+        assert stats["errors"]["model_failure"] >= 1
+        assert stats["errors"]["circuit_open"] >= 1
+        assert stats["errors"]["total"] >= 2
+        assert stats["registry"]["breakers"]["bad:v1"] == "open"
+
+    def test_breaker_half_open_probe_recovers(self):
+        t = [0.0]
+        registry = ModelRegistry(
+            breaker_opts={
+                "failure_threshold": 1,
+                "reset_timeout": 10.0,
+                "clock": lambda: t[0],
+            }
+        )
+        pot = HealsAfterLJ(1, epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2)
+        registry.register("flaky", pot)
+        server = ForceServer(
+            registry,
+            n_workers=1,
+            max_batch=1,
+            batch_wait=0.0,
+            engine="eager",
+            retry_policy=RetryPolicy(
+                max_retries=0, base_delay=0.0, sleep=lambda _t: None
+            ),
+        )
+        system = make_system(n=8, seed=3)
+        f1 = server.submit(system, model="flaky")
+        assert isinstance(f1.exception(timeout=10.0), ModelFailure)
+        f2 = server.submit(system, model="flaky")
+        assert isinstance(f2.exception(timeout=10.0), CircuitOpen)
+        t[0] = 11.0  # cooldown elapses: next batch is the half-open probe
+        f3 = server.submit(system, model="flaky")
+        e, forces = f3.result(timeout=10.0)
+        e0, f0 = direct_eager(make_lj(), system)
+        assert e == e0
+        np.testing.assert_array_equal(forces, f0)
+        assert registry.breaker("flaky").state == "closed"
+        server.stop()
+
+
+class TestErrorBreakdown:
+    def test_timeout_and_overload_classes_counted(self):
+        pot = SlowLJ(delay=0.08, epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2)
+        server = ForceServer(
+            pot, n_workers=1, max_batch=1, batch_wait=0.0, max_queue=2,
+            engine="eager",
+        )
+        f1 = server.submit(make_system(n=8, seed=0))
+        f2 = server.submit(make_system(n=8, seed=1), timeout=0.005)
+        shed = 0
+        for k in range(10):
+            try:
+                server.submit(make_system(n=8, seed=2 + k))
+            except ServerOverloaded:
+                shed += 1
+        assert shed >= 1
+        server.stop(drain=True)
+        assert f1.exception() is None
+        assert isinstance(f2.exception(), RequestTimeout)
+        errors = server.stats()["errors"]
+        assert errors["timeout"] >= 1
+        assert errors["overload"] >= 1
+        assert errors["total"] >= errors["timeout"] + errors["overload"]
+
+    def test_errors_block_present_in_snapshot_json(self):
+        with ForceServer(make_lj(), n_workers=1) as server:
+            server.evaluate(make_system(n=10, seed=0))
+            stats = server.stats()
+        assert stats["errors"]["total"] == 0
+        json.dumps(stats, default=float)

@@ -19,6 +19,14 @@ up after a crash exactly where they left off::
 
     python -m repro.cli resume ckpts/ [--steps N] [--stats-json stats.json]
 
+A third subcommand drives the force-matching trainer
+(:mod:`repro.nn.training`) on a synthetic labeled dataset, with the same
+checkpoint/resume discipline — a killed training run picked up with
+``--resume`` reproduces the uninterrupted run bitwise::
+
+    python -m repro.cli train train.json [--resume] [--stats-json stats.json]
+    python -m repro.cli example-train-config > train.json
+
 Config schema (all lengths Å, times fs, temperatures K)::
 
     {
@@ -35,6 +43,23 @@ Config schema (all lengths Å, times fs, temperatures K)::
              "engine": "eager" | "compiled",
              "checkpoint_dir": "ckpts/", "checkpoint_every": 100},
       "output": {"trajectory": "traj.xyz", "every": 10}
+    }
+
+Training config schema::
+
+    {
+      "data":  {"kind": "conformations", "n_frames": 20, "n_heavy": 4,
+                "seed": 11, "sigma": 0.06, "val_fraction": 0.2}
+             | {"kind": "water", "n_frames": 16, "seed": 0, "sigma": 0.05,
+                "n_grid": 2, "val_fraction": 0.2},
+      "model": {"kind": "allegro", "config": {...}}
+             | {"kind": "classical", "n_species": 4, "r_cut": 3.5},
+      "train": {"epochs": 5, "lr": 1e-3, "batch_size": 8, "seed": 0,
+                "ema_decay": 0.99, "grad_clip_norm": null,
+                "data_policy": "reject" | "quarantine" | "off",
+                "watchdog": null | "abort" | "recover",
+                "checkpoint_dir": "ckpts/", "checkpoint_every": 1,
+                "save_model": "model.npz"}
     }
 """
 
@@ -84,6 +109,28 @@ EXAMPLE_SERVE_CONFIG = {
 }
 
 
+EXAMPLE_TRAIN_CONFIG = {
+    "data": {
+        "kind": "conformations",
+        "n_frames": 20,
+        "n_heavy": 4,
+        "seed": 11,
+        "sigma": 0.06,
+        "val_fraction": 0.2,
+    },
+    "model": {"kind": "classical", "n_species": 4, "r_cut": 3.5},
+    "train": {
+        "epochs": 5,
+        "lr": 1e-2,
+        "batch_size": 8,
+        "seed": 0,
+        "checkpoint_dir": None,
+        "checkpoint_every": 1,
+        "save_model": None,
+    },
+}
+
+
 def build_system(spec: dict):
     from .data import random_molecule, solvated_protein, water_box, water_unit_cell
 
@@ -129,6 +176,142 @@ def build_potential(spec: dict):
             model.load_state_dict(dict(np.load(ckpt)))
         return model
     raise ValueError(f"unknown potential kind {kind!r}")
+
+
+def build_training_model(spec: dict):
+    """A trainable model from a config ``model`` section."""
+    from .models import ClassicalConfig, ClassicalForceField
+
+    kind = spec.get("kind")
+    if kind == "classical":
+        return ClassicalForceField(
+            ClassicalConfig(
+                n_species=spec.get("n_species", 4), r_cut=spec.get("r_cut", 3.5)
+            )
+        )
+    if kind == "allegro":
+        return build_potential(spec)
+    raise ValueError(f"unknown trainable model kind {kind!r} (allegro|classical)")
+
+
+def build_training_frames(spec: dict):
+    """``(train_frames, val_frames)`` from a config ``data`` section."""
+    from .data import (
+        conformation_dataset,
+        label_frames,
+        perturbed_water_frames,
+        split_frames,
+    )
+
+    kind = spec.get("kind")
+    seed = int(spec.get("seed", 0))
+    n_frames = int(spec.get("n_frames", 20))
+    if kind == "conformations":
+        systems = conformation_dataset(
+            n_frames,
+            n_heavy=spec.get("n_heavy", 4),
+            seed=seed,
+            sigma=spec.get("sigma", 0.06),
+        )
+    elif kind == "water":
+        systems = perturbed_water_frames(
+            n_frames,
+            seed=seed,
+            sigma=spec.get("sigma", 0.05),
+            n_grid=spec.get("n_grid", 2),
+        )
+    else:
+        raise ValueError(f"unknown data kind {kind!r} (conformations|water)")
+    frames = label_frames(systems, max_force=spec.get("max_force"))
+    val_fraction = float(spec.get("val_fraction", 0.0))
+    if val_fraction > 0.0:
+        train, val = split_frames(
+            frames, fractions=(1.0 - val_fraction, val_fraction), seed=seed
+        )
+        return train, val
+    return frames, []
+
+
+def train_config(
+    config: dict, resume: bool = False, quiet: bool = False, stats_json=None
+):
+    """Execute (or resume) one configured training run; returns the Trainer.
+
+    With ``"train": {"checkpoint_dir": ...}`` the full training state is
+    checkpointed as the run goes (and the config is copied next to the
+    checkpoints); ``resume=True`` restores the newest verified snapshot
+    and finishes the configured epoch budget — bitwise-identically to a
+    run that was never interrupted.
+    """
+    from .nn import TrainConfig, Trainer
+    from .resilience import TrainingWatchdog
+
+    def log(msg: str) -> None:
+        if not quiet:
+            print(msg)
+
+    tr_spec = config.get("train", {})
+    epochs = int(tr_spec.get("epochs", 5))
+    cfg = TrainConfig(
+        lr=float(tr_spec.get("lr", 1e-3)),
+        batch_size=int(tr_spec.get("batch_size", 16)),
+        max_epochs=epochs,
+        ema_decay=float(tr_spec.get("ema_decay", 0.99)),
+        seed=int(tr_spec.get("seed", 0)),
+        grad_clip_norm=tr_spec.get("grad_clip_norm"),
+        data_policy=tr_spec.get("data_policy", "reject"),
+    )
+    watchdog_policy = tr_spec.get("watchdog")
+    watchdog = (
+        TrainingWatchdog(policy=watchdog_policy) if watchdog_policy else None
+    )
+
+    train_frames, val_frames = build_training_frames(config["data"])
+    model = build_training_model(config["model"])
+    trainer = Trainer(model, train_frames, val_frames, cfg, watchdog=watchdog)
+    log(
+        f"training {config['model']['kind']} on {len(train_frames)} frames "
+        f"({len(val_frames)} validation)"
+    )
+
+    ckpt_dir = tr_spec.get("checkpoint_dir")
+    if ckpt_dir is not None:
+        ckpt_dir = Path(ckpt_dir)
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        (ckpt_dir / "config.json").write_text(json.dumps(config, indent=2) + "\n")
+    if resume:
+        if ckpt_dir is None:
+            raise ValueError("--resume needs 'train.checkpoint_dir' in the config")
+        epoch = trainer.resume(ckpt_dir)
+        log(f"resumed from checkpoint at epoch {epoch}")
+    remaining = max(0, epochs - trainer.epochs_completed)
+    trainer.fit(
+        remaining,
+        verbose=not quiet,
+        checkpoint_every=tr_spec.get("checkpoint_every") if ckpt_dir else None,
+        checkpoint_dir=ckpt_dir,
+    )
+
+    save_model = tr_spec.get("save_model")
+    if save_model:
+        np.savez(save_model, **trainer.model.state_dict())
+        log(f"model saved to {save_model}")
+    final = trainer.history[-1] if trainer.history else None
+    if final is not None:
+        log(f"final train loss {final.train_loss:.5f}")
+    if stats_json is not None:
+        payload = dict(trainer.stats())
+        payload["history"] = [
+            {
+                "epoch": s.epoch,
+                "train_loss": s.train_loss,
+                "val_force_mae": s.val_force_mae,
+                "val_force_rmse": s.val_force_rmse,
+            }
+            for s in trainer.history
+        ]
+        write_stats_json(stats_json, payload)
+    return trainer
 
 
 def write_stats_json(path, payload: dict) -> None:
@@ -401,9 +584,29 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help="write the server metrics snapshot as JSON to this path",
     )
+    train_p = sub.add_parser(
+        "train", help="run a force-matching training job from a config"
+    )
+    train_p.add_argument("config", type=Path)
+    train_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the newest checkpoint under 'train.checkpoint_dir' "
+        "and finish the configured epoch budget",
+    )
+    train_p.add_argument("--quiet", action="store_true")
+    train_p.add_argument(
+        "--stats-json",
+        type=Path,
+        default=None,
+        help="write trainer stats and epoch history as JSON to this path",
+    )
     sub.add_parser("example-config", help="print a starter MD config to stdout")
     sub.add_parser(
         "example-serve-config", help="print a starter serving config to stdout"
+    )
+    sub.add_parser(
+        "example-train-config", help="print a starter training config to stdout"
     )
 
     args = parser.parse_args(argv)
@@ -413,6 +616,10 @@ def main(argv: Optional[list] = None) -> int:
         return 0
     if args.command == "example-serve-config":
         json.dump(EXAMPLE_SERVE_CONFIG, sys.stdout, indent=2)
+        print()
+        return 0
+    if args.command == "example-train-config":
+        json.dump(EXAMPLE_TRAIN_CONFIG, sys.stdout, indent=2)
         print()
         return 0
     if args.command == "resume":
@@ -426,6 +633,13 @@ def main(argv: Optional[list] = None) -> int:
     config = json.loads(args.config.read_text())
     if args.command == "serve":
         serve_config(config, quiet=args.quiet, stats_json=args.stats_json)
+    elif args.command == "train":
+        train_config(
+            config,
+            resume=args.resume,
+            quiet=args.quiet,
+            stats_json=args.stats_json,
+        )
     else:
         run_config(config, quiet=args.quiet, stats_json=args.stats_json)
     return 0

@@ -19,6 +19,9 @@ offline, so this package provides:
   sizes for scaling studies and reduced sizes for actual dynamics.
 * :mod:`datasets` — labeling + split/shuffle helpers producing
   :class:`~repro.nn.training.LabeledFrame` lists.
+* :mod:`validate` — dataset screening (non-finite labels, malformed
+  shapes/species, duplicates, σ-outliers) run by default in the trainer;
+  reports a :class:`DatasetReport`.
 """
 
 from .reference import ReferencePotential, default_species_params
@@ -34,6 +37,12 @@ from .proteins import (
 from .capsid import CapsidSystem, capsid_assembly, icosahedron_vertices, shell_points, shell_strain
 from .cellulose import cellulose_chain, cellulose_fibril
 from .datasets import label_frames, split_frames, subsample
+from .validate import (
+    DatasetReport,
+    DatasetValidationError,
+    FrameIssue,
+    validate_frames,
+)
 
 __all__ = [
     "ReferencePotential",
@@ -61,4 +70,8 @@ __all__ = [
     "label_frames",
     "split_frames",
     "subsample",
+    "DatasetReport",
+    "DatasetValidationError",
+    "FrameIssue",
+    "validate_frames",
 ]

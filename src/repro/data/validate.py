@@ -1,0 +1,246 @@
+"""Dataset validation for the force-matching stack.
+
+The paper's training data pipeline filters SPICE structures before a
+single gradient step is taken ("filter out all structures that contain
+any force component larger than 0.25 Ha/Bohr", §VI-D) — because a model
+trained on one corrupted label is corrupted everywhere, and the defect
+only surfaces days later as an unstable trajectory.  :func:`validate_frames`
+is that discipline generalized into a screening pass the
+:class:`~repro.nn.training.Trainer` runs by default:
+
+* **Hard defects** (training on them is never correct): non-finite
+  energies or forces, forces whose shape does not match the positions,
+  species arrays that are malformed (wrong length, non-integer, negative).
+* **Soft defects** (suspicious, policy-dependent): exact duplicate
+  structures (which silently overweight one conformation) and σ-outlier
+  per-atom energies or peak forces (robust median/MAD screening — a
+  mislabeled frame dominates the force-scale normalization otherwise).
+
+The pass reports everything in a :class:`DatasetReport`; what *happens*
+is the caller's policy — the trainer rejects hard defects by default and
+can quarantine everything flagged (``data_policy="quarantine"``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "HARD_KINDS",
+    "SOFT_KINDS",
+    "FrameIssue",
+    "DatasetReport",
+    "DatasetValidationError",
+    "validate_frames",
+]
+
+#: Defect kinds that make a frame unconditionally untrainable.
+HARD_KINDS = frozenset(
+    {"nonfinite_energy", "nonfinite_forces", "shape_mismatch", "species_mismatch"}
+)
+#: Defect kinds that are suspicious but policy-dependent.
+SOFT_KINDS = frozenset({"duplicate", "energy_outlier", "force_outlier"})
+
+
+class DatasetValidationError(ValueError):
+    """A dataset failed validation under the active policy."""
+
+
+@dataclass
+class FrameIssue:
+    """One defect found on one frame."""
+
+    index: int
+    kind: str
+    detail: str
+
+    @property
+    def hard(self) -> bool:
+        return self.kind in HARD_KINDS
+
+
+@dataclass
+class DatasetReport:
+    """Outcome of one :func:`validate_frames` pass."""
+
+    n_frames: int
+    issues: List[FrameIssue] = field(default_factory=list)
+
+    @property
+    def hard_issues(self) -> List[FrameIssue]:
+        return [i for i in self.issues if i.hard]
+
+    @property
+    def soft_issues(self) -> List[FrameIssue]:
+        return [i for i in self.issues if not i.hard]
+
+    def flagged_indices(self, include_soft: bool = True) -> List[int]:
+        """Sorted frame indices carrying any (hard, optionally soft) issue."""
+        picked = self.issues if include_soft else self.hard_issues
+        return sorted({i.index for i in picked})
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for issue in self.issues:
+            out[issue.kind] = out.get(issue.kind, 0) + 1
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        if not self.issues:
+            return f"{self.n_frames} frames validated, no issues"
+        parts = ", ".join(f"{k}: {n}" for k, n in sorted(self.counts().items()))
+        examples = "; ".join(
+            f"frame {i.index}: {i.detail}" for i in self.issues[:3]
+        )
+        more = "" if len(self.issues) <= 3 else f" (+{len(self.issues) - 3} more)"
+        return (
+            f"{len(self.issues)} issue(s) across {self.n_frames} frames "
+            f"[{parts}] — {examples}{more}"
+        )
+
+
+def _structure_key(system) -> bytes:
+    """Exact-identity digest of a structure (positions + species + cell)."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(system.positions).tobytes())
+    h.update(np.ascontiguousarray(system.species).tobytes())
+    cell = getattr(system, "cell", None)
+    if cell is not None and getattr(cell, "lengths", None) is not None:
+        h.update(np.ascontiguousarray(cell.lengths).tobytes())
+    return h.digest()
+
+
+def _robust_outliers(values: np.ndarray, sigma: float) -> np.ndarray:
+    """Indices whose robust z-score |x - median| / (1.4826·MAD) exceeds sigma."""
+    median = float(np.median(values))
+    mad = float(np.median(np.abs(values - median)))
+    scale = max(1.4826 * mad, 1e-12)
+    return np.flatnonzero(np.abs(values - median) > sigma * scale)
+
+
+def validate_frames(
+    frames: Sequence,
+    energy_sigma: Optional[float] = 6.0,
+    force_sigma: Optional[float] = 6.0,
+    check_duplicates: bool = True,
+    min_outlier_frames: int = 8,
+) -> DatasetReport:
+    """Screen labeled frames for hard and soft defects.
+
+    Parameters
+    ----------
+    frames:
+        ``LabeledFrame``-like objects (``system``, ``energy``, ``forces``).
+    energy_sigma / force_sigma:
+        Robust z-score thresholds for per-atom-energy and peak-force
+        outlier screening (``None`` disables either).  Statistics need at
+        least ``min_outlier_frames`` frames with finite labels — below
+        that a median/MAD is meaningless and screening is skipped.
+    check_duplicates:
+        Flag frames whose structure (positions, species, cell) is byte-
+        identical to an earlier frame.
+
+    Returns the full :class:`DatasetReport`; raising/dropping is the
+    caller's policy decision.
+    """
+    report = DatasetReport(n_frames=len(frames))
+    finite: List[int] = []
+    seen: Dict[bytes, int] = {}
+
+    for k, frame in enumerate(frames):
+        system = frame.system
+        n_atoms = system.positions.shape[0]
+        forces = np.asarray(frame.forces)
+
+        hard = False
+        if forces.shape != system.positions.shape:
+            report.issues.append(
+                FrameIssue(
+                    k,
+                    "shape_mismatch",
+                    f"forces {forces.shape} vs positions {system.positions.shape}",
+                )
+            )
+            hard = True
+        species = np.asarray(system.species)
+        if (
+            species.shape != (n_atoms,)
+            or not np.issubdtype(species.dtype, np.integer)
+            or (species.size and species.min() < 0)
+        ):
+            report.issues.append(
+                FrameIssue(
+                    k,
+                    "species_mismatch",
+                    f"species shape {species.shape} dtype {species.dtype} "
+                    f"for {n_atoms} atoms",
+                )
+            )
+            hard = True
+        if not np.isfinite(frame.energy):
+            report.issues.append(
+                FrameIssue(k, "nonfinite_energy", f"energy = {frame.energy!r}")
+            )
+            hard = True
+        if not np.isfinite(forces).all():
+            bad = int(np.count_nonzero(~np.isfinite(forces)))
+            report.issues.append(
+                FrameIssue(
+                    k, "nonfinite_forces", f"{bad} non-finite force component(s)"
+                )
+            )
+            hard = True
+
+        if check_duplicates:
+            key = _structure_key(system)
+            if key in seen:
+                report.issues.append(
+                    FrameIssue(k, "duplicate", f"same structure as frame {seen[key]}")
+                )
+            else:
+                seen[key] = k
+
+        if not hard:
+            finite.append(k)
+
+    # σ-outlier screening over the frames with clean labels only — a NaN
+    # would otherwise poison the very median meant to catch it.
+    if len(finite) >= min_outlier_frames:
+        if energy_sigma is not None:
+            e_per_atom = np.array(
+                [frames[k].energy / frames[k].system.positions.shape[0] for k in finite]
+            )
+            for j in _robust_outliers(e_per_atom, energy_sigma):
+                k = finite[int(j)]
+                report.issues.append(
+                    FrameIssue(
+                        k,
+                        "energy_outlier",
+                        f"per-atom energy {e_per_atom[j]:.6g} is a "
+                        f">{energy_sigma:g}σ outlier",
+                    )
+                )
+        if force_sigma is not None:
+            f_peak = np.array(
+                [np.abs(np.asarray(frames[k].forces)).max() for k in finite]
+            )
+            for j in _robust_outliers(f_peak, force_sigma):
+                k = finite[int(j)]
+                report.issues.append(
+                    FrameIssue(
+                        k,
+                        "force_outlier",
+                        f"peak |F| {f_peak[j]:.6g} is a >{force_sigma:g}σ outlier",
+                    )
+                )
+
+    report.issues.sort(key=lambda i: (i.index, i.kind))
+    return report

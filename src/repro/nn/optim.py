@@ -3,15 +3,37 @@
 The paper trains with Adam (default PyTorch settings, lr 1e-3, batch 16)
 and keeps an EMA of the weights with decay 0.99 for validation and the
 final model (§VI-D).
+
+Optimizers and the EMA expose ``state_dict()``/``load_state_dict()``
+round-trips so a training run can be checkpointed and resumed *bitwise*:
+the Adam moment vectors and step counter (the bias correction depends on
+``t``) and the EMA shadow weights are exactly the state a restart cannot
+reconstruct from the model parameters alone.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from .. import autodiff as ad
+
+
+def _load_arrays(target: List[np.ndarray], source, what: str) -> None:
+    """Copy a saved list of arrays into ``target`` in place, validating."""
+    source = list(source)
+    if len(source) != len(target):
+        raise ValueError(
+            f"{what}: state holds {len(source)} arrays, optimizer has {len(target)}"
+        )
+    for k, (dst, src) in enumerate(zip(target, source)):
+        src = np.asarray(src)
+        if src.shape != dst.shape:
+            raise ValueError(
+                f"{what}[{k}]: shape mismatch {src.shape} vs {dst.shape}"
+            )
+        dst[...] = src
 
 
 class SGD:
@@ -38,6 +60,18 @@ class SGD:
     def zero_grad(self) -> None:
         for p in self.params:
             p.grad = None
+
+    def state_dict(self) -> Dict:
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "vel": [v.copy() for v in self._vel],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        _load_arrays(self._vel, state["vel"], "SGD velocity")
 
 
 class Adam:
@@ -85,6 +119,27 @@ class Adam:
         """LR schedule hook (the paper halves lr after 119 epochs)."""
         self.lr = float(lr)
 
+    def state_dict(self) -> Dict:
+        """Everything a bitwise resume needs: t, both moments, and lr."""
+        return {
+            "lr": self.lr,
+            "betas": (self.beta1, self.beta2),
+            "eps": self.eps,
+            "weight_decay": self.weight_decay,
+            "t": self.t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.lr = float(state["lr"])
+        self.beta1, self.beta2 = (float(b) for b in state["betas"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self.t = int(state["t"])
+        _load_arrays(self._m, state["m"], "Adam first moment")
+        _load_arrays(self._v, state["v"], "Adam second moment")
+
 
 class ExponentialMovingAverage:
     """EMA of parameter values; swap in for evaluation, swap out to resume.
@@ -127,3 +182,10 @@ class ExponentialMovingAverage:
     def average_weights(self) -> "_SwapContext":
         """Context manager: evaluate with the EMA weights, then restore."""
         return ExponentialMovingAverage._SwapContext(self)
+
+    def state_dict(self) -> Dict:
+        return {"decay": self.decay, "shadow": [s.copy() for s in self.shadow]}
+
+    def load_state_dict(self, state: Dict) -> None:
+        self.decay = float(state["decay"])
+        _load_arrays(self.shadow, state["shadow"], "EMA shadow")

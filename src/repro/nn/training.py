@@ -13,11 +13,29 @@ provides exactly that.
 Batches concatenate structures along the atom axis with per-frame neighbor
 lists (precomputed once) offset into the combined index space; one backward
 pass produces every force in the batch.
+
+Training at paper scale is a multi-day job, so the loop carries the same
+failure model as the MD drivers (``repro.resilience``):
+
+* **Resumable** — ``fit(checkpoint_every=, checkpoint_dir=)`` snapshots the
+  complete training state (parameters, Adam moments + step counter, EMA
+  shadow, epoch cursor, shuffle RNG state, force scale, history) through
+  :class:`~repro.resilience.CheckpointManager`; a run killed at an epoch
+  boundary and picked up via :meth:`Trainer.resume` reproduces the
+  uninterrupted run's parameters and :class:`EpochStats` **bitwise**.
+* **Guarded** — non-finite losses/gradients fail fast before the optimizer
+  sees them; an optional :class:`~repro.resilience.TrainingWatchdog` adds
+  loss-spike detection and a ``recover`` policy that rolls back to the
+  last good checkpoint, backs off the learning rate, and replays with a
+  reshuffled batch order.
+* **Validated** — the training set is screened by
+  :func:`repro.data.validate.validate_frames` before the first gradient
+  step (``TrainConfig.data_policy``: reject / quarantine / off).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -25,8 +43,15 @@ import numpy as np
 from .. import autodiff as ad
 from ..md.neighborlist import NeighborList
 from ..md.system import System
+from ..resilience.checkpoint import CheckpointManager
+from ..resilience.faults import TRAIN_STEP_FAILURE, InjectedFault
+from ..resilience.guards import NumericalInstabilityError
 from .loss import mae, rmse
 from .optim import Adam, ExponentialMovingAverage
+
+
+class _RollbackNeeded(Exception):
+    """Internal: the watchdog tripped under the recover policy."""
 
 
 @dataclass
@@ -41,6 +66,16 @@ class LabeledFrame:
         self.forces = np.asarray(self.forces, dtype=np.float64)
         if self.forces.shape != self.system.positions.shape:
             raise ValueError("forces must match positions shape")
+        if not np.isfinite(self.energy):
+            raise ValueError(
+                f"LabeledFrame energy must be finite, got {self.energy!r}"
+            )
+        if not np.isfinite(self.forces).all():
+            bad = int(np.count_nonzero(~np.isfinite(self.forces)))
+            raise ValueError(
+                f"LabeledFrame forces must be finite "
+                f"({bad} non-finite component(s))"
+            )
 
 
 @dataclass
@@ -59,6 +94,23 @@ class TrainConfig:
     #: training energies and scales σ_Z by the force RMS — the standard
     #: MLIP normalization that keeps the regression target O(1) (§V-B3).
     init_reference_energies: bool = True
+    #: Clip the global gradient L2 norm to this value (None disables).
+    grad_clip_norm: Optional[float] = None
+    #: Dataset screening policy: "reject" raises on hard defects
+    #: (non-finite labels, malformed shapes/species), "quarantine" also
+    #: drops duplicates and σ-outliers, "off" skips validation.
+    data_policy: str = "reject"
+    #: Robust z-score threshold for the σ-outlier screening.
+    outlier_sigma: float = 6.0
+    #: Multiply the learning rate by this after each watchdog rollback.
+    rollback_lr_factor: float = 0.5
+    #: Transient step failures (``train.step_failure`` channel) are
+    #: retried this many times — a retry recomputes the identical batch,
+    #: so recovery is bitwise.
+    max_step_retries: int = 2
+    #: After retries are exhausted, skip the batch (counted) instead of
+    #: re-raising the failure.
+    skip_failed_batches: bool = False
 
 
 @dataclass
@@ -109,19 +161,37 @@ class _Batch:
 class Trainer:
     """Force-matching trainer for any Potential."""
 
+    #: Checkpoint payload version (bumped on layout changes).
+    STATE_FORMAT = "trainer-v1"
+
     def __init__(
         self,
         model,
         train_frames: Sequence[LabeledFrame],
         val_frames: Sequence[LabeledFrame] = (),
         config: Optional[TrainConfig] = None,
+        watchdog=None,
+        fault_plan=None,
     ) -> None:
         self.model = model
         self.config = config or TrainConfig()
         self.train_frames = list(train_frames)
         self.val_frames = list(val_frames)
+        self.watchdog = watchdog
+        self.fault_plan = fault_plan
         if not self.train_frames:
             raise ValueError("need at least one training frame")
+        self._counters = {
+            "n_rollbacks": 0,
+            "n_skipped_batches": 0,
+            "n_clip_events": 0,
+            "n_step_failures": 0,
+            "n_step_retries": 0,
+            "n_checkpoints": 0,
+            "n_quarantined_frames": 0,
+        }
+        self.dataset_report = None
+        self._validate_dataset()
 
         self._train_nls = [self._neighbors(f.system) for f in self.train_frames]
         self._val_nls = [self._neighbors(f.system) for f in self.val_frames]
@@ -143,6 +213,68 @@ class Trainer:
         )
         self.history: List[EpochStats] = []
         self._rng = np.random.default_rng(self.config.seed)
+        #: next epoch index; advances across fit() calls and resume().
+        self._epoch_cursor = 0
+        #: persistent LR multiplier, halved on each watchdog rollback.
+        self._lr_scale = 1.0
+
+    # -- dataset screening ----------------------------------------------------
+    def _validate_dataset(self) -> None:
+        """Screen train/val frames under ``config.data_policy``.
+
+        Runs *before* neighbor lists and the force-scale normalization —
+        one corrupted |F| would otherwise silently poison the scale every
+        clean frame is divided by.
+        """
+        policy = self.config.data_policy
+        if policy not in ("reject", "quarantine", "off"):
+            raise ValueError(
+                f"unknown data_policy {policy!r} (reject|quarantine|off)"
+            )
+        if policy == "off":
+            return
+        from ..data.validate import DatasetValidationError, validate_frames
+
+        sigma = self.config.outlier_sigma
+        report = validate_frames(
+            self.train_frames, energy_sigma=sigma, force_sigma=sigma
+        )
+        self.dataset_report = report
+        if policy == "reject":
+            if report.hard_issues:
+                raise DatasetValidationError(
+                    f"training set rejected: {report.summary()}"
+                )
+        else:  # quarantine
+            drop = set(report.flagged_indices(include_soft=True))
+            if drop:
+                self._counters["n_quarantined_frames"] = len(drop)
+                self.train_frames = [
+                    f for k, f in enumerate(self.train_frames) if k not in drop
+                ]
+                if not self.train_frames:
+                    raise DatasetValidationError(
+                        f"every training frame quarantined: {report.summary()}"
+                    )
+        # Validation frames: hard defects only — an outlier is a legitimate
+        # thing to *evaluate* on, a NaN label is not.
+        if self.val_frames:
+            val_report = validate_frames(
+                self.val_frames,
+                energy_sigma=None,
+                force_sigma=None,
+                check_duplicates=False,
+            )
+            if val_report.hard_issues:
+                if policy == "reject":
+                    raise DatasetValidationError(
+                        f"validation set rejected: {val_report.summary()}"
+                    )
+                drop = set(val_report.flagged_indices())
+                self._counters["n_quarantined_frames"] += len(drop)
+                self.val_frames = [
+                    f for k, f in enumerate(self.val_frames) if k not in drop
+                ]
 
     def _init_scale_shift(self) -> None:
         """Regress μ_Z (per-species reference energies) and set σ_Z.
@@ -197,10 +329,68 @@ class Trainer:
             loss = loss + (de * de).mean() * cfg.energy_weight
         return loss
 
+    def _train_step(self, batch: _Batch, epoch: int) -> Optional[float]:
+        """One guarded optimizer step; None when the batch was skipped.
+
+        Transient step failures (the ``train.step_failure`` fault channel)
+        are retried before any state mutates, so a retry recomputes the
+        identical batch and recovery is bitwise.  The loss/gradient health
+        check runs *before* ``optimizer.step()`` — a NaN never reaches the
+        parameters, the EMA shadow, or a checkpoint.
+        """
+        cfg = self.config
+        attempts = 0
+        while True:
+            try:
+                if self.fault_plan is not None:
+                    self.fault_plan.raise_if_fires(TRAIN_STEP_FAILURE)
+                loss = self._batch_loss(batch)
+                self.model.zero_grad()
+                loss.backward()
+            except InjectedFault:
+                self._counters["n_step_failures"] += 1
+                if attempts < cfg.max_step_retries:
+                    attempts += 1
+                    self._counters["n_step_retries"] += 1
+                    continue
+                if cfg.skip_failed_batches:
+                    self._counters["n_skipped_batches"] += 1
+                    return None
+                raise
+            break
+
+        value = float(loss.data)
+        grads = [p.grad.data for p in self.optimizer.params if p.grad is not None]
+        if self.watchdog is not None:
+            if not self.watchdog.check(value, grads, step=epoch):
+                raise _RollbackNeeded(self.watchdog.last_error)
+        else:
+            if not np.isfinite(value):
+                raise NumericalInstabilityError(
+                    f"non-finite training loss {value!r} in epoch {epoch}"
+                )
+            for g in grads:
+                if not np.isfinite(g).all():
+                    raise NumericalInstabilityError(
+                        f"non-finite gradient in epoch {epoch}"
+                    )
+
+        if cfg.grad_clip_norm is not None:
+            total_norm = float(np.sqrt(sum(float((g * g).sum()) for g in grads)))
+            if total_norm > cfg.grad_clip_norm:
+                scale = cfg.grad_clip_norm / total_norm
+                for g in grads:
+                    g *= scale
+                self._counters["n_clip_events"] += 1
+
+        self.optimizer.step()
+        self.ema.update()
+        return value
+
     def train_epoch(self, epoch: int) -> float:
         cfg = self.config
-        if cfg.lr_schedule is not None:
-            self.optimizer.set_lr(cfg.lr_schedule(epoch))
+        base_lr = cfg.lr_schedule(epoch) if cfg.lr_schedule is not None else cfg.lr
+        self.optimizer.set_lr(base_lr * self._lr_scale)
         order = np.arange(len(self.train_frames))
         if cfg.shuffle:
             self._rng.shuffle(order)
@@ -211,18 +401,57 @@ class Trainer:
                 [self.train_frames[k] for k in idx],
                 [self._train_nls[k] for k in idx],
             )
-            loss = self._batch_loss(batch)
-            self.model.zero_grad()
-            loss.backward()
-            self.optimizer.step()
-            self.ema.update()
-            losses.append(float(loss.data))
+            value = self._train_step(batch, epoch)
+            if value is not None:
+                losses.append(value)
+        if not losses:
+            raise NumericalInstabilityError(
+                f"every batch failed or was skipped in epoch {epoch}"
+            )
         return float(np.mean(losses))
 
-    def fit(self, epochs: Optional[int] = None, verbose: bool = False) -> List[EpochStats]:
+    def fit(
+        self,
+        epochs: Optional[int] = None,
+        verbose: bool = False,
+        *,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir=None,
+        checkpoint_manager: Optional[CheckpointManager] = None,
+    ) -> List[EpochStats]:
+        """Train for ``epochs`` more epochs (default ``config.max_epochs``).
+
+        Epoch numbering continues from the cursor, so a resumed trainer
+        sees the same global epoch indices (and LR schedule values) as an
+        uninterrupted run.  With a checkpoint sink, the full training
+        state is snapshotted every ``checkpoint_every`` epochs (default 1)
+        plus an initial anchor — the rollback target for the watchdog's
+        ``recover`` policy before the first interval completes.
+        """
         epochs = epochs if epochs is not None else self.config.max_epochs
-        for e in range(epochs):
-            train_loss = self.train_epoch(e)
+        manager = checkpoint_manager
+        if manager is None and checkpoint_dir is not None:
+            manager = CheckpointManager(checkpoint_dir)
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if checkpoint_every is not None and manager is None:
+            raise ValueError(
+                "checkpoint_every needs a checkpoint_dir or checkpoint_manager"
+            )
+        if manager is not None and checkpoint_every is None:
+            checkpoint_every = 1
+        if manager is not None and not manager.steps():
+            self._save_checkpoint(manager)
+
+        start = self._epoch_cursor
+        target = start + int(epochs)
+        while self._epoch_cursor < target:
+            e = self._epoch_cursor
+            try:
+                train_loss = self.train_epoch(e)
+            except _RollbackNeeded as exc:
+                self._rollback(manager, str(exc))
+                continue
             stats = EpochStats(epoch=e, train_loss=train_loss)
             if self.val_frames:
                 with self.ema.average_weights():
@@ -230,12 +459,116 @@ class Trainer:
                 stats.val_force_mae = metrics["force_mae"]
                 stats.val_force_rmse = metrics["force_rmse"]
             self.history.append(stats)
+            self._epoch_cursor = e + 1
             if verbose:
                 msg = f"epoch {e}: loss={train_loss:.5f}"
                 if stats.val_force_rmse is not None:
                     msg += f" val F rmse={stats.val_force_rmse:.5f}"
                 print(msg)
+            if manager is not None and (self._epoch_cursor - start) % checkpoint_every == 0:
+                self._save_checkpoint(manager)
         return self.history
+
+    def _save_checkpoint(self, manager: CheckpointManager) -> None:
+        manager.save(self.state_dict(), self._epoch_cursor)
+        self._counters["n_checkpoints"] += 1
+
+    def _rollback(self, manager: Optional[CheckpointManager], reason: str) -> None:
+        """Recover policy: restore the last good checkpoint, back off LR.
+
+        The shuffle RNG is deliberately *not* restored — it has advanced
+        past the order that led to the blow-up, so the replay reshuffles
+        (still deterministically).  Watchdog counters are kept, not
+        restored, or the escalation budget would reset on every rollback.
+        """
+        if manager is None:
+            raise NumericalInstabilityError(
+                f"{reason} — watchdog recover policy needs active "
+                "checkpointing (pass checkpoint_dir/checkpoint_manager to fit)"
+            )
+        _, state = manager.load_latest()
+        self.load_state_dict(state, restore_rng=False, restore_watchdog=False)
+        self._lr_scale *= self.config.rollback_lr_factor
+        self._counters["n_rollbacks"] += 1
+        if self.watchdog is not None:
+            self.watchdog.on_rollback()
+            self.watchdog.reset_history()
+
+    # -- checkpointable state -------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Complete training state: everything a bitwise resume needs."""
+        return {
+            "format": self.STATE_FORMAT,
+            "epoch": self._epoch_cursor,
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "ema": self.ema.state_dict(),
+            "rng": self._rng.bit_generator.state,
+            "force_scale": self.force_scale,
+            "lr_scale": self._lr_scale,
+            "history": [asdict(s) for s in self.history],
+            "counters": dict(self._counters),
+            "watchdog": (
+                self.watchdog.state_dict() if self.watchdog is not None else None
+            ),
+        }
+
+    def load_state_dict(
+        self,
+        state: Dict,
+        restore_rng: bool = True,
+        restore_watchdog: bool = True,
+    ) -> None:
+        if state.get("format") != self.STATE_FORMAT:
+            raise ValueError(
+                f"unknown trainer checkpoint format {state.get('format')!r}"
+            )
+        self.model.load_state_dict(state["model"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.ema.load_state_dict(state["ema"])
+        self.force_scale = float(state["force_scale"])
+        self._lr_scale = float(state["lr_scale"])
+        self._epoch_cursor = int(state["epoch"])
+        self.history = [EpochStats(**h) for h in state["history"]]
+        if restore_rng:
+            rng = np.random.default_rng()
+            rng.bit_generator.state = state["rng"]
+            self._rng = rng
+        if restore_watchdog and self.watchdog is not None and state["watchdog"]:
+            self.watchdog.load_state_dict(state["watchdog"])
+
+    def resume(self, source) -> int:
+        """Restore the newest verified checkpoint; returns its epoch cursor.
+
+        ``source`` is a checkpoint directory or a
+        :class:`~repro.resilience.CheckpointManager`.  The trainer must
+        have been built with the same model family, frames, and config as
+        the original run; the restored run then continues — and matches
+        the uninterrupted run — bitwise.
+        """
+        manager = (
+            source
+            if isinstance(source, CheckpointManager)
+            else CheckpointManager(source)
+        )
+        epoch, state = manager.load_latest()
+        self.load_state_dict(state)
+        return epoch
+
+    @property
+    def epochs_completed(self) -> int:
+        return self._epoch_cursor
+
+    def stats(self) -> Dict:
+        """Resilience counters for this trainer instance."""
+        out = dict(self._counters)
+        out["epochs_completed"] = self._epoch_cursor
+        out["lr_scale"] = self._lr_scale
+        out["watchdog"] = self.watchdog.stats() if self.watchdog is not None else None
+        out["dataset_issues"] = (
+            self.dataset_report.counts() if self.dataset_report is not None else None
+        )
+        return out
 
     # -- evaluation ---------------------------------------------------------------
     def evaluate(
@@ -245,6 +578,10 @@ class Trainer:
         use_ema: bool = False,
     ) -> Dict[str, float]:
         """Force/energy MAE & RMSE over frames (units of the labels)."""
+        if len(frames) == 0:
+            raise ValueError(
+                "evaluate() needs at least one frame (got an empty sequence)"
+            )
         if nls is None:
             nls = [self._neighbors(f.system) for f in frames]
         if use_ema:

@@ -17,7 +17,9 @@ whole stack, wired through four layers:
   corruption): the reproducible harness that every guard below is tested
   against.
 * **Guards** — :class:`ForceWatchdog` (non-finite / energy-spike
-  detection with abort-vs-recover policy) and
+  detection with abort-vs-recover policy), its training sibling
+  :class:`TrainingWatchdog` (non-finite loss/gradients, robust loss-spike
+  detection, checkpoint rollback with LR backoff), and
   :func:`validate_energy_forces` (the fail-fast form used by default in
   the MD drivers and the serve layer).
 * **Degradation primitives** — :class:`RetryPolicy` (bounded retries,
@@ -34,13 +36,21 @@ from .faults import (
     POTENTIAL_CORRUPT,
     RANK_FAIL,
     REPLAY_FAIL,
+    TRAIN_LABEL_CORRUPTION,
+    TRAIN_STEP_FAILURE,
     WORKER_CRASH,
     WORKER_STALL,
+    CorruptedFrames,
     FaultPlan,
     FaultyPotential,
     InjectedFault,
 )
-from .guards import ForceWatchdog, NumericalInstabilityError, validate_energy_forces
+from .guards import (
+    ForceWatchdog,
+    NumericalInstabilityError,
+    TrainingWatchdog,
+    validate_energy_forces,
+)
 from .retry import CircuitBreaker, CircuitOpenError, RetryPolicy
 
 __all__ = [
@@ -48,18 +58,22 @@ __all__ = [
     "CheckpointManager",
     "CircuitBreaker",
     "CircuitOpenError",
+    "CorruptedFrames",
     "FaultPlan",
     "FaultyPotential",
     "ForceWatchdog",
     "InjectedFault",
     "NumericalInstabilityError",
     "RetryPolicy",
+    "TrainingWatchdog",
     "validate_energy_forces",
     "COMM_DELAY",
     "COMM_DROP",
     "POTENTIAL_CORRUPT",
     "RANK_FAIL",
     "REPLAY_FAIL",
+    "TRAIN_LABEL_CORRUPTION",
+    "TRAIN_STEP_FAILURE",
     "WORKER_CRASH",
     "WORKER_STALL",
 ]

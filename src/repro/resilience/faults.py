@@ -20,13 +20,20 @@ Channels used by the built-in injection sites:
   per replay (a firing poisons the replay, exercising the fallback chain).
 * ``potential.corrupt`` — :class:`FaultyPotential` consults per force call
   and overwrites part of the output with NaN/inf.
+* ``train.label_corruption`` — :class:`CorruptedFrames` consults per
+  training frame and poisons its labels (the defect dataset validation
+  must catch before the trainer sees it).
+* ``train.step_failure`` — :class:`repro.nn.Trainer` consults per batch
+  attempt (a firing simulates a transient step failure: preemption, an
+  OOM-killed kernel).
 """
 
 from __future__ import annotations
 
+import copy
 import hashlib
 from collections import defaultdict
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -38,9 +45,12 @@ __all__ = [
     "WORKER_STALL",
     "REPLAY_FAIL",
     "POTENTIAL_CORRUPT",
+    "TRAIN_LABEL_CORRUPTION",
+    "TRAIN_STEP_FAILURE",
     "InjectedFault",
     "FaultPlan",
     "FaultyPotential",
+    "CorruptedFrames",
 ]
 
 COMM_DROP = "comm.drop"
@@ -50,6 +60,8 @@ WORKER_CRASH = "serve.worker_crash"
 WORKER_STALL = "serve.worker_stall"
 REPLAY_FAIL = "engine.replay_fail"
 POTENTIAL_CORRUPT = "potential.corrupt"
+TRAIN_LABEL_CORRUPTION = "train.label_corruption"
+TRAIN_STEP_FAILURE = "train.step_failure"
 
 
 class InjectedFault(RuntimeError):
@@ -208,3 +220,61 @@ class FaultyPotential:
             else:
                 energy = float("inf")
         return energy, forces
+
+
+class CorruptedFrames:
+    """Apply seeded label corruption to copies of clean training frames.
+
+    Real label corruption happens *after* construction-time validation —
+    bit rot on disk, a buggy preprocessing step mutating arrays in place —
+    so this helper mutates copies of already-built frames directly,
+    bypassing constructor checks exactly the way real corruption does.
+    That makes it the test harness for ``repro.data.validate``: a
+    validation pass that misses a :class:`CorruptedFrames` defect would
+    miss the real thing too.
+
+    Works on any frame object with ``energy``/``forces`` attributes
+    (:class:`repro.nn.training.LabeledFrame` in practice).  Modes:
+
+    * ``"nan"`` — first force component set to NaN,
+    * ``"inf"`` — energy set to +inf,
+    * ``"outlier"`` — finite forces scaled by ``outlier_factor`` (the
+      subtle defect only σ-outlier screening catches).
+    """
+
+    MODES = ("nan", "inf", "outlier")
+
+    def __init__(
+        self,
+        frames: Sequence,
+        plan: FaultPlan,
+        mode: str = "nan",
+        channel: str = TRAIN_LABEL_CORRUPTION,
+        outlier_factor: float = 1e6,
+    ) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown corruption mode {mode!r} {self.MODES}")
+        self.frames = list(frames)
+        self.plan = plan
+        self.mode = mode
+        self.channel = channel
+        self.outlier_factor = float(outlier_factor)
+        self.corrupted_indices: List[int] = []
+
+    def materialize(self) -> List:
+        """Corrupted copies; one plan draw per frame, originals untouched."""
+        out = []
+        for k, frame in enumerate(self.frames):
+            clone = copy.copy(frame)
+            clone.forces = np.array(frame.forces, copy=True)
+            if self.plan.fires(self.channel):
+                self.corrupted_indices.append(k)
+                if self.mode == "nan":
+                    if clone.forces.size:
+                        clone.forces.flat[0] = np.nan
+                elif self.mode == "inf":
+                    clone.energy = float("inf")
+                else:
+                    clone.forces *= self.outlier_factor
+            out.append(clone)
+        return out

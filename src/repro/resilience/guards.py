@@ -19,6 +19,7 @@ __all__ = [
     "NumericalInstabilityError",
     "validate_energy_forces",
     "ForceWatchdog",
+    "TrainingWatchdog",
 ]
 
 
@@ -150,5 +151,135 @@ class ForceWatchdog:
             "n_checks": self.n_checks,
             "n_trips": self.n_trips,
             "n_recoveries": self.n_recoveries,
+            "last_error": self.last_error,
+        }
+
+
+class TrainingWatchdog:
+    """Per-batch health check on (loss, gradients): the training sibling of
+    :class:`ForceWatchdog`.
+
+    A NaN loss or gradient is silent corruption for a *model* the way NaN
+    forces are for a trajectory: one Adam step propagates it into every
+    parameter, and the checkpoint written afterwards poisons every consumer
+    downstream (MD, the compiled engine, serving).  Detectors:
+
+    * **Non-finite** — NaN/inf in the loss value or any gradient array,
+      checked *before* the optimizer sees the gradients.
+    * **Loss spike** — once ``min_history`` batch losses are banked, a loss
+      further than ``spike_factor`` robust widths (median absolute
+      deviation, floored by ``abs_floor``) from the rolling median trips
+      the watchdog — catching the "finite but the optimization just
+      diverged" mode that precedes the NaN.
+
+    Policy mirrors :class:`ForceWatchdog`:
+
+    * ``"abort"`` — :meth:`check` raises :class:`NumericalInstabilityError`.
+    * ``"recover"`` — :meth:`check` returns False; the trainer rolls back
+      to its last good checkpoint, reduces the learning rate, and replays
+      with a reshuffled batch order.  After ``max_rollbacks`` trips the
+      watchdog escalates to abort — a deterministic divergence would
+      otherwise loop forever.
+
+    The banked loss history and counters round-trip through
+    ``state_dict()``/``load_state_dict()`` so a killed-and-resumed run
+    carries the same spike-detection state as the uninterrupted one.
+    """
+
+    POLICIES = ("abort", "recover")
+
+    def __init__(
+        self,
+        policy: str = "abort",
+        spike_factor: Optional[float] = 1e3,
+        min_history: int = 16,
+        window: int = 64,
+        abs_floor: float = 1e-12,
+        max_rollbacks: int = 3,
+    ) -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown policy {policy!r} (abort|recover)")
+        if spike_factor is not None and spike_factor <= 0:
+            raise ValueError("spike_factor must be positive (or None to disable)")
+        if max_rollbacks < 0:
+            raise ValueError("max_rollbacks must be >= 0")
+        self.policy = policy
+        self.spike_factor = spike_factor
+        self.min_history = int(min_history)
+        self.abs_floor = float(abs_floor)
+        self._history: deque = deque(maxlen=int(window))
+        self.max_rollbacks = int(max_rollbacks)
+        self.n_checks = 0
+        self.n_trips = 0
+        self.n_rollbacks = 0
+        self.last_error: Optional[str] = None
+
+    # -- detection ------------------------------------------------------------
+    def _diagnose(self, loss: float, grads) -> Optional[str]:
+        if not np.isfinite(loss):
+            return f"non-finite training loss {loss!r}"
+        for k, g in enumerate(grads):
+            if not np.isfinite(g).all():
+                bad = int(np.count_nonzero(~np.isfinite(g)))
+                return f"non-finite gradient ({bad} component(s) in grad #{k})"
+        if self.spike_factor is not None and len(self._history) >= self.min_history:
+            hist = np.asarray(self._history)
+            median = float(np.median(hist))
+            mad = float(np.median(np.abs(hist - median)))
+            scale = max(1.4826 * mad, self.abs_floor)
+            dev = abs(float(loss) - median)
+            if dev > self.spike_factor * scale:
+                return (
+                    f"loss spike: |{loss:.6g} - median {median:.6g}| "
+                    f"= {dev:.3g} > {self.spike_factor:g} x {scale:.3g}"
+                )
+        return None
+
+    def check(self, loss: float, grads=(), step: Optional[int] = None) -> bool:
+        """True when healthy (loss banked); False/raise when tripped."""
+        self.n_checks += 1
+        problem = self._diagnose(float(loss), grads)
+        if problem is None:
+            self._history.append(float(loss))
+            return True
+        self.n_trips += 1
+        where = "" if step is None else f" at step {step}"
+        self.last_error = f"{problem}{where}"
+        if self.policy == "abort" or self.n_rollbacks >= self.max_rollbacks:
+            raise NumericalInstabilityError(self.last_error)
+        return False
+
+    def on_rollback(self) -> None:
+        """Record one checkpoint rollback (recover policy)."""
+        self.n_rollbacks += 1
+
+    def reset_history(self) -> None:
+        """Drop banked losses (call after rolling back to an older state)."""
+        self._history.clear()
+
+    # -- checkpointable state -------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "history": list(self._history),
+            "n_checks": self.n_checks,
+            "n_trips": self.n_trips,
+            "n_rollbacks": self.n_rollbacks,
+            "last_error": self.last_error,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._history.clear()
+        self._history.extend(float(x) for x in state["history"])
+        self.n_checks = int(state["n_checks"])
+        self.n_trips = int(state["n_trips"])
+        self.n_rollbacks = int(state["n_rollbacks"])
+        self.last_error = state["last_error"]
+
+    def stats(self) -> dict:
+        return {
+            "policy": self.policy,
+            "n_checks": self.n_checks,
+            "n_trips": self.n_trips,
+            "n_rollbacks": self.n_rollbacks,
             "last_error": self.last_error,
         }

@@ -8,11 +8,15 @@ import pytest
 from repro.cli import (
     EXAMPLE_CONFIG,
     EXAMPLE_SERVE_CONFIG,
+    EXAMPLE_TRAIN_CONFIG,
     build_potential,
     build_system,
+    build_training_frames,
+    build_training_model,
     main,
     run_config,
     serve_config,
+    train_config,
 )
 
 
@@ -119,6 +123,71 @@ class TestServeConfig:
         assert "latency_s" in payload["histograms"]
 
 
+class TestTrainConfig:
+    def _config(self, **train_overrides):
+        cfg = json.loads(json.dumps(EXAMPLE_TRAIN_CONFIG))  # deep copy
+        cfg["data"]["n_frames"] = 10
+        cfg["train"].update({"epochs": 2, "batch_size": 4}, **train_overrides)
+        return cfg
+
+    def test_builders(self):
+        assert build_training_model({"kind": "classical"}).cutoff > 0
+        train, val = build_training_frames(
+            {"kind": "conformations", "n_frames": 10, "val_fraction": 0.2}
+        )
+        assert len(train) == 8 and len(val) == 2
+        with pytest.raises(ValueError):
+            build_training_model({"kind": "magic"})
+        with pytest.raises(ValueError):
+            build_training_frames({"kind": "magic"})
+
+    def test_train_runs_and_reports(self, tmp_path):
+        stats_path = tmp_path / "stats.json"
+        trainer = train_config(self._config(), quiet=True, stats_json=stats_path)
+        assert trainer.epochs_completed == 2
+        payload = json.loads(stats_path.read_text())
+        assert len(payload["history"]) == 2
+        assert np.isfinite(payload["history"][-1]["train_loss"])
+
+    def test_train_saves_model(self, tmp_path):
+        path = tmp_path / "model.npz"
+        trainer = train_config(
+            self._config(save_model=str(path)), quiet=True
+        )
+        saved = dict(np.load(path))
+        for key, value in trainer.model.state_dict().items():
+            np.testing.assert_array_equal(saved[key], value)
+
+    def test_kill_and_resume_is_bitwise(self, tmp_path):
+        full = train_config(
+            self._config(epochs=4, checkpoint_dir=str(tmp_path / "a")), quiet=True
+        )
+        ckpt = tmp_path / "b"
+        train_config(
+            self._config(epochs=2, checkpoint_dir=str(ckpt)), quiet=True
+        )
+        resumed = train_config(
+            self._config(epochs=4, checkpoint_dir=str(ckpt)),
+            resume=True,
+            quiet=True,
+        )
+        assert [s.train_loss for s in full.history] == [
+            s.train_loss for s in resumed.history
+        ]
+        for key, value in full.model.state_dict().items():
+            np.testing.assert_array_equal(resumed.model.state_dict()[key], value)
+
+    def test_resume_without_checkpoint_dir_rejected(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            train_config(self._config(), resume=True, quiet=True)
+
+    def test_train_from_file(self, tmp_path, capsys):
+        cfg = self._config()
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(cfg))
+        assert main(["train", str(path), "--quiet"]) == 0
+
+
 class TestMain:
     def test_example_config_roundtrip(self, capsys):
         assert main(["example-config"]) == 0
@@ -129,6 +198,11 @@ class TestMain:
         assert main(["example-serve-config"]) == 0
         printed = capsys.readouterr().out
         assert "serve" in json.loads(printed)
+
+    def test_example_train_config_roundtrip(self, capsys):
+        assert main(["example-train-config"]) == 0
+        printed = capsys.readouterr().out
+        assert json.loads(printed)["model"]["kind"] == "classical"
 
     def test_run_from_file(self, tmp_path, capsys):
         cfg = json.loads(json.dumps(EXAMPLE_CONFIG))

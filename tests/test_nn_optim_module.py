@@ -65,6 +65,73 @@ class TestOptimizers:
         assert np.abs(p.data).max() < 10.0
 
 
+def _step_quadratic(opt, W, x, y, n_steps):
+    for _ in range(n_steps):
+        pred = ad.matmul(ad.Tensor(x), W)
+        loss = ((pred - ad.Tensor(y)) ** 2).mean()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+
+
+class TestOptimizerStateRoundTrip:
+    """save → mutate → restore → continue must be bitwise (resume property)."""
+
+    @pytest.mark.parametrize(
+        "optimizer_cls,kw",
+        [(Adam, {"lr": 0.05}), (SGD, {"lr": 0.05, "momentum": 0.9})],
+    )
+    def test_restore_then_continue_is_bitwise(self, rng, optimizer_cls, kw):
+        x = rng.normal(size=(16, 3))
+        y = x @ rng.normal(size=(3, 3))
+        W0 = rng.normal(size=(3, 3))
+
+        W_ref = ad.Tensor(W0.copy(), requires_grad=True)
+        opt_ref = optimizer_cls([W_ref], **kw)
+        _step_quadratic(opt_ref, W_ref, x, y, 10)
+
+        W = ad.Tensor(W0.copy(), requires_grad=True)
+        opt = optimizer_cls([W], **kw)
+        _step_quadratic(opt, W, x, y, 5)
+        saved_opt = opt.state_dict()
+        saved_W = W.data.copy()
+        # trash everything, then restore
+        _step_quadratic(opt, W, x, y, 3)
+        opt.lr = 123.0
+        W.data[...] = saved_W
+        opt.load_state_dict(saved_opt)
+        _step_quadratic(opt, W, x, y, 5)
+
+        np.testing.assert_array_equal(W.data, W_ref.data)
+        if optimizer_cls is Adam:
+            assert opt.t == opt_ref.t
+            for m_a, m_b in zip(opt._m, opt_ref._m):
+                np.testing.assert_array_equal(m_a, m_b)
+            for v_a, v_b in zip(opt._v, opt_ref._v):
+                np.testing.assert_array_equal(v_a, v_b)
+
+    def test_adam_state_dict_is_a_copy(self, rng):
+        p = ad.Tensor(rng.normal(size=3), requires_grad=True)
+        opt = Adam([p], lr=0.1)
+        state = opt.state_dict()
+        state["m"][0][...] = 999.0
+        assert np.all(opt._m[0] == 0.0)
+
+    def test_load_rejects_wrong_count(self, rng):
+        opt = Adam([ad.Tensor(np.ones(3), requires_grad=True)], lr=0.1)
+        state = opt.state_dict()
+        state["m"] = []
+        with pytest.raises(ValueError, match="state holds 0 arrays"):
+            opt.load_state_dict(state)
+
+    def test_load_rejects_wrong_shape(self, rng):
+        opt = SGD([ad.Tensor(np.ones(3), requires_grad=True)], momentum=0.5)
+        state = opt.state_dict()
+        state["vel"] = [np.ones((2, 2))]
+        with pytest.raises(ValueError, match="shape mismatch"):
+            opt.load_state_dict(state)
+
+
 class TestEMA:
     def test_tracks_average(self):
         p = ad.Tensor(np.zeros(2), requires_grad=True)
@@ -85,6 +152,34 @@ class TestEMA:
     def test_rejects_bad_decay(self):
         with pytest.raises(ValueError):
             ExponentialMovingAverage([], decay=1.5)
+
+    def test_state_dict_roundtrip_continues_bitwise(self, rng):
+        p_ref = ad.Tensor(np.zeros(3), requires_grad=True)
+        ema_ref = ExponentialMovingAverage([p_ref], decay=0.9)
+        p = ad.Tensor(np.zeros(3), requires_grad=True)
+        ema = ExponentialMovingAverage([p], decay=0.9)
+        updates = rng.normal(size=(10, 3))
+        for u in updates[:5]:
+            p_ref.data[:] = u
+            ema_ref.update()
+            p.data[:] = u
+            ema.update()
+        saved = ema.state_dict()
+        ema.shadow[0][...] = -1.0  # trash, then restore
+        ema.load_state_dict(saved)
+        for u in updates[5:]:
+            p_ref.data[:] = u
+            ema_ref.update()
+            p.data[:] = u
+            ema.update()
+        np.testing.assert_array_equal(ema.shadow[0], ema_ref.shadow[0])
+
+    def test_state_dict_is_a_copy(self):
+        p = ad.Tensor(np.ones(2), requires_grad=True)
+        ema = ExponentialMovingAverage([p])
+        state = ema.state_dict()
+        state["shadow"][0][...] = 99.0
+        assert np.all(ema.shadow[0] == 1.0)
 
 
 class TestModule:

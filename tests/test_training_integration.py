@@ -90,6 +90,22 @@ class TestTrainer:
         with pytest.raises(ValueError):
             LabeledFrame(frames[0].system, 0.0, np.zeros((2, 3)))
 
+    def test_labeled_frame_rejects_nonfinite_energy(self, frames):
+        shape = frames[0].system.positions.shape
+        with pytest.raises(ValueError, match="energy must be finite"):
+            LabeledFrame(frames[0].system, float("nan"), np.zeros(shape))
+
+    def test_labeled_frame_rejects_nonfinite_forces(self, frames):
+        forces = np.zeros(frames[0].system.positions.shape)
+        forces[0, 0] = np.inf
+        with pytest.raises(ValueError, match="forces must be finite"):
+            LabeledFrame(frames[0].system, 0.0, forces)
+
+    def test_evaluate_empty_frames_is_descriptive(self, frames):
+        tr = Trainer(tiny_allegro(), frames[:4])
+        with pytest.raises(ValueError, match="at least one frame"):
+            tr.evaluate([])
+
 
 class TestBatching:
     def test_batch_offsets(self, frames):

@@ -1,0 +1,85 @@
+"""Observability overhead: traced MD must cost ≤5% of steps/s.
+
+The span instrumentation is wired permanently through the MD step loop
+(neighbor / force / integrate / thermostat), the engine, and the parallel
+driver; it only earns that placement if the *disabled* cost is a single
+attribute check and even the *enabled* cost stays under 5% of bare
+steps/s.  This benchmark times the same LJ trajectory with tracing off
+and on and asserts the traced run keeps ≥95% of the bare rate.
+
+Off and on runs are interleaved round-robin — on a shared CI box,
+sequential A-then-B timing folds CPU-frequency drift into the ratio.
+"""
+
+import numpy as np
+
+from conftest import fmt_table
+from repro import obs
+from repro.md import Cell, LangevinThermostat, Simulation, System
+from repro.models import LennardJones
+
+N_STEPS = 200
+REPEATS = 7
+
+
+def make_sim():
+    rng = np.random.default_rng(7)
+    n_side, a = 5, 1.7
+    grid = np.stack(
+        np.meshgrid(*[np.arange(n_side)] * 3, indexing="ij"), axis=-1
+    ).reshape(-1, 3)
+    positions = a * grid + rng.normal(scale=0.02, size=(n_side**3, 3))
+    system = System(
+        positions, np.zeros(n_side**3, dtype=int), Cell.cubic(a * n_side)
+    )
+    system.velocities = rng.normal(scale=0.05, size=positions.shape)
+    return Simulation(
+        system,
+        LennardJones(epsilon=0.05, sigma=1.5, cutoff=3.0),
+        dt=0.2,
+        thermostat=LangevinThermostat(30.0, friction=0.05, seed=3),
+    )
+
+
+def run_once(traced):
+    sim = make_sim()
+    if traced:
+        obs.enable()
+    try:
+        rate = sim.run(N_STEPS).timesteps_per_second
+    finally:
+        obs.disable()
+        obs.get_tracer().clear()
+    return rate
+
+
+def test_span_tracing_overhead(reporter, benchmark):
+    run_once(False), run_once(True)  # warmup both paths
+    bare_rates, traced_rates = [], []
+    for _ in range(REPEATS):
+        bare_rates.append(run_once(False))
+        traced_rates.append(run_once(True))
+    bare = float(np.median(bare_rates))
+    traced = float(np.median(traced_rates))
+    overhead = 1.0 - traced / bare
+
+    rows = [
+        ("tracing off", f"{bare:.1f}", "-"),
+        ("tracing on", f"{traced:.1f}", f"{100 * overhead:+.1f}%"),
+    ]
+    reporter(
+        "obs_overhead",
+        fmt_table(
+            ["config", f"steps/s (median of {REPEATS})", "overhead"],
+            rows,
+            title=f"Span-tracing overhead, 125-atom LJ NVT, {N_STEPS} steps",
+        ),
+        data={"bare": bare, "traced": traced, "overhead": overhead},
+    )
+
+    assert overhead < 0.05, (
+        f"traced MD lost {100 * overhead:.1f}% steps/s (budget: 5%)"
+    )
+
+    sim = make_sim()
+    benchmark.pedantic(lambda: sim.run(5), rounds=2, iterations=1)

@@ -13,12 +13,19 @@ verifies exactness against the eager path, and prints the serving
 metrics (throughput, latency percentiles, replay rate).
 
 Run:  python examples/serve_quickstart.py
+
+With ``REPRO_ARTIFACT_DIR`` set, span tracing is enabled for the run and
+the final server metrics snapshot + trace document are written there as
+deterministic JSON (the CI smoke uploads them as workflow artifacts).
 """
 
+import os
 import time
+from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.md import Cell, System, neighbor_list
 from repro.models import LennardJones, MorsePotential
 from repro.serve import Client, ForceServer, Metrics, ModelRegistry
@@ -34,6 +41,9 @@ def make_system(n, seed, box=8.0):
 
 
 def main() -> None:
+    artifact_dir = os.environ.get("REPRO_ARTIFACT_DIR")
+    if artifact_dir:
+        obs.enable()
     registry = ModelRegistry()
     lj = LennardJones(epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2)
     registry.register("lj", lj)
@@ -81,6 +91,14 @@ def main() -> None:
         raise SystemExit("serving changed the physics — this is a bug")
     print("   (batching concatenates disjoint graphs and every kernel is")
     print("    row-local, so the service changes throughput, not physics)")
+
+    if artifact_dir:
+        out = Path(artifact_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        obs.write_json(out / "serve_stats.json", stats)
+        obs.get_tracer().write_json(out / "serve_trace.json")
+        obs.disable()
+        print(f"   stats + trace artifacts written to {out}")
 
 
 if __name__ == "__main__":

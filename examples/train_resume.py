@@ -22,13 +22,19 @@ corrupted dataset which validation quarantines before the first
 gradient step.
 
 Run:  python examples/train_resume.py
+
+With ``REPRO_ARTIFACT_DIR`` set, span tracing is enabled for the run and
+the final trainer stats + trace document are written there as
+deterministic JSON (the CI smoke uploads them as workflow artifacts).
 """
 
+import os
 import tempfile
 from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.data import conformation_dataset, label_frames
 from repro.models import ClassicalConfig, ClassicalForceField
 from repro.nn import TrainConfig, Trainer
@@ -54,6 +60,9 @@ def make_trainer(frames, fault_plan=None, data_policy="reject"):
 
 
 def main() -> None:
+    artifact_dir = os.environ.get("REPRO_ARTIFACT_DIR")
+    if artifact_dir:
+        obs.enable()
     frames = label_frames(conformation_dataset(16, n_heavy=4, seed=11, sigma=0.06))
 
     print(f"1. reference run: {TOTAL_EPOCHS} uninterrupted epochs ...")
@@ -104,6 +113,14 @@ def main() -> None:
     guarded.fit(2)
     print(f"   {guarded.stats()['n_quarantined_frames']} frame(s) quarantined "
           f"({guarded.dataset_report.summary()})")
+
+    if artifact_dir:
+        out = Path(artifact_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        obs.write_json(out / "train_stats.json", faulted.stats())
+        obs.get_tracer().write_json(out / "train_trace.json")
+        obs.disable()
+        print(f"   stats + trace artifacts written to {out}")
 
     print("done.")
 

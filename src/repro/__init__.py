@@ -30,6 +30,11 @@ serve
     Batched force-evaluation service over the compiled engine: model
     registry, capacity-bucketed plan cache, micro-batching, worker pool
     with backpressure, and serving metrics.
+obs
+    Unified observability: the metrics registry (counters, gauges,
+    histograms, labeled series), hierarchical span tracing with bounded
+    buffers, timing helpers, and deterministic JSON export — the stats
+    substrate shared by md, engine, parallel, serve, and training.
 """
 
 __version__ = "0.1.0"
@@ -44,4 +49,5 @@ __all__ = [
     "perf",
     "data",
     "serve",
+    "obs",
 ]

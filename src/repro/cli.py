@@ -27,6 +27,12 @@ checkpoint/resume discipline — a killed training run picked up with
     python -m repro.cli train train.json [--resume] [--stats-json stats.json]
     python -m repro.cli example-train-config > train.json
 
+Observability: every subcommand takes ``--trace-json PATH`` (enable the
+global span tracer for the run, export the phase table + span trees), and
+``profile`` runs a traced MD segment and prints where the time goes::
+
+    python -m repro.cli profile config.json [--steps N] [--trace-json t.json]
+
 Config schema (all lengths Å, times fs, temperatures K)::
 
     {
@@ -66,6 +72,7 @@ Training config schema::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
@@ -315,8 +322,32 @@ def train_config(
 
 
 def write_stats_json(path, payload: dict) -> None:
-    """Write a machine-readable stats payload (the ``--stats-json`` target)."""
-    Path(path).write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    """Write a machine-readable stats payload (the ``--stats-json`` target).
+
+    Deterministic by construction (sorted keys, stable float formatting,
+    ``schema_version`` field) — two identical runs produce byte-identical
+    files, so the artifacts diff cleanly in CI.
+    """
+    from .obs import write_json
+
+    write_json(path, payload)
+
+
+@contextlib.contextmanager
+def _tracing(trace_json):
+    """Enable global span tracing for one command; export on exit."""
+    if trace_json is None:
+        yield
+        return
+    from .obs import disable, enable, get_tracer
+
+    tracer = enable()
+    tracer.clear()
+    try:
+        yield
+    finally:
+        disable()
+        get_tracer().write_json(trace_json)
 
 
 def build_thermostat(md: dict):
@@ -336,13 +367,15 @@ def build_thermostat(md: dict):
     raise ValueError(f"unknown thermostat {kind!r}")
 
 
-def build_simulation(config: dict):
+def build_simulation(config: dict, registry=None):
     """``(sim, recorder, md_section)`` from a config.
 
     No minimization or velocity seeding happens here — ``run`` does both
     before integrating, ``resume`` overwrites all dynamic state from the
     checkpoint anyway.  Both subcommands therefore share one builder, so
     a resumed simulation is structurally identical to the original.
+    ``registry`` routes the simulation's (and compiled engine's) counters
+    into a shared :class:`repro.obs.Registry` tree.
     """
     from .md import Simulation, TrajectoryRecorder
 
@@ -360,6 +393,7 @@ def build_simulation(config: dict):
         thermostat=build_thermostat(md),
         recorder=recorder,
         engine=md.get("engine", "eager"),
+        registry=registry,
     )
     return sim, recorder, md
 
@@ -542,11 +576,81 @@ def serve_config(config: dict, quiet: bool = False, stats_json=None) -> dict:
     return stats
 
 
+def profile_config(
+    config: dict,
+    steps: Optional[int] = None,
+    quiet: bool = False,
+    trace_json=None,
+    stats_json=None,
+):
+    """Run a traced MD segment and print the per-phase time table.
+
+    Builds the configured simulation with one shared
+    :class:`repro.obs.Registry` (MD counters and the compiled engine's
+    capture/replay/arena instruments land in a single tree), enables the
+    global span tracer, runs ``steps`` steps, and prints where the wall
+    time went: neighbor rebuilds vs. force evaluation vs. integration vs.
+    thermostatting vs. checkpointing.  Returns ``(tracer, sim)``.
+    """
+    from .obs import Registry, disable, enable, get_tracer
+
+    def log(msg: str) -> None:
+        if not quiet:
+            print(msg)
+
+    registry = Registry()
+    sim, recorder, md = build_simulation(config, registry=registry)
+    temperature = float(md.get("temperature", 300.0))
+    sim.system.seed_velocities(
+        temperature, np.random.default_rng(md.get("seed", 0))
+    )
+    n = int(steps) if steps is not None else int(md.get("steps", 50))
+    tracer = enable()
+    tracer.clear()
+    try:
+        result = sim.run(n)
+    finally:
+        disable()
+        recorder.close()
+    log(
+        f"profiled {n} steps of {sim.system.n_atoms} atoms on "
+        f"{md.get('engine', 'eager')} engine: "
+        f"{result.timesteps_per_second:.2f} timesteps/s"
+    )
+    log("")
+    log(tracer.format_phases("md."))
+    engine_stats = sim.engine_stats()
+    if engine_stats is not None:
+        log("")
+        log(
+            f"engine: {engine_stats['n_captures']} captures, "
+            f"{engine_stats['n_replays']} replays, "
+            f"{engine_stats['recaptures']} recaptures"
+        )
+    if trace_json is not None:
+        get_tracer().write_json(trace_json)
+    if stats_json is not None:
+        payload = sim.stats()
+        payload["timesteps_per_second"] = result.timesteps_per_second
+        write_stats_json(stats_json, payload)
+    return tracer, sim
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Run MD from a JSON config."
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_flag(p):
+        p.add_argument(
+            "--trace-json",
+            type=Path,
+            default=None,
+            help="enable span tracing and write the phase table plus "
+            "buffered span trees as JSON to this path",
+        )
+
     run_p = sub.add_parser("run", help="execute a config")
     run_p.add_argument("config", type=Path)
     run_p.add_argument("--quiet", action="store_true")
@@ -556,6 +660,7 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help="write engine_stats() as machine-readable JSON to this path",
     )
+    add_trace_flag(run_p)
     resume_p = sub.add_parser(
         "resume", help="resume an interrupted run from its checkpoint directory"
     )
@@ -573,6 +678,7 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help="write engine_stats() as machine-readable JSON to this path",
     )
+    add_trace_flag(resume_p)
     serve_p = sub.add_parser(
         "serve", help="run a batched force-serving workload from a config"
     )
@@ -584,6 +690,7 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help="write the server metrics snapshot as JSON to this path",
     )
+    add_trace_flag(serve_p)
     train_p = sub.add_parser(
         "train", help="run a force-matching training job from a config"
     )
@@ -600,6 +707,30 @@ def main(argv: Optional[list] = None) -> int:
         type=Path,
         default=None,
         help="write trainer stats and epoch history as JSON to this path",
+    )
+    add_trace_flag(train_p)
+    profile_p = sub.add_parser(
+        "profile", help="run a traced MD segment and print a phase-time table"
+    )
+    profile_p.add_argument("config", type=Path)
+    profile_p.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="steps to profile (default: the config's md.steps)",
+    )
+    profile_p.add_argument("--quiet", action="store_true")
+    profile_p.add_argument(
+        "--trace-json",
+        type=Path,
+        default=None,
+        help="also write the trace document as JSON to this path",
+    )
+    profile_p.add_argument(
+        "--stats-json",
+        type=Path,
+        default=None,
+        help="write the unified registry snapshot as JSON to this path",
     )
     sub.add_parser("example-config", help="print a starter MD config to stdout")
     sub.add_parser(
@@ -623,25 +754,36 @@ def main(argv: Optional[list] = None) -> int:
         print()
         return 0
     if args.command == "resume":
-        resume_config(
-            args.checkpoint_dir,
+        with _tracing(args.trace_json):
+            resume_config(
+                args.checkpoint_dir,
+                steps=args.steps,
+                quiet=args.quiet,
+                stats_json=args.stats_json,
+            )
+        return 0
+    config = json.loads(args.config.read_text())
+    if args.command == "profile":
+        profile_config(
+            config,
             steps=args.steps,
             quiet=args.quiet,
+            trace_json=args.trace_json,
             stats_json=args.stats_json,
         )
         return 0
-    config = json.loads(args.config.read_text())
-    if args.command == "serve":
-        serve_config(config, quiet=args.quiet, stats_json=args.stats_json)
-    elif args.command == "train":
-        train_config(
-            config,
-            resume=args.resume,
-            quiet=args.quiet,
-            stats_json=args.stats_json,
-        )
-    else:
-        run_config(config, quiet=args.quiet, stats_json=args.stats_json)
+    with _tracing(args.trace_json):
+        if args.command == "serve":
+            serve_config(config, quiet=args.quiet, stats_json=args.stats_json)
+        elif args.command == "train":
+            train_config(
+                config,
+                resume=args.resume,
+                quiet=args.quiet,
+                stats_json=args.stats_json,
+            )
+        else:
+            run_config(config, quiet=args.quiet, stats_json=args.stats_json)
     return 0
 
 

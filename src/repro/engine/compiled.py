@@ -30,6 +30,7 @@ from typing import Optional
 import numpy as np
 
 from .. import autodiff as ad
+from ..obs import Registry, span
 from ..perf.allocator import PaddingPolicy
 from .plan import ExecutionPlan
 
@@ -95,6 +96,8 @@ class CompiledPotential:
         capacity: Optional[int] = None,
         pair_capacity: Optional[int] = None,
         padding: float = 0.05,
+        registry: Optional[Registry] = None,
+        labels: Optional[dict] = None,
     ) -> None:
         base = type(potential)
         traced = getattr(base, "traced_energies", None)
@@ -114,14 +117,33 @@ class CompiledPotential:
             self.atom_policy._capacity = int(capacity)
         if pair_capacity is not None:
             self.pair_policy._capacity = int(pair_capacity)
-        self.n_captures = 0
+        # Event counters live in an obs.Registry (private by default, or a
+        # shared tree with e.g. per-rank labels), so ``stats()`` is a view
+        # over the same registry model as every other layer.  The replay
+        # counter stays per-_EvalState (summed in ``n_replays``) because the
+        # replay fast path must not take the registry lock.
+        self.obs = registry if registry is not None else Registry()
+        self._obs_labels = dict(labels) if labels else None
+        self._c_captures = self.obs.counter("engine.captures", self._obs_labels)
         # Degradation chain (replay failure → recapture once → eager):
         # counters expose how often each stage fired; ``fault_hook`` is the
         # deterministic injection point (called with the stage name before
         # each replay; an exception it raises counts as that stage failing).
-        self.n_replay_failures = 0
-        self.n_failure_recaptures = 0
-        self.n_eager_fallbacks = 0
+        self._c_replay_failures = self.obs.counter(
+            "engine.replay_failures", self._obs_labels
+        )
+        self._c_failure_recaptures = self.obs.counter(
+            "engine.failure_recaptures", self._obs_labels
+        )
+        self._c_eager_fallbacks = self.obs.counter(
+            "engine.eager_fallbacks", self._obs_labels
+        )
+        self._g_cap_atoms = self.obs.gauge("engine.capacity_atoms", self._obs_labels)
+        self._g_cap_pairs = self.obs.gauge("engine.capacity_pairs", self._obs_labels)
+        self._g_arena_bytes = self.obs.gauge("engine.arena_bytes", self._obs_labels)
+        self._g_arena_buffers = self.obs.gauge(
+            "engine.arena_buffers", self._obs_labels
+        )
         self.fault_hook = None
         # Concurrency model: capture (allocate + record) is guarded by
         # ``_capture_lock`` so a burst of concurrent cold-start or overflow
@@ -155,6 +177,23 @@ class CompiledPotential:
         from ..md.neighborlist import neighbor_list
 
         return neighbor_list(system, self.cutoff)
+
+    # -- counter views (registry-backed; see __init__) ------------------------
+    @property
+    def n_captures(self) -> int:
+        return self._c_captures.value
+
+    @property
+    def n_replay_failures(self) -> int:
+        return self._c_replay_failures.value
+
+    @property
+    def n_failure_recaptures(self) -> int:
+        return self._c_failure_recaptures.value
+
+    @property
+    def n_eager_fallbacks(self) -> int:
+        return self._c_eager_fallbacks.value
 
     @property
     def recaptures(self) -> int:
@@ -202,7 +241,11 @@ class CompiledPotential:
             self._pool.clear()
 
     def stats(self) -> dict:
-        """Capture/replay counters and arena statistics."""
+        """Capture/replay counters and arena statistics.
+
+        A view over the instance's ``obs`` registry (plus the per-state
+        replay accumulators and the live plan's arena numbers).
+        """
         out = {
             "n_captures": self.n_captures,
             "recaptures": self.recaptures,
@@ -249,14 +292,15 @@ class CompiledPotential:
         n_edges = int(nl.n_edges)
         state = self._checkout(n, n_edges, positions, species, inputs, n_act)
         try:
-            self._bind(state, positions, species, inputs, n_edges, n_act)
-            if self.fault_hook is not None:
-                self.fault_hook("replay")
-            e_buf, g_buf = state.plan.execute()
+            with span("engine.replay"):
+                self._bind(state, positions, species, inputs, n_edges, n_act)
+                if self.fault_hook is not None:
+                    self.fault_hook("replay")
+                e_buf, g_buf = state.plan.execute()
         except Exception:
             # A failed replay leaves the state's buffers in an unknown
             # condition: discard it (never pool it) and degrade.
-            self.n_replay_failures += 1
+            self._c_replay_failures.inc()
             return self._evaluate_degraded(
                 n, n_edges, positions, species, nl, inputs, n_act
             )
@@ -285,14 +329,14 @@ class CompiledPotential:
                     self.fault_hook("recapture")
                 e_buf, g_buf = state.plan.execute()
             state.n_replays += 1
-            self.n_failure_recaptures += 1
+            self._c_failure_recaptures.inc()
             result = (e_buf[:n].copy(), -g_buf[:n])
             self._pool.append(state)
             return result
         except Exception:
             # Invalidate so later calls do not keep replaying a bad plan.
             self.invalidate()
-            self.n_eager_fallbacks += 1
+            self._c_eager_fallbacks.inc()
             return self._evaluate_eager(positions, species, nl, n_act)
 
     def _evaluate_eager(self, positions, species, nl, n_act):
@@ -401,24 +445,33 @@ class CompiledPotential:
     ) -> _EvalState:
         """Record a fresh template plan (capture lock held by the caller)."""
         pot = self.potential
-        state = self._allocate_state(n, n_edges, species, inputs)
-        self._bind(state, positions, species, inputs, n_edges, n_act)
-        pos_t = ad.Tensor(state.pos_buf, requires_grad=True)
-        mask_t = ad.Tensor(state.mask_buf)
-        traced_inputs = {
-            key: (ad.Tensor(buf) if buf.dtype.kind == "f" else buf)
-            for key, buf in state.input_bufs.items()
-        }
-        with pot.inference_mode():
-            rec = ad.Recorder()
-            with ad.recording(rec):
-                e_atoms = pot.traced_energies(pos_t, state.species_buf, traced_inputs)
-                e_masked = (e_atoms * mask_t).sum()
-                (gpos,) = ad.grad(e_masked, [pos_t])
-            state.plan = ExecutionPlan(rec, [e_atoms, gpos])
+        with span("engine.capture") as sp:
+            state = self._allocate_state(n, n_edges, species, inputs)
+            self._bind(state, positions, species, inputs, n_edges, n_act)
+            pos_t = ad.Tensor(state.pos_buf, requires_grad=True)
+            mask_t = ad.Tensor(state.mask_buf)
+            traced_inputs = {
+                key: (ad.Tensor(buf) if buf.dtype.kind == "f" else buf)
+                for key, buf in state.input_bufs.items()
+            }
+            with pot.inference_mode():
+                rec = ad.Recorder()
+                with ad.recording(rec):
+                    e_atoms = pot.traced_energies(
+                        pos_t, state.species_buf, traced_inputs
+                    )
+                    e_masked = (e_atoms * mask_t).sum()
+                    (gpos,) = ad.grad(e_masked, [pos_t])
+                state.plan = ExecutionPlan(rec, [e_atoms, gpos])
+            sp.add("capacity_atoms", state.cap_atoms)
+            sp.add("capacity_pairs", state.cap_pairs)
         self._epoch += 1  # retires every pre-capture state, pooled or in flight
         state.epoch = self._epoch
-        self.n_captures += 1
+        self._c_captures.inc()
+        self._g_cap_atoms.set(state.cap_atoms)
+        self._g_cap_pairs.set(state.cap_pairs)
+        self._g_arena_bytes.set(state.plan.arena.total_bytes)
+        self._g_arena_buffers.set(state.plan.arena.n_buffers)
         self._n_templates += 1
         self._states.append(state)
         self._template = state

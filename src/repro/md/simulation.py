@@ -34,6 +34,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from ..obs import Registry, get_tracer, span
 from ..resilience.guards import NumericalInstabilityError, validate_energy_forces
 from .integrators import VelocityVerlet
 from .neighborlist import NeighborList, VerletList
@@ -123,10 +124,15 @@ class Simulation:
         recorder: Optional[TrajectoryRecorder] = None,
         engine: str = "eager",
         watchdog=None,
+        registry: Optional[Registry] = None,
     ) -> None:
         from ..engine import CompiledPotential
 
         self.system = system
+        # One obs.Registry per simulation (injectable, e.g. the CLI profile
+        # shares a single tree across layers); a compiled evaluator built
+        # here records its engine.* counters into the same registry.
+        self.obs = registry if registry is not None else Registry()
         if isinstance(potential, CompiledPotential):
             # Accept a pre-compiled evaluator directly; keep the raw model
             # for cutoff / pair-cutoff bookkeeping.
@@ -138,7 +144,7 @@ class Simulation:
             # hot loop below then replays a fixed kernel plan instead of
             # rebuilding the autodiff tape every step.
             self.potential = potential
-            self._evaluator = potential.compile()
+            self._evaluator = potential.compile(registry=self.obs)
         elif engine == "eager":
             self.potential = potential
             self._evaluator = potential
@@ -152,10 +158,18 @@ class Simulation:
         self.verlet = VerletList(self.potential.cutoff, skin=skin)
         self.recorder = recorder
         self.step_count = 0
-        self.n_recoveries = 0
         self._forces: Optional[np.ndarray] = None
         self._pe: float = 0.0
         self._callbacks: List[Callable[[int, "Simulation"], None]] = []
+        self._c_steps = self.obs.counter("md.steps")
+        self._c_rebuilds = self.obs.counter("md.neighbor_rebuilds")
+        self._c_recoveries = self.obs.counter("md.recoveries")
+        self._c_checkpoints = self.obs.counter("md.checkpoints")
+
+    @property
+    def n_recoveries(self) -> int:
+        """Watchdog recover-policy rollbacks performed by :meth:`run`."""
+        return self._c_recoveries.value
 
     def engine_stats(self) -> Optional[dict]:
         """Capture/replay counters when running compiled; None when eager."""
@@ -163,28 +177,52 @@ class Simulation:
             return self._evaluator.stats()
         return None
 
+    def stats(self) -> dict:
+        """Unified observability view: registry counters + engine + phases.
+
+        ``phases`` is populated when tracing is enabled (``repro.obs``);
+        the per-phase wall times cover neighbor rebuild / force eval /
+        integrate / thermostat / checkpoint — the Fig. 6/7 time-per-step
+        breakdown at single-process scale.
+        """
+        snap = self.obs.snapshot()
+        snap["engine_stats"] = self.engine_stats()
+        snap["n_recoveries"] = self.n_recoveries
+        snap["neighbor_builds"] = self.verlet.n_builds
+        snap["phases"] = get_tracer().phase_totals("md.")
+        return snap
+
     def add_callback(self, fn: Callable[[int, "Simulation"], None]) -> None:
         """Called after every step with (step index, simulation)."""
         self._callbacks.append(fn)
 
     def _compute_forces(self) -> tuple[float, np.ndarray, int]:
-        nl = self.verlet.get(self.system)
-        if hasattr(self.potential, "prepare_neighbors") and not np.allclose(
-            getattr(self.potential, "pair_cutoffs", self.potential.cutoff),
-            self.potential.cutoff,
-        ):
-            # Per-species-pair pruning happens on the skinned list; the model
-            # envelope zeroes anything between r_c(pair) and the skin anyway,
-            # so we prune against the model's own matrix for speed.
-            from .neighborlist import filter_by_pair_cutoffs
+        with span("md.neighbor") as sp:
+            builds_before = self.verlet.n_builds
+            nl = self.verlet.get(self.system)
+            if hasattr(self.potential, "prepare_neighbors") and not np.allclose(
+                getattr(self.potential, "pair_cutoffs", self.potential.cutoff),
+                self.potential.cutoff,
+            ):
+                # Per-species-pair pruning happens on the skinned list; the
+                # model envelope zeroes anything between r_c(pair) and the
+                # skin anyway, so we prune against the model's own matrix for
+                # speed.
+                from .neighborlist import filter_by_pair_cutoffs
 
-            nl = filter_by_pair_cutoffs(
-                nl,
-                self.system.positions,
-                self.system.species,
-                self.potential.pair_cutoffs + self.verlet.skin,
-            )
-        e, f = self._evaluator.energy_and_forces(self.system, nl)
+                nl = filter_by_pair_cutoffs(
+                    nl,
+                    self.system.positions,
+                    self.system.species,
+                    self.potential.pair_cutoffs + self.verlet.skin,
+                )
+            rebuilt = self.verlet.n_builds - builds_before
+            if rebuilt:
+                self._c_rebuilds.inc(rebuilt)
+                sp.add("rebuilds", rebuilt)
+            sp.add("pairs", nl.n_edges)
+        with span("md.force"):
+            e, f = self._evaluator.energy_and_forces(self.system, nl)
         return e, f, nl.n_edges
 
     # -- checkpointable state -------------------------------------------------
@@ -280,7 +318,7 @@ class Simulation:
         self.set_state(snapshot)
         self.watchdog.reset_history()
         self.watchdog.on_recovered()
-        self.n_recoveries += 1
+        self._c_recoveries.inc()
         return False
 
     def run(
@@ -337,42 +375,54 @@ class Simulation:
         target = start + n_steps
         t0 = time.perf_counter()
         while self.step_count < target:
-            self.integrator.half_kick(self.system, self._forces)
-            self.integrator.drift(self.system)
-            # Positions are wrapped by the Verlet list exactly when it
-            # rebuilds (stale shift vectors + wrapping do not mix).
-            self._pe, self._forces, n_pairs = self._compute_forces()
-            if not self._check_health(manager):
-                # Rolled back: drop records newer than the restored step and
-                # replay from there.
-                while rec_steps and rec_steps[-1] > self.step_count:
-                    rec_steps.pop()
-                    times.pop(), pes.pop(), kes.pop(), temps.pop(), pairs.pop()
-                self._truncate_recorder()
-                continue
-            self.integrator.half_kick(self.system, self._forces)
-            if self.thermostat is not None:
-                self.thermostat.apply(self.system, self.integrator.dt)
-            if self.barostat is not None:
-                self.barostat.apply(self.system, self._forces, self.integrator.dt)
-            self.step_count += 1
-            t_now = self.step_count * self.integrator.dt
-            if (self.step_count - start - 1) % record_every == 0:
-                rec_steps.append(self.step_count)
-                times.append(t_now)
-                pes.append(self._pe)
-                kes.append(self.system.kinetic_energy())
-                temps.append(self.system.temperature())
-                pairs.append(n_pairs)
-            if self.recorder is not None:
-                self.recorder.record(self.step_count, t_now, self.system)
-            for cb in self._callbacks:
-                cb(self.step_count, self)
-            if (
-                manager is not None
-                and (self.step_count - start) % checkpoint_every == 0
-            ):
-                manager.save(self.get_state(), self.step_count)
+            with span("md.step") as sp:
+                with span("md.integrate"):
+                    self.integrator.half_kick(self.system, self._forces)
+                    self.integrator.drift(self.system)
+                # Positions are wrapped by the Verlet list exactly when it
+                # rebuilds (stale shift vectors + wrapping do not mix).
+                self._pe, self._forces, n_pairs = self._compute_forces()
+                if not self._check_health(manager):
+                    # Rolled back: drop records newer than the restored step
+                    # and replay from there.
+                    while rec_steps and rec_steps[-1] > self.step_count:
+                        rec_steps.pop()
+                        times.pop(), pes.pop(), kes.pop(), temps.pop()
+                        pairs.pop()
+                    self._truncate_recorder()
+                    continue
+                with span("md.integrate"):
+                    self.integrator.half_kick(self.system, self._forces)
+                if self.thermostat is not None:
+                    with span("md.thermostat"):
+                        self.thermostat.apply(self.system, self.integrator.dt)
+                if self.barostat is not None:
+                    with span("md.barostat"):
+                        self.barostat.apply(
+                            self.system, self._forces, self.integrator.dt
+                        )
+                self.step_count += 1
+                self._c_steps.inc()
+                sp.add("pairs", n_pairs)
+                t_now = self.step_count * self.integrator.dt
+                if (self.step_count - start - 1) % record_every == 0:
+                    rec_steps.append(self.step_count)
+                    times.append(t_now)
+                    pes.append(self._pe)
+                    kes.append(self.system.kinetic_energy())
+                    temps.append(self.system.temperature())
+                    pairs.append(n_pairs)
+                if self.recorder is not None:
+                    self.recorder.record(self.step_count, t_now, self.system)
+                for cb in self._callbacks:
+                    cb(self.step_count, self)
+                if (
+                    manager is not None
+                    and (self.step_count - start) % checkpoint_every == 0
+                ):
+                    with span("md.checkpoint"):
+                        manager.save(self.get_state(), self.step_count)
+                    self._c_checkpoints.inc()
         wall = time.perf_counter() - t0
         return MDResult(
             times=np.asarray(times),

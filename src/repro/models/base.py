@@ -112,6 +112,8 @@ class Potential(Module):
         capacity: Optional[int] = None,
         pair_capacity: Optional[int] = None,
         padding: Optional[float] = 0.05,
+        registry=None,
+        labels=None,
     ):
         """Freeze + capture this potential into a replayable evaluator.
 
@@ -121,11 +123,19 @@ class Potential(Module):
         (re-capturing only on capacity overflow, paper §V-C / Fig. 5).
         ``padding=None`` disables the headroom entirely (exact-fit buffers,
         the Fig. 5 unpadded baseline: every size change re-captures).
+        ``registry``/``labels`` route the evaluator's capture/replay
+        counters into a shared :class:`repro.obs.Registry` tree instead of
+        a private one.
         """
         from ..engine import CompiledPotential
 
         return CompiledPotential(
-            self, capacity=capacity, pair_capacity=pair_capacity, padding=padding
+            self,
+            capacity=capacity,
+            pair_capacity=pair_capacity,
+            padding=padding,
+            registry=registry,
+            labels=labels,
         )
 
     # -- generic API ----------------------------------------------------------

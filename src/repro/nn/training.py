@@ -43,6 +43,7 @@ import numpy as np
 from .. import autodiff as ad
 from ..md.neighborlist import NeighborList
 from ..md.system import System
+from ..obs import Registry, get_tracer, span
 from ..resilience.checkpoint import CheckpointManager
 from ..resilience.faults import TRAIN_STEP_FAILURE, InjectedFault
 from ..resilience.guards import NumericalInstabilityError
@@ -172,6 +173,7 @@ class Trainer:
         config: Optional[TrainConfig] = None,
         watchdog=None,
         fault_plan=None,
+        registry: Optional[Registry] = None,
     ) -> None:
         self.model = model
         self.config = config or TrainConfig()
@@ -181,14 +183,21 @@ class Trainer:
         self.fault_plan = fault_plan
         if not self.train_frames:
             raise ValueError("need at least one training frame")
+        # Resilience counters live in the shared observability registry
+        # (named ``train.<event>``); the legacy "n_*" keys are preserved as
+        # the view exposed by stats()/state_dict().
+        self.obs = registry if registry is not None else Registry()
         self._counters = {
-            "n_rollbacks": 0,
-            "n_skipped_batches": 0,
-            "n_clip_events": 0,
-            "n_step_failures": 0,
-            "n_step_retries": 0,
-            "n_checkpoints": 0,
-            "n_quarantined_frames": 0,
+            key: self.obs.counter("train." + key[2:])
+            for key in (
+                "n_rollbacks",
+                "n_skipped_batches",
+                "n_clip_events",
+                "n_step_failures",
+                "n_step_retries",
+                "n_checkpoints",
+                "n_quarantined_frames",
+            )
         }
         self.dataset_report = None
         self._validate_dataset()
@@ -248,7 +257,7 @@ class Trainer:
         else:  # quarantine
             drop = set(report.flagged_indices(include_soft=True))
             if drop:
-                self._counters["n_quarantined_frames"] = len(drop)
+                self._counters["n_quarantined_frames"].inc(len(drop))
                 self.train_frames = [
                     f for k, f in enumerate(self.train_frames) if k not in drop
                 ]
@@ -271,7 +280,7 @@ class Trainer:
                         f"validation set rejected: {val_report.summary()}"
                     )
                 drop = set(val_report.flagged_indices())
-                self._counters["n_quarantined_frames"] += len(drop)
+                self._counters["n_quarantined_frames"].inc(len(drop))
                 self.val_frames = [
                     f for k, f in enumerate(self.val_frames) if k not in drop
                 ]
@@ -344,17 +353,19 @@ class Trainer:
             try:
                 if self.fault_plan is not None:
                     self.fault_plan.raise_if_fires(TRAIN_STEP_FAILURE)
-                loss = self._batch_loss(batch)
-                self.model.zero_grad()
-                loss.backward()
+                with span("train.forward"):
+                    loss = self._batch_loss(batch)
+                with span("train.backward"):
+                    self.model.zero_grad()
+                    loss.backward()
             except InjectedFault:
-                self._counters["n_step_failures"] += 1
+                self._counters["n_step_failures"].inc()
                 if attempts < cfg.max_step_retries:
                     attempts += 1
-                    self._counters["n_step_retries"] += 1
+                    self._counters["n_step_retries"].inc()
                     continue
                 if cfg.skip_failed_batches:
-                    self._counters["n_skipped_batches"] += 1
+                    self._counters["n_skipped_batches"].inc()
                     return None
                 raise
             break
@@ -381,10 +392,11 @@ class Trainer:
                 scale = cfg.grad_clip_norm / total_norm
                 for g in grads:
                     g *= scale
-                self._counters["n_clip_events"] += 1
+                self._counters["n_clip_events"].inc()
 
-        self.optimizer.step()
-        self.ema.update()
+        with span("train.optimizer"):
+            self.optimizer.step()
+            self.ema.update()
         return value
 
     def train_epoch(self, epoch: int) -> float:
@@ -395,15 +407,18 @@ class Trainer:
         if cfg.shuffle:
             self._rng.shuffle(order)
         losses = []
-        for start in range(0, len(order), cfg.batch_size):
-            idx = order[start : start + cfg.batch_size]
-            batch = _Batch(
-                [self.train_frames[k] for k in idx],
-                [self._train_nls[k] for k in idx],
-            )
-            value = self._train_step(batch, epoch)
-            if value is not None:
-                losses.append(value)
+        with span("train.epoch") as sp:
+            for start in range(0, len(order), cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                with span("train.batch_build"):
+                    batch = _Batch(
+                        [self.train_frames[k] for k in idx],
+                        [self._train_nls[k] for k in idx],
+                    )
+                value = self._train_step(batch, epoch)
+                if value is not None:
+                    losses.append(value)
+                    sp.add("batches")
         if not losses:
             raise NumericalInstabilityError(
                 f"every batch failed or was skipped in epoch {epoch}"
@@ -470,8 +485,9 @@ class Trainer:
         return self.history
 
     def _save_checkpoint(self, manager: CheckpointManager) -> None:
-        manager.save(self.state_dict(), self._epoch_cursor)
-        self._counters["n_checkpoints"] += 1
+        with span("train.checkpoint"):
+            manager.save(self.state_dict(), self._epoch_cursor)
+        self._counters["n_checkpoints"].inc()
 
     def _rollback(self, manager: Optional[CheckpointManager], reason: str) -> None:
         """Recover policy: restore the last good checkpoint, back off LR.
@@ -489,7 +505,7 @@ class Trainer:
         _, state = manager.load_latest()
         self.load_state_dict(state, restore_rng=False, restore_watchdog=False)
         self._lr_scale *= self.config.rollback_lr_factor
-        self._counters["n_rollbacks"] += 1
+        self._counters["n_rollbacks"].inc()
         if self.watchdog is not None:
             self.watchdog.on_rollback()
             self.watchdog.reset_history()
@@ -507,7 +523,7 @@ class Trainer:
             "force_scale": self.force_scale,
             "lr_scale": self._lr_scale,
             "history": [asdict(s) for s in self.history],
-            "counters": dict(self._counters),
+            "counters": {k: c.value for k, c in self._counters.items()},
             "watchdog": (
                 self.watchdog.state_dict() if self.watchdog is not None else None
             ),
@@ -560,14 +576,23 @@ class Trainer:
         return self._epoch_cursor
 
     def stats(self) -> Dict:
-        """Resilience counters for this trainer instance."""
-        out = dict(self._counters)
+        """Resilience counters for this trainer instance.
+
+        A view over the trainer's slice of the observability registry
+        (``train.*`` counters) plus watchdog/dataset context and — when
+        tracing is enabled — per-phase wall times for
+        epoch/batch_build/forward/backward/optimizer.
+        """
+        out = {k: c.value for k, c in self._counters.items()}
         out["epochs_completed"] = self._epoch_cursor
         out["lr_scale"] = self._lr_scale
         out["watchdog"] = self.watchdog.stats() if self.watchdog is not None else None
         out["dataset_issues"] = (
             self.dataset_report.counts() if self.dataset_report is not None else None
         )
+        phases = get_tracer().phase_totals("train.")
+        if phases:
+            out["phases"] = phases
         return out
 
     # -- evaluation ---------------------------------------------------------------

@@ -1,0 +1,59 @@
+"""Deterministic JSON export shared by every ``--stats-json`` / trace writer.
+
+Downstream tooling diffs committed stats snapshots, so every export in the
+stack goes through one door: keys are sorted, floats are rounded to 12
+significant digits (enough to preserve any measured quantity, few enough
+that last-bit noise never dirties a diff), and each top-level document
+carries a ``schema_version`` so parsers can reject layouts they do not
+understand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["SCHEMA_VERSION", "stable_floats", "to_json", "write_json"]
+
+#: Version of the exported stats/trace JSON layout.  Bump on breaking
+#: changes to the snapshot structure, never for added keys.
+SCHEMA_VERSION = 1
+
+
+def stable_floats(obj):
+    """Recursively normalize floats to 12 significant digits.
+
+    numpy scalars are converted to native Python numbers on the way so the
+    output is valid JSON regardless of which layer produced the payload.
+    """
+    if isinstance(obj, bool):
+        return obj
+    if isinstance(obj, float):
+        return float(f"{obj:.12g}")
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, dict):
+        return {str(k): stable_floats(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [stable_floats(v) for v in obj]
+    if hasattr(obj, "item") and not hasattr(obj, "__len__"):
+        return stable_floats(obj.item())
+    if hasattr(obj, "tolist"):
+        return stable_floats(obj.tolist())
+    return obj
+
+
+def to_json(payload: dict, indent: int = 2) -> str:
+    """Serialize a payload deterministically (sorted keys, stable floats).
+
+    A ``schema_version`` field is injected at the top level when the
+    payload does not already carry one.
+    """
+    payload = dict(payload)
+    payload.setdefault("schema_version", SCHEMA_VERSION)
+    return json.dumps(stable_floats(payload), indent=indent, sort_keys=True)
+
+
+def write_json(path, payload: dict, indent: int = 2) -> None:
+    """Write :func:`to_json` output to ``path`` (with a trailing newline)."""
+    Path(path).write_text(to_json(payload, indent=indent) + "\n")

@@ -28,6 +28,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import Registry
+
 __all__ = ["CommError", "CommStats", "VirtualCluster"]
 
 
@@ -37,14 +39,38 @@ class CommError(RuntimeError):
 
 @dataclass
 class CommStats:
-    """Message/byte counters by category."""
+    """Message/byte counters by category.
+
+    When attached to an :class:`repro.obs.Registry` (see
+    :meth:`attach_registry`), every record is mirrored into labeled
+    ``comm.messages{category=...}`` / ``comm.bytes{category=...}``
+    counters so the traffic shows up in the unified metrics tree next to
+    engine and MD instrumentation.
+    """
 
     messages: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     bytes: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    _registry: Optional[Registry] = field(default=None, repr=False)
+    _cached: Dict[str, tuple] = field(default_factory=dict, repr=False)
+
+    def attach_registry(self, registry: Registry) -> None:
+        self._registry = registry
+        self._cached.clear()
 
     def record(self, category: str, n_bytes: int) -> None:
         self.messages[category] += 1
         self.bytes[category] += int(n_bytes)
+        if self._registry is not None:
+            pair = self._cached.get(category)
+            if pair is None:
+                labels = {"category": category}
+                pair = (
+                    self._registry.counter("comm.messages", labels=labels),
+                    self._registry.counter("comm.bytes", labels=labels),
+                )
+                self._cached[category] = pair
+            pair[0].inc()
+            pair[1].inc(int(n_bytes))
 
     def total_messages(self) -> int:
         return sum(self.messages.values())
@@ -87,24 +113,40 @@ class VirtualCluster:
         n_ranks: int,
         fault_plan=None,
         max_retries: int = 3,
+        registry: Optional[Registry] = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("need at least one rank")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         self.n_ranks = int(n_ranks)
+        self.obs = registry if registry is not None else Registry()
         self.stats = CommStats()
+        self.stats.attach_registry(self.obs)
         self.fault_plan = fault_plan
         self.max_retries = int(max_retries)
-        self.n_dropped = 0
-        self.n_delayed = 0
-        self.n_retransmits = 0
+        self._c_dropped = self.obs.counter("comm.dropped")
+        self._c_delayed = self.obs.counter("comm.delayed")
+        self._c_retransmits = self.obs.counter("comm.retransmits")
         self._mailboxes: Dict[Tuple[int, int, str, int], List] = {}
         # Undelivered copies recoverable by retransmission, keyed like
         # mailboxes: dropped payloads (sender still holds the data) and
         # delayed payloads (in flight, arrive one recv attempt late).
         self._lost: Dict[Tuple[int, int, str, int], List] = {}
         self._delayed: Dict[Tuple[int, int, str, int], List] = {}
+
+    # Legacy attribute API: the fault counters now live in the registry.
+    @property
+    def n_dropped(self) -> int:
+        return self._c_dropped.value
+
+    @property
+    def n_delayed(self) -> int:
+        return self._c_delayed.value
+
+    @property
+    def n_retransmits(self) -> int:
+        return self._c_retransmits.value
 
     def send(
         self,
@@ -124,11 +166,11 @@ class VirtualCluster:
                 from ..resilience.faults import COMM_DELAY, COMM_DROP
 
                 if self.fault_plan.fires(COMM_DROP):
-                    self.n_dropped += 1
+                    self._c_dropped.inc()
                     self._lost.setdefault(key, []).append(payload)
                     return
                 if self.fault_plan.fires(COMM_DELAY):
-                    self.n_delayed += 1
+                    self._c_delayed.inc()
                     self._delayed.setdefault(key, []).append(payload)
                     return
         self._mailboxes.setdefault(key, []).append(payload)
@@ -161,7 +203,7 @@ class VirtualCluster:
             # Retransmission: the sender still owns the payload and resends
             # it, which costs real bandwidth — account it.
             payload = lost.pop(0)
-            self.n_retransmits += 1
+            self._c_retransmits.inc()
             nbytes = sum(np.asarray(a).nbytes for a in payload)
             self.stats.record("retransmit", nbytes)
             self._mailboxes.setdefault(key, []).append(payload)

@@ -48,6 +48,7 @@ from ..md.simulation import (
     _restore_coupling_state,
 )
 from ..md.system import System
+from ..obs import LATENCY_BUCKETS, MONOTONIC, Registry, get_tracer, span
 from ..resilience.guards import validate_energy_forces
 from .comm import CommError, VirtualCluster
 from .decomposition import DomainDecomposition, RankShard
@@ -89,6 +90,7 @@ class ParallelForceEvaluator:
         engine: str = "eager",
         fault_plan=None,
         max_retries: int = 3,
+        registry: Optional[Registry] = None,
     ) -> None:
         if engine not in ("eager", "compiled"):
             raise ValueError(f"unknown engine {engine!r} (use 'eager' or 'compiled')")
@@ -96,11 +98,15 @@ class ParallelForceEvaluator:
             raise ValueError("max_retries must be >= 0")
         self.potential = potential
         self.grid = grid
-        self.cluster = cluster or VirtualCluster(grid.n_ranks, fault_plan=fault_plan)
+        self.obs = registry if registry is not None else Registry()
+        self.cluster = cluster or VirtualCluster(
+            grid.n_ranks, fault_plan=fault_plan, registry=self.obs
+        )
         self.fault_plan = fault_plan
         self.max_retries = int(max_retries)
-        self.n_failures = 0
-        self.n_recoveries = 0
+        self._c_failures = self.obs.counter("parallel.failures")
+        self._c_recoveries = self.obs.counter("parallel.recoveries")
+        self._rank_force_hist: dict = {}
         self.skin = float(skin)
         self.engine = engine
         # One compiled evaluator per rank: each rank captures at its own
@@ -112,6 +118,29 @@ class ParallelForceEvaluator:
         )
         self._shards: Optional[List[RankShard]] = None
         self._ref_positions: Optional[np.ndarray] = None
+
+    # Legacy attribute API: the counters now live in the registry.
+    @property
+    def n_failures(self) -> int:
+        return self._c_failures.value
+
+    @property
+    def n_recoveries(self) -> int:
+        return self._c_recoveries.value
+
+    def stats(self) -> dict:
+        """Unified observability view: one registry tree + phase times.
+
+        The snapshot carries the comm traffic (``comm.*``), per-rank engine
+        counters (``engine.*{rank=...}``), and failure/recovery totals
+        (``parallel.*``); ``phases`` holds span timings for
+        decompose/exchange/force/halo when tracing is enabled.
+        """
+        out = self.obs.snapshot()
+        out["resilience"] = self.resilience_stats()
+        out["engine"] = self.engine_stats()
+        out["phases"] = get_tracer().phase_totals("parallel.")
+        return out
 
     def resilience_stats(self) -> dict:
         """Failure/recovery counters plus the cluster's fault accounting."""
@@ -149,26 +178,28 @@ class ParallelForceEvaluator:
 
     def _prepare(self, system: System) -> List[RankShard]:
         if self._needs_rebuild(system):
-            system.wrap()
-            self._shards = self.decomp.build(system)
-            for shard in self._shards:
-                nl = self.decomp.local_neighbor_list(
-                    shard, self.potential.cutoff + self.skin
-                )
-                pair_cutoffs = getattr(self.potential, "pair_cutoffs", None)
-                if pair_cutoffs is not None and not np.allclose(
-                    pair_cutoffs, self.potential.cutoff
-                ):
-                    nl = filter_by_pair_cutoffs(
-                        nl,
-                        shard.positions,
-                        shard.species,
-                        np.asarray(pair_cutoffs) + self.skin,
+            with span("parallel.decompose"):
+                system.wrap()
+                self._shards = self.decomp.build(system)
+                for shard in self._shards:
+                    nl = self.decomp.local_neighbor_list(
+                        shard, self.potential.cutoff + self.skin
                     )
-                shard.nl = nl
-            self._ref_positions = system.positions.copy()
+                    pair_cutoffs = getattr(self.potential, "pair_cutoffs", None)
+                    if pair_cutoffs is not None and not np.allclose(
+                        pair_cutoffs, self.potential.cutoff
+                    ):
+                        nl = filter_by_pair_cutoffs(
+                            nl,
+                            shard.positions,
+                            shard.species,
+                            np.asarray(pair_cutoffs) + self.skin,
+                        )
+                    shard.nl = nl
+                self._ref_positions = system.positions.copy()
         else:
-            self.decomp.update_ghost_positions(self._shards, system)
+            with span("parallel.exchange"):
+                self.decomp.update_ghost_positions(self._shards, system)
         return self._shards
 
     # -- evaluation ----------------------------------------------------------------
@@ -186,12 +217,12 @@ class ParallelForceEvaluator:
             try:
                 return self._compute_once(system)
             except (CommError, RankFailure) as exc:
-                self.n_failures += 1
+                self._c_failures.inc()
                 attempts += 1
                 if attempts > self.max_retries:
                     raise
                 self._recover(exc)
-                self.n_recoveries += 1
+                self._c_recoveries.inc()
 
     def _recover(self, exc: BaseException) -> None:
         """Reset comm + decomposition state so the next attempt is clean."""
@@ -203,8 +234,26 @@ class ParallelForceEvaluator:
             # state is gone and gets rebuilt on first use.
             self._compiled.pop(exc.rank, None)
 
+    def _rank_hist(self, rank: int):
+        hist = self._rank_force_hist.get(rank)
+        if hist is None:
+            hist = self.obs.histogram(
+                "parallel.rank_force_seconds",
+                buckets=LATENCY_BUCKETS,
+                labels={"rank": str(rank)},
+            )
+            self._rank_force_hist[rank] = hist
+        return hist
+
     def _compute_once(
         self, system: System
+    ) -> Tuple[float, np.ndarray, RankWorkStats]:
+        with span("parallel.step") as sp:
+            out = self._compute_body(system, sp)
+        return out
+
+    def _compute_body(
+        self, system: System, sp
     ) -> Tuple[float, np.ndarray, RankWorkStats]:
         if self.fault_plan is not None:
             from ..resilience.faults import RANK_FAIL
@@ -221,39 +270,56 @@ class ParallelForceEvaluator:
         n_owned = np.zeros(self.grid.n_ranks, dtype=int)
         n_ghost = np.zeros(self.grid.n_ranks, dtype=int)
         n_edges = np.zeros(self.grid.n_ranks, dtype=int)
+        # Per-rank wall times feed load-imbalance histograms, but only when
+        # tracing is on — the clock calls are not free in the hot path.
+        timed = get_tracer().enabled
 
-        for shard in shards:
-            n_owned[shard.rank] = shard.n_owned
-            n_ghost[shard.rank] = shard.n_ghost
-            n_edges[shard.rank] = shard.nl.n_edges if shard.nl is not None else 0
-            if shard.n_owned == 0:
-                ghost_blocks.append(np.zeros((shard.n_ghost, 3)))
-                continue
-            if self.engine == "compiled":
-                cp = self._compiled.get(shard.rank)
-                if cp is None:
-                    from ..engine import CompiledPotential
+        with span("parallel.force"):
+            for shard in shards:
+                n_owned[shard.rank] = shard.n_owned
+                n_ghost[shard.rank] = shard.n_ghost
+                n_edges[shard.rank] = shard.nl.n_edges if shard.nl is not None else 0
+                if shard.n_owned == 0:
+                    ghost_blocks.append(np.zeros((shard.n_ghost, 3)))
+                    continue
+                t_rank = MONOTONIC() if timed else 0.0
+                if self.engine == "compiled":
+                    cp = self._compiled.get(shard.rank)
+                    if cp is None:
+                        from ..engine import CompiledPotential
 
-                    cp = CompiledPotential(self.potential)
-                    self._compiled[shard.rank] = cp
-                # n_active masks the energy seed to owned-center rows, the
-                # compiled analogue of e_atoms[:n_owned].sum(); gradients on
-                # ghost rows are exactly the halo force contributions.
-                e_atoms, local_f = cp.evaluate(
-                    shard.positions, shard.species, shard.nl, n_active=shard.n_owned
-                )
-                energy += float(np.sum(e_atoms[: shard.n_owned]))
-            else:
-                pos = ad.Tensor(shard.positions, requires_grad=True)
-                e_atoms = self.potential.atomic_energies(pos, shard.species, shard.nl)
-                e_owned = e_atoms[: shard.n_owned].sum()
-                e_owned.backward()
-                local_f = -pos.grad.data
-                energy += float(e_owned.data)
-            forces[shard.owned_ids] += local_f[: shard.n_owned]
-            ghost_blocks.append(local_f[shard.n_owned :])
+                        cp = CompiledPotential(
+                            self.potential,
+                            registry=self.obs,
+                            labels={"rank": str(shard.rank)},
+                        )
+                        self._compiled[shard.rank] = cp
+                    # n_active masks the energy seed to owned-center rows, the
+                    # compiled analogue of e_atoms[:n_owned].sum(); gradients
+                    # on ghost rows are exactly the halo force contributions.
+                    e_atoms, local_f = cp.evaluate(
+                        shard.positions, shard.species, shard.nl, n_active=shard.n_owned
+                    )
+                    energy += float(np.sum(e_atoms[: shard.n_owned]))
+                else:
+                    pos = ad.Tensor(shard.positions, requires_grad=True)
+                    e_atoms = self.potential.atomic_energies(
+                        pos, shard.species, shard.nl
+                    )
+                    e_owned = e_atoms[: shard.n_owned].sum()
+                    e_owned.backward()
+                    local_f = -pos.grad.data
+                    energy += float(e_owned.data)
+                if timed:
+                    self._rank_hist(shard.rank).observe(MONOTONIC() - t_rank)
+                forces[shard.owned_ids] += local_f[: shard.n_owned]
+                ghost_blocks.append(local_f[shard.n_owned :])
 
-        ghost_corr = self.decomp.reverse_force_exchange(shards, ghost_blocks)
+        bytes_before = self.cluster.stats.total_bytes()
+        with span("parallel.halo"):
+            ghost_corr = self.decomp.reverse_force_exchange(shards, ghost_blocks)
+        sp.add("halo_bytes", self.cluster.stats.total_bytes() - bytes_before)
+        sp.add("edges", int(n_edges.sum()))
         if len(ghost_corr) < n:
             ghost_corr = np.concatenate(
                 [ghost_corr, np.zeros((n - len(ghost_corr), 3))], axis=0
@@ -284,6 +350,7 @@ class ParallelSimulation:
         engine: str = "eager",
         fault_plan=None,
         max_retries: int = 3,
+        registry: Optional[Registry] = None,
     ) -> None:
         if system.cell is None:
             raise ValueError("parallel MD requires a periodic cell")
@@ -292,7 +359,12 @@ class ParallelSimulation:
         self.integrator = VelocityVerlet(dt)
         self.thermostat = thermostat
         self.grid = ProcessGrid.create(n_ranks, system.cell)
-        self.cluster = VirtualCluster(n_ranks, fault_plan=fault_plan)
+        # One registry tree spans the cluster, evaluator, and per-rank
+        # compiled engines, so comm bytes and capture counters are one view.
+        self.obs = registry if registry is not None else Registry()
+        self.cluster = VirtualCluster(
+            n_ranks, fault_plan=fault_plan, registry=self.obs
+        )
         self.evaluator = ParallelForceEvaluator(
             potential,
             self.grid,
@@ -301,11 +373,16 @@ class ParallelSimulation:
             engine=engine,
             fault_plan=fault_plan,
             max_retries=max_retries,
+            registry=self.obs,
         )
         self.step_count = 0
         self._forces: Optional[np.ndarray] = None
         self._pe = 0.0
         self.last_stats: Optional[RankWorkStats] = None
+
+    def stats(self) -> dict:
+        """Unified registry view over comm, engine, and failure counters."""
+        return self.evaluator.stats()
 
     # -- checkpointable state -------------------------------------------------
     def get_state(self) -> dict:

@@ -1,39 +1,43 @@
-"""Wall-clock timing helpers for the benchmark harness."""
+"""Deprecated shim: timing primitives moved to :mod:`repro.obs.timing`.
+
+``repro.perf.timing`` predates the observability layer; its stopwatch and
+best-of-N helper now live in ``repro.obs`` on the stack's single
+monotonic clock, with optional span emission so ad-hoc timings land in
+the same phase tables as the built-in instrumentation.  These entry
+points keep working but warn; new code should import from ``repro.obs``.
+"""
 
 from __future__ import annotations
 
-import time
+import warnings
 from typing import Callable, Tuple
 
+from ..obs.timing import Timer as _ObsTimer
+from ..obs.timing import time_callable as _obs_time_callable
 
-class Timer:
-    """Context-manager stopwatch: ``with Timer() as t: ...; t.elapsed``."""
+__all__ = ["Timer", "time_callable"]
 
-    def __init__(self) -> None:
-        self.elapsed = 0.0
-        self._t0 = 0.0
 
-    def __enter__(self) -> "Timer":
-        self._t0 = time.perf_counter()
-        return self
+class Timer(_ObsTimer):
+    """Deprecated alias of :class:`repro.obs.Timer` (same API and clock)."""
 
-    def __exit__(self, *exc) -> bool:
-        self.elapsed = time.perf_counter() - self._t0
-        return False
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "repro.perf.timing.Timer is deprecated; use repro.obs.Timer",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
 
 
 def time_callable(
     fn: Callable[[], object], repeat: int = 3, warmup: int = 1
 ) -> Tuple[float, object]:
-    """(best seconds per call, last result) over ``repeat`` timed calls."""
-    if repeat < 1:
-        raise ValueError("repeat must be >= 1")
-    result = None
-    for _ in range(warmup):
-        result = fn()
-    best = float("inf")
-    for _ in range(repeat):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
+    """Deprecated alias of :func:`repro.obs.time_callable`."""
+    warnings.warn(
+        "repro.perf.timing.time_callable is deprecated; "
+        "use repro.obs.time_callable",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _obs_time_callable(fn, repeat=repeat, warmup=warmup)

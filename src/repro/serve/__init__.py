@@ -32,7 +32,7 @@ Quickstart::
 """
 
 from .batching import ForceRequest, MicroBatcher, concatenate_structures
-from .metrics import Counter, Histogram, Metrics
+from .metrics import Counter, Gauge, Histogram, Metrics, Registry
 from .plancache import PlanCache, SizeClasses
 from .registry import ModelEntry, ModelRegistry, UnknownModelError
 from .server import (
@@ -52,6 +52,7 @@ __all__ = [
     "Counter",
     "ForceRequest",
     "ForceServer",
+    "Gauge",
     "Histogram",
     "Metrics",
     "MicroBatcher",
@@ -59,6 +60,7 @@ __all__ = [
     "ModelFailure",
     "ModelRegistry",
     "PlanCache",
+    "Registry",
     "RequestTimeout",
     "ServeError",
     "ServerOverloaded",

@@ -1,236 +1,30 @@
-"""Thread-safe serving metrics: counters, histograms, JSON snapshots.
+"""Compatibility re-export: the serving instruments moved to :mod:`repro.obs`.
 
-The serving layer is the first part of the stack that runs under real
-concurrency, so its health cannot be read off a single evaluate() call —
-it lives in distributions: request latency, queue depth at admission,
-batch occupancy, and the capture-vs-replay split of the compiled engine.
-This module provides the minimal instrument set for that:
-
-* :class:`Counter` — monotonically increasing event counts (requests
-  served/shed/timed out, plan-cache hits/misses, captures/replays).
-* :class:`Histogram` — fixed-bucket histograms with count/sum/min/max and
-  bucket-interpolated percentile estimates (p50/p99 latency without
-  retaining per-request samples).
-* :class:`Metrics` — a named registry of both, with a consistent
-  :meth:`~Metrics.snapshot` and JSON export for offline analysis (the
-  serving analogue of ``benchmarks/results/*_data.json``).
-
-Every mutation takes a single registry-wide lock; observations are a few
-dict/array updates, so contention stays negligible next to a force call.
+The counters/histograms/registry that grew up here are now the
+stack-wide observability primitives (``repro.obs.metrics``), shared by
+the engine, MD drivers, parallel comm, and trainer.  Existing imports —
+``from repro.serve.metrics import Metrics`` — keep working unchanged;
+``Metrics`` is an alias of :class:`repro.obs.Registry`.
 """
 
-from __future__ import annotations
-
-import json
-import threading
-from typing import Dict, Optional, Sequence, Tuple
-
-__all__ = ["Counter", "Histogram", "Metrics", "LATENCY_BUCKETS"]
-
-#: Geometric latency buckets from 10 µs to ~100 s — wide enough for eager
-#: protein evaluations, fine enough to resolve sub-millisecond replays.
-LATENCY_BUCKETS: Tuple[float, ...] = tuple(
-    1e-5 * (10 ** 0.25) ** k for k in range(29)
+from ..obs.metrics import (  # noqa: F401
+    LATENCY_BUCKETS,
+    OCCUPANCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    Registry,
+    labeled_name,
 )
 
-#: Small-integer buckets for queue depth / batch occupancy.
-OCCUPANCY_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
-
-
-class Counter:
-    """A monotonically increasing event counter."""
-
-    __slots__ = ("name", "_value", "_lock")
-
-    def __init__(self, name: str, lock: threading.Lock) -> None:
-        self.name = name
-        self._value = 0
-        self._lock = lock
-
-    def inc(self, n: int = 1) -> None:
-        """Add ``n`` events (n may be any non-negative integer)."""
-        with self._lock:
-            self._value += int(n)
-
-    @property
-    def value(self) -> int:
-        return self._value
-
-
-class Histogram:
-    """Fixed-bucket histogram with interpolated percentiles.
-
-    ``buckets`` are ascending upper bounds; an implicit overflow bucket
-    catches everything beyond the last bound.  Percentiles interpolate
-    linearly inside the containing bucket — accurate to a bucket width,
-    which is all a latency SLO needs — so memory stays O(buckets)
-    regardless of traffic.
-    """
-
-    __slots__ = ("name", "bounds", "_counts", "count", "sum", "min", "max", "_lock")
-
-    def __init__(
-        self, name: str, buckets: Sequence[float], lock: threading.Lock
-    ) -> None:
-        bounds = tuple(float(b) for b in buckets)
-        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
-            raise ValueError("histogram buckets must be strictly ascending")
-        if not bounds:
-            raise ValueError("histogram needs at least one bucket bound")
-        self.name = name
-        self.bounds = bounds
-        self._counts = [0] * (len(bounds) + 1)  # +1 overflow
-        self.count = 0
-        self.sum = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
-        self._lock = lock
-
-    def observe(self, x: float) -> None:
-        """Record one sample."""
-        x = float(x)
-        with self._lock:
-            idx = self._bucket_index(x)
-            self._counts[idx] += 1
-            self.count += 1
-            self.sum += x
-            if x < self.min:
-                self.min = x
-            if x > self.max:
-                self.max = x
-
-    def _bucket_index(self, x: float) -> int:
-        # Linear scan: bucket lists are short (tens) and this avoids an
-        # import of bisect semantics into the hot-ish path documentation.
-        for i, b in enumerate(self.bounds):
-            if x <= b:
-                return i
-        return len(self.bounds)
-
-    @property
-    def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Estimate the q-quantile (q in [0, 1]) by bucket interpolation."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("q must be in [0, 1]")
-        with self._lock:
-            if self.count == 0:
-                return 0.0
-            target = q * self.count
-            cum = 0
-            for i, c in enumerate(self._counts):
-                if c == 0:
-                    continue
-                lo = self.bounds[i - 1] if i > 0 else min(self.min, self.bounds[0])
-                hi = self.bounds[i] if i < len(self.bounds) else self.max
-                lo = max(lo, self.min)
-                hi = min(hi, self.max)
-                if cum + c >= target:
-                    frac = (target - cum) / c
-                    return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
-                cum += c
-            return self.max
-
-    def snapshot(self) -> dict:
-        """A JSON-able view: moments plus the common latency quantiles."""
-        with self._lock:
-            counts = list(self._counts)
-            count, total = self.count, self.sum
-        out = {
-            "count": count,
-            "sum": total,
-            "mean": (total / count) if count else 0.0,
-            "min": self.min if count else None,
-            "max": self.max if count else None,
-            "buckets": {
-                **{f"le_{b:g}": c for b, c in zip(self.bounds, counts)},
-                "overflow": counts[-1],
-            },
-        }
-        if count:
-            out["p50"] = self.percentile(0.50)
-            out["p90"] = self.percentile(0.90)
-            out["p99"] = self.percentile(0.99)
-        return out
-
-
-class Metrics:
-    """A named registry of counters and histograms with JSON export.
-
-    ``counter(name)`` / ``histogram(name)`` get-or-create, so producers
-    never need registration ceremony; :meth:`snapshot` returns a plain
-    dict (written by the CLI's ``--stats-json``) and :meth:`delta_since`
-    subtracts a previous snapshot's counters — how the benchmarks compute
-    post-warmup replay rates without resetting live metrics.
-    """
-
-    def __init__(self) -> None:
-        # Reentrant: snapshot() holds the lock while reading each
-        # histogram, which re-acquires it for a consistent percentile.
-        self._lock = threading.RLock()
-        self._counters: Dict[str, Counter] = {}
-        self._histograms: Dict[str, Histogram] = {}
-
-    def counter(self, name: str) -> Counter:
-        """Get or create the counter ``name``."""
-        with self._lock:
-            c = self._counters.get(name)
-            if c is None:
-                c = self._counters[name] = Counter(name, self._lock)
-            return c
-
-    def histogram(
-        self, name: str, buckets: Optional[Sequence[float]] = None
-    ) -> Histogram:
-        """Get or create the histogram ``name`` (default: latency buckets)."""
-        with self._lock:
-            h = self._histograms.get(name)
-            if h is None:
-                h = self._histograms[name] = Histogram(
-                    name, buckets or LATENCY_BUCKETS, self._lock
-                )
-            return h
-
-    def snapshot(self) -> dict:
-        """Consistent JSON-able view of every counter and histogram.
-
-        Counters following the ``errors_<class>`` convention are also
-        aggregated into an ``errors`` breakdown (class → count, plus a
-        ``total``) so degradation is visible at a glance in
-        ``--stats-json`` output without scanning the flat counter list.
-        """
-        with self._lock:
-            counters = {name: c._value for name, c in self._counters.items()}
-            hists = list(self._histograms.values())
-        errors = {
-            name[len("errors_"):]: value
-            for name, value in counters.items()
-            if name.startswith("errors_")
-        }
-        errors["total"] = sum(errors.values())
-        return {
-            "counters": counters,
-            "errors": errors,
-            "histograms": {h.name: h.snapshot() for h in hists},
-        }
-
-    @staticmethod
-    def delta_since(before: dict, after: dict) -> dict:
-        """Counter differences between two :meth:`snapshot` results."""
-        b = before.get("counters", {})
-        return {
-            name: value - b.get(name, 0)
-            for name, value in after.get("counters", {}).items()
-        }
-
-    def to_json(self, indent: int = 2) -> str:
-        """Serialize :meth:`snapshot` as a JSON document."""
-        return json.dumps(self.snapshot(), indent=indent, default=float)
-
-    def write_json(self, path) -> None:
-        """Write the snapshot to ``path`` (the ``--stats-json`` target)."""
-        from pathlib import Path
-
-        Path(path).write_text(self.to_json() + "\n")
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "Registry",
+    "LATENCY_BUCKETS",
+    "OCCUPANCY_BUCKETS",
+    "labeled_name",
+]

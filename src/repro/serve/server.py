@@ -44,10 +44,10 @@ import numpy as np
 
 from .. import autodiff as ad
 from ..md.neighborlist import neighbor_list
+from ..obs import OCCUPANCY_BUCKETS, Metrics, span
 from ..resilience.guards import NumericalInstabilityError, validate_energy_forces
 from ..resilience.retry import RetryPolicy
 from .batching import ForceRequest, MicroBatcher, concatenate_structures
-from .metrics import Metrics, OCCUPANCY_BUCKETS
 from .registry import ModelRegistry
 
 __all__ = [
@@ -373,7 +373,11 @@ class ForceServer:
             return
         self.metrics.counter("batches").inc()
         self.metrics.histogram("batch_occupancy", OCCUPANCY_BUCKETS).observe(len(live))
+        with span("serve.batch") as sp:
+            sp.add("requests", len(live))
+            self._process_live(live)
 
+    def _process_live(self, live: List[ForceRequest]) -> None:
         key = live[0].model
         entry = self.registry.peek(key) if self.engine == "eager" else self.registry.get(key)
         if not entry.breaker.allow():
@@ -429,6 +433,12 @@ class ForceServer:
                 time.sleep(self.stall_time)
             if self.fault_plan.fires(WORKER_CRASH):
                 raise WorkerCrash("injected worker crash")
+        with span("serve.eval"):
+            return self._evaluate_batch_inner(entry, live, nls)
+
+    def _evaluate_batch_inner(
+        self, entry, live: List[ForceRequest], nls: List
+    ) -> List[Tuple[float, np.ndarray]]:
         potential = entry.potential
         results: List = [None] * len(live)
         # Zero-edge structures take the eager path: models may define a

@@ -238,3 +238,80 @@ class TestMain:
         out = capsys.readouterr().out
         assert "requests/s" in out
         assert json.loads(stats_path.read_text())["counters"]["requests_served"] == 6
+
+
+class TestObservabilityCli:
+    def _write_config(self, tmp_path, steps=4):
+        cfg = json.loads(json.dumps(EXAMPLE_CONFIG))
+        cfg["system"] = {"kind": "water", "n_grid": 3, "seed": 1}
+        cfg["md"].update({"steps": steps, "dt": 0.5})
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps(cfg))
+        return path
+
+    def test_run_trace_json_covers_md_phases(self, tmp_path, capsys):
+        cfg_path = self._write_config(tmp_path)
+        trace_path = tmp_path / "trace.json"
+        assert main(["run", str(cfg_path), "--trace-json", str(trace_path)]) == 0
+        doc = json.loads(trace_path.read_text())
+        assert doc["schema_version"] == 1
+        phases = doc["phases"]
+        # The acceptance tree: step spans with nested phase children.
+        assert phases["md.step"]["count"] == 4
+        for child in ("md.integrate", "md.force", "md.neighbor"):
+            assert phases[f"md.step/{child}"]["count"] >= 1
+        # The exported trace tree itself nests children under md.step.
+        root = doc["traces"][-1]
+        assert root["name"] == "md.step"
+        assert {c["name"] for c in root["children"]} >= {
+            "md.integrate",
+            "md.force",
+        }
+
+    def test_run_trace_json_disabled_afterwards(self, tmp_path, capsys):
+        from repro import obs
+
+        cfg_path = self._write_config(tmp_path)
+        assert main(
+            ["run", str(cfg_path), "--trace-json", str(tmp_path / "t.json")]
+        ) == 0
+        assert not obs.enabled()
+
+    def test_profile_prints_phase_table(self, tmp_path, capsys):
+        cfg_path = self._write_config(tmp_path, steps=6)
+        assert main(["profile", str(cfg_path)]) == 0
+        out = capsys.readouterr().out
+        assert "md.step" in out
+        assert "share" in out
+        assert "timesteps/s" in out
+
+    def test_profile_writes_trace_and_stats(self, tmp_path, capsys):
+        cfg_path = self._write_config(tmp_path, steps=3)
+        trace_path = tmp_path / "trace.json"
+        stats_path = tmp_path / "stats.json"
+        assert main([
+            "profile", str(cfg_path), "--steps", "5", "--quiet",
+            "--trace-json", str(trace_path),
+            "--stats-json", str(stats_path),
+        ]) == 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["phases"]["md.step"]["count"] == 5  # --steps overrides
+        stats = json.loads(stats_path.read_text())
+        assert stats["schema_version"] == 1
+        assert stats["counters"]["md.steps"] == 5
+        assert stats["timesteps_per_second"] > 0
+
+    def test_stats_json_deterministic_bytes(self, tmp_path):
+        cfg = json.loads(json.dumps(EXAMPLE_SERVE_CONFIG))
+        cfg["workload"]["n_requests"] = 4
+        cfg_path = tmp_path / "s.json"
+        cfg_path.write_text(json.dumps(cfg))
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["serve", str(cfg_path), "--stats-json", str(a)]) == 0
+        assert main(["serve", str(cfg_path), "--stats-json", str(b)]) == 0
+        da = json.loads(a.read_bytes())
+        db = json.loads(b.read_bytes())
+        assert da["schema_version"] == db["schema_version"] == 1
+        # Key order is sorted, so identical payloads give identical bytes.
+        assert list(da["counters"]) == sorted(da["counters"])
+        assert da["counters"] == db["counters"]

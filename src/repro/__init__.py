@@ -35,6 +35,11 @@ obs
     histograms, labeled series), hierarchical span tracing with bounded
     buffers, timing helpers, and deterministic JSON export — the stats
     substrate shared by md, engine, parallel, serve, and training.
+tune
+    Measured autotuning over the stack's performance knobs: deterministic
+    offline searches (skin, padding, batching, plan ladders, process
+    grids), persisted ``TuningProfile`` artifacts, and off-by-default
+    online hysteresis controllers driven by the obs registry.
 """
 
 __version__ = "0.1.0"
@@ -50,4 +55,5 @@ __all__ = [
     "data",
     "serve",
     "obs",
+    "tune",
 ]

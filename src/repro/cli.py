@@ -33,6 +33,13 @@ global span tracer for the run, export the phase table + span trees), and
 
     python -m repro.cli profile config.json [--steps N] [--trace-json t.json]
 
+Autotuning (:mod:`repro.tune`): ``tune`` runs a deterministic measured
+search for one target and writes a ``TuningProfile``; ``--profile`` on
+``run``/``resume``/``serve`` applies it::
+
+    python -m repro.cli tune --target serve serve.json --out profile.json
+    python -m repro.cli serve serve.json --profile profile.json
+
 Config schema (all lengths Å, times fs, temperatures K)::
 
     {
@@ -47,6 +54,7 @@ Config schema (all lengths Å, times fs, temperatures K)::
              "thermostat": "langevin" | "berendsen" | null,
              "friction": 0.02, "seed": 0, "minimize_first": true,
              "engine": "eager" | "compiled",
+             "skin": 0.4, "neighbor_every": 1, "padding": 0.05,
              "checkpoint_dir": "ckpts/", "checkpoint_every": 100},
       "output": {"trajectory": "traj.xyz", "every": 10}
     }
@@ -91,6 +99,7 @@ EXAMPLE_CONFIG = {
         "friction": 0.02,
         "seed": 0,
         "minimize_first": False,
+        "skin": 0.4,
     },
     "output": {"trajectory": None, "every": 10},
 }
@@ -102,6 +111,7 @@ EXAMPLE_SERVE_CONFIG = {
         "max_batch": 8,
         "max_queue": 64,
         "batch_wait": 0.002,
+        "adaptive": True,
         "engine": "compiled",
     },
     "workload": {
@@ -383,6 +393,17 @@ def build_simulation(config: dict, registry=None):
     potential = build_potential(config["potential"])
     md = config.get("md", {})
     out = config.get("output", {})
+    skin = float(md.get("skin", 0.4))
+    if skin < 0:
+        raise ValueError(
+            f"md.skin must be >= 0 (got {skin}); the Verlet skin is a buffer "
+            "radius added to the cutoff, not an offset"
+        )
+    neighbor_every = int(md.get("neighbor_every", 1))
+    if neighbor_every < 1:
+        raise ValueError(
+            f"md.neighbor_every must be >= 1 (got {neighbor_every})"
+        )
     recorder = TrajectoryRecorder(
         path=out.get("trajectory"), every=int(out.get("every", 10))
     )
@@ -391,9 +412,12 @@ def build_simulation(config: dict, registry=None):
         potential,
         dt=float(md.get("dt", 0.5)),
         thermostat=build_thermostat(md),
+        skin=skin,
         recorder=recorder,
         engine=md.get("engine", "eager"),
         registry=registry,
+        neighbor_every=neighbor_every,
+        padding=md.get("padding", 0.05),
     )
     return sim, recorder, md
 
@@ -468,7 +492,11 @@ def run_config(config: dict, quiet: bool = False, stats_json=None):
 
 
 def resume_config(
-    ckpt_dir, steps: Optional[int] = None, quiet: bool = False, stats_json=None
+    ckpt_dir,
+    steps: Optional[int] = None,
+    quiet: bool = False,
+    stats_json=None,
+    tuning_profile=None,
 ):
     """Resume an interrupted checkpointed run; returns the MDResult.
 
@@ -491,6 +519,10 @@ def resume_config(
             "'md.checkpoint_dir' set?"
         )
     config = json.loads(config_path.read_text())
+    # Note: tuned structural knobs (skin, cadence) change the rebuild
+    # schedule going forward — the continuation is valid MD but no longer
+    # bitwise-identical to an uninterrupted untuned run.
+    config = apply_profile_path(config, tuning_profile)
     manager = CheckpointManager(ckpt_dir)
     step, state = manager.load_latest()
     sim, recorder, md = build_simulation(config)
@@ -537,12 +569,22 @@ def serve_config(config: dict, quiet: bool = False, stats_json=None) -> dict:
         spec.setdefault("seed", seed + k)
         systems.append(build_system(spec))
 
+    plan_cache_opts = None
+    if "plan_floor" in serve or "plan_growth" in serve:
+        floor = int(serve.get("plan_floor", 16))
+        plan_cache_opts = {
+            "atom_floor": floor,
+            "pair_floor": 4 * floor,
+            "growth": float(serve.get("plan_growth", 1.5)),
+        }
     server = ForceServer(
         potential,
         n_workers=int(serve.get("n_workers", 2)),
         max_queue=int(serve.get("max_queue", 64)),
         max_batch=int(serve.get("max_batch", 8)),
         batch_wait=float(serve.get("batch_wait", 2e-3)),
+        adaptive=bool(serve.get("adaptive", True)),
+        plan_cache_opts=plan_cache_opts,
         engine=serve.get("engine", "compiled"),
         default_timeout=serve.get("timeout"),
     )
@@ -574,6 +616,65 @@ def serve_config(config: dict, quiet: bool = False, stats_json=None) -> dict:
     if stats_json is not None:
         write_stats_json(stats_json, stats)
     return stats
+
+
+def apply_profile_path(config: dict, profile_path) -> dict:
+    """A config with a saved :class:`TuningProfile`'s winners folded in."""
+    from .tune import TuningProfile, apply_profile
+
+    if profile_path is None:
+        return config
+    return apply_profile(config, TuningProfile.load(profile_path))
+
+
+def tune_config(
+    config: Optional[dict],
+    target: str,
+    out=None,
+    seed: int = 0,
+    repeats: int = 1,
+    warmup: int = 0,
+    steps: Optional[int] = None,
+    quiet: bool = False,
+):
+    """Run one offline tuning target; returns the TuningProfile.
+
+    The search objective is fully deterministic (counter-derived modeled
+    costs; see :mod:`repro.tune.targets`), so for a given config + seed
+    the emitted profile is byte-identical across runs.  Wall-clock
+    metrics gathered along the way are printed but never persisted.
+    """
+    from .tune import TuningProfile, run_target
+
+    def log(msg: str) -> None:
+        if not quiet:
+            print(msg)
+
+    kwargs = {"seed": seed, "repeats": repeats, "warmup": warmup}
+    if steps is not None and target in ("md", "engine"):
+        kwargs["steps"] = steps
+    report = run_target(target, config, **kwargs)
+    profile = TuningProfile.from_reports(
+        [report],
+        provenance={
+            "seed": seed,
+            "warmup": warmup,
+            "repeats": repeats,
+            "objective": "modeled",
+            "targets": [target],
+        },
+    )
+    best = report["best"]
+    log(
+        f"tuned target {target!r}: {report['n_evaluations']} configurations "
+        f"over {report['n_sweeps']} sweep(s)"
+    )
+    log(f"best: {json.dumps(best, sort_keys=True)}")
+    log(f"modeled score: {report['score']:.6g} (lower is better)")
+    if out is not None:
+        profile.save(out)
+        log(f"profile written to {out}")
+    return profile
 
 
 def profile_config(
@@ -651,6 +752,16 @@ def main(argv: Optional[list] = None) -> int:
             "buffered span trees as JSON to this path",
         )
 
+    def add_profile_flag(p):
+        p.add_argument(
+            "--profile",
+            type=Path,
+            default=None,
+            dest="tuning_profile",
+            help="apply a TuningProfile (from 'tune --out') to the config "
+            "before running",
+        )
+
     run_p = sub.add_parser("run", help="execute a config")
     run_p.add_argument("config", type=Path)
     run_p.add_argument("--quiet", action="store_true")
@@ -661,6 +772,7 @@ def main(argv: Optional[list] = None) -> int:
         help="write engine_stats() as machine-readable JSON to this path",
     )
     add_trace_flag(run_p)
+    add_profile_flag(run_p)
     resume_p = sub.add_parser(
         "resume", help="resume an interrupted run from its checkpoint directory"
     )
@@ -679,6 +791,7 @@ def main(argv: Optional[list] = None) -> int:
         help="write engine_stats() as machine-readable JSON to this path",
     )
     add_trace_flag(resume_p)
+    add_profile_flag(resume_p)
     serve_p = sub.add_parser(
         "serve", help="run a batched force-serving workload from a config"
     )
@@ -691,6 +804,7 @@ def main(argv: Optional[list] = None) -> int:
         help="write the server metrics snapshot as JSON to this path",
     )
     add_trace_flag(serve_p)
+    add_profile_flag(serve_p)
     train_p = sub.add_parser(
         "train", help="run a force-matching training job from a config"
     )
@@ -732,6 +846,46 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help="write the unified registry snapshot as JSON to this path",
     )
+    tune_p = sub.add_parser(
+        "tune",
+        help="run a deterministic offline tuning search and write a profile",
+    )
+    tune_p.add_argument(
+        "--target",
+        required=True,
+        choices=["md", "serve", "engine", "parallel"],
+        help="which subsystem to tune",
+    )
+    tune_p.add_argument(
+        "config",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="workload config (default: the quickstart example for the target)",
+    )
+    tune_p.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the TuningProfile JSON here (byte-deterministic per seed)",
+    )
+    tune_p.add_argument("--seed", type=int, default=0)
+    tune_p.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="measured repeats per configuration (median is kept)",
+    )
+    tune_p.add_argument(
+        "--warmup", type=int, default=0, help="discarded warmup runs per config"
+    )
+    tune_p.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="MD steps per trial (md/engine targets only)",
+    )
+    tune_p.add_argument("--quiet", action="store_true")
     sub.add_parser("example-config", help="print a starter MD config to stdout")
     sub.add_parser(
         "example-serve-config", help="print a starter serving config to stdout"
@@ -760,9 +914,29 @@ def main(argv: Optional[list] = None) -> int:
                 steps=args.steps,
                 quiet=args.quiet,
                 stats_json=args.stats_json,
+                tuning_profile=args.tuning_profile,
             )
         return 0
+    if args.command == "tune":
+        config = (
+            json.loads(args.config.read_text())
+            if args.config is not None
+            else None
+        )
+        tune_config(
+            config,
+            args.target,
+            out=args.out,
+            seed=args.seed,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            steps=args.steps,
+            quiet=args.quiet,
+        )
+        return 0
     config = json.loads(args.config.read_text())
+    if getattr(args, "tuning_profile", None) is not None:
+        config = apply_profile_path(config, args.tuning_profile)
     if args.command == "profile":
         profile_config(
             config,

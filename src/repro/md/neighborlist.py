@@ -261,18 +261,40 @@ class VerletList:
     skin/2 since the last build (the classic safety criterion), then
     rebuilt.  This is the same strategy LAMMPS uses between reneighboring
     steps.
+
+    ``check_every`` thins the displacement *check* itself (LAMMPS
+    ``neigh_modify every N``): the max-displacement scan is O(n_atoms)
+    per step, and with a generous skin it almost never trips, so checking
+    every step is wasted work.  Skipped steps reuse the list untested —
+    sound only when the skin comfortably covers ``check_every`` steps of
+    drift, which is exactly the coupling the ``md`` tuning target
+    searches over.
     """
 
-    def __init__(self, cutoff: float, skin: float = 0.5):
+    def __init__(self, cutoff: float, skin: float = 0.5, check_every: int = 1):
         if skin < 0:
             raise ValueError("skin must be non-negative")
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
         self.cutoff = float(cutoff)
         self.skin = float(skin)
+        self.check_every = int(check_every)
         self._nl: Optional[NeighborList] = None
         self._ref_positions: Optional[np.ndarray] = None
         self.n_builds = 0
+        self._since_check = 0
 
     def get(self, system: System) -> NeighborList:
+        if self._nl is not None and self.check_every > 1:
+            self._since_check += 1
+            if self._since_check < self.check_every:
+                # Structural changes must never be skipped past.
+                if (
+                    self._ref_positions is not None
+                    and len(self._ref_positions) == system.n_atoms
+                ):
+                    return self._nl
+            self._since_check = 0
         if self._needs_rebuild(system):
             # Wrapping must coincide with rebuilding: stored shift vectors
             # are only valid for the positions they were computed against,
@@ -282,6 +304,7 @@ class VerletList:
             self._nl = neighbor_list(system, self.cutoff + self.skin)
             self._ref_positions = system.positions.copy()
             self.n_builds += 1
+            self._since_check = 0
         return self._nl
 
     def _needs_rebuild(self, system: System) -> bool:

@@ -111,6 +111,19 @@ class Simulation:
         Optional :class:`~repro.resilience.ForceWatchdog`.  Without one,
         non-finite forces still abort the run (fail fast); with one, the
         energy-spike detector and the checkpoint-recover policy are active.
+    neighbor_every:
+        Displacement-check cadence for the Verlet list (LAMMPS
+        ``neigh_modify every N``); 1 checks every step.  Values > 1 are
+        only sound with a skin generous enough to cover the unchecked
+        drift — the ``md`` tuning target searches the two jointly.
+    padding:
+        Engine capture headroom (paper §V-C) when ``engine="compiled"``;
+        forwarded to ``potential.compile(padding=...)``.  Ignored for
+        eager runs and pre-compiled evaluators.
+    controllers:
+        Optional :class:`~repro.tune.ControllerSet` (off by default).
+        Bound to this simulation's registry and ticked once per step;
+        frozen automatically whenever the watchdog recover policy fires.
     """
 
     def __init__(
@@ -125,6 +138,9 @@ class Simulation:
         engine: str = "eager",
         watchdog=None,
         registry: Optional[Registry] = None,
+        neighbor_every: int = 1,
+        padding: Optional[float] = 0.05,
+        controllers=None,
     ) -> None:
         from ..engine import CompiledPotential
 
@@ -144,7 +160,7 @@ class Simulation:
             # hot loop below then replays a fixed kernel plan instead of
             # rebuilding the autodiff tape every step.
             self.potential = potential
-            self._evaluator = potential.compile(registry=self.obs)
+            self._evaluator = potential.compile(padding=padding, registry=self.obs)
         elif engine == "eager":
             self.potential = potential
             self._evaluator = potential
@@ -155,8 +171,13 @@ class Simulation:
         self.thermostat = thermostat
         self.barostat = barostat
         self.watchdog = watchdog
-        self.verlet = VerletList(self.potential.cutoff, skin=skin)
+        self.verlet = VerletList(
+            self.potential.cutoff, skin=skin, check_every=neighbor_every
+        )
         self.recorder = recorder
+        self.controllers = controllers
+        if controllers is not None:
+            controllers.bind(self.obs)
         self.step_count = 0
         self._forces: Optional[np.ndarray] = None
         self._pe: float = 0.0
@@ -165,6 +186,8 @@ class Simulation:
         self._c_rebuilds = self.obs.counter("md.neighbor_rebuilds")
         self._c_recoveries = self.obs.counter("md.recoveries")
         self._c_checkpoints = self.obs.counter("md.checkpoints")
+        self._c_pairs = self.obs.counter("md.pairs")
+        self._h_force = self.obs.histogram("md.force_seconds")
 
     @property
     def n_recoveries(self) -> int:
@@ -190,6 +213,8 @@ class Simulation:
         snap["n_recoveries"] = self.n_recoveries
         snap["neighbor_builds"] = self.verlet.n_builds
         snap["phases"] = get_tracer().phase_totals("md.")
+        if self.controllers is not None:
+            snap["controllers"] = self.controllers.stats()
         return snap
 
     def add_callback(self, fn: Callable[[int, "Simulation"], None]) -> None:
@@ -221,8 +246,11 @@ class Simulation:
                 self._c_rebuilds.inc(rebuilt)
                 sp.add("rebuilds", rebuilt)
             sp.add("pairs", nl.n_edges)
+        self._c_pairs.inc(nl.n_edges)
         with span("md.force"):
+            t0 = time.perf_counter()
             e, f = self._evaluator.energy_and_forces(self.system, nl)
+            self._h_force.observe(time.perf_counter() - t0)
         return e, f, nl.n_edges
 
     # -- checkpointable state -------------------------------------------------
@@ -244,6 +272,7 @@ class Simulation:
                 else self.verlet._ref_positions.copy()
             ),
             "n_builds": self.verlet.n_builds,
+            "since_check": self.verlet._since_check,
             "nl": None,
         }
         if self.verlet._nl is not None:
@@ -289,6 +318,9 @@ class Simulation:
         _restore_coupling_state(self.barostat, state["barostat"])
         verlet_state = state["verlet"]
         self.verlet.n_builds = int(verlet_state["n_builds"])
+        # Older checkpoints predate the check-cadence counter; 0 restores
+        # the legacy check-every-step schedule for them.
+        self.verlet._since_check = int(verlet_state.get("since_check", 0))
         ref = verlet_state["ref_positions"]
         self.verlet._ref_positions = None if ref is None else np.array(ref)
         if verlet_state["nl"] is None:
@@ -319,6 +351,10 @@ class Simulation:
         self.watchdog.reset_history()
         self.watchdog.on_recovered()
         self._c_recoveries.inc()
+        if self.controllers is not None:
+            # The tuner must not mistake the recovery transient for the
+            # effect of its own last move: freeze every controller.
+            self.controllers.notify_recovery()
         return False
 
     def run(
@@ -416,6 +452,8 @@ class Simulation:
                     self.recorder.record(self.step_count, t_now, self.system)
                 for cb in self._callbacks:
                     cb(self.step_count, self)
+                if self.controllers is not None:
+                    self.controllers.tick()
                 if (
                     manager is not None
                     and (self.step_count - start) % checkpoint_every == 0

@@ -351,6 +351,7 @@ class ParallelSimulation:
         fault_plan=None,
         max_retries: int = 3,
         registry: Optional[Registry] = None,
+        grid_dims=None,
     ) -> None:
         if system.cell is None:
             raise ValueError("parallel MD requires a periodic cell")
@@ -358,7 +359,17 @@ class ParallelSimulation:
         self.potential = potential
         self.integrator = VelocityVerlet(dt)
         self.thermostat = thermostat
-        self.grid = ProcessGrid.create(n_ranks, system.cell)
+        # grid_dims overrides the surface-minimizing default factorization
+        # (how a tuned parallel profile pins the measured-best grid).
+        if grid_dims is not None:
+            dims = tuple(int(d) for d in grid_dims)
+            if int(np.prod(dims)) != int(n_ranks):
+                raise ValueError(
+                    f"grid_dims {dims} does not factor n_ranks={n_ranks}"
+                )
+            self.grid = ProcessGrid(dims, system.cell)
+        else:
+            self.grid = ProcessGrid.create(n_ranks, system.cell)
         # One registry tree spans the cluster, evaluator, and per-rank
         # compiled engines, so comm bytes and capture counters are one view.
         self.obs = registry if registry is not None else Registry()

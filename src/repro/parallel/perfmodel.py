@@ -141,6 +141,37 @@ class PerfModel:
             pairs_per_second_measured * speedup / pairs_per_atom
         )
 
+    def calibrate_from_registry(
+        self, registry, n_atoms: int, speedup: float = 1.0
+    ) -> float:
+        """Calibrate κ from the obs counters a real MD run recorded.
+
+        Reads the ``md.pairs`` counter and the ``md.force_seconds``
+        histogram a :class:`~repro.md.Simulation` writes into its
+        registry: the measured kernel rate is total pairs evaluated over
+        total force-call seconds, and pairs-per-atom comes from the same
+        counters and ``n_atoms`` — no hand-entered throughput numbers.
+        Returns the measured pairs/s and updates
+        ``spec.atoms_per_second_per_gpu`` via :meth:`calibrate_throughput`.
+        """
+        if n_atoms <= 0:
+            raise ValueError("n_atoms must be positive")
+        snap = registry.snapshot()
+        pairs = snap["counters"].get("md.pairs", 0)
+        hist = snap["histograms"].get("md.force_seconds")
+        if not pairs or hist is None or not hist.get("count"):
+            raise ValueError(
+                "registry holds no md.pairs / md.force_seconds measurements; "
+                "run a Simulation against it first"
+            )
+        force_seconds = hist["sum"]
+        if force_seconds <= 0:
+            raise ValueError("measured force time is zero; run more steps")
+        pairs_per_second = pairs / force_seconds
+        pairs_per_atom = pairs / hist["count"] / n_atoms
+        self.calibrate_throughput(pairs_per_second, pairs_per_atom, speedup)
+        return pairs_per_second
+
 
 def strong_scaling_curve(
     model: PerfModel,

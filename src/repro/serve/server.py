@@ -110,6 +110,24 @@ class ForceServer:
         :class:`ServerOverloaded`.
     max_batch / batch_wait:
         Micro-batching knobs (see :class:`~repro.serve.batching.MicroBatcher`).
+    adaptive:
+        When True (default) the batcher shrinks its coalescing window to
+        the observed arrival cadence:  the effective window is
+        ``min(batch_wait, ewma_gap * (max_batch - 1))``, where
+        ``ewma_gap`` is an exponential moving average of inter-arrival
+        gaps (coefficient 0.2) — under a fast burst the batcher waits just
+        long enough for a full batch to form instead of the whole
+        ``batch_wait``.  When False the window is always ``batch_wait``.
+    plan_cache_opts:
+        Plan-cache ladder options (``atom_floor``, ``pair_floor``,
+        ``growth``, ``max_plans``) used when ``models`` is a bare
+        potential; forwarded to the auto-created
+        :class:`~repro.serve.registry.ModelRegistry`.  Ignored (with the
+        registry's own options winning) when a registry is passed in.
+    controllers:
+        Optional :class:`~repro.tune.ControllerSet` (off by default).
+        Bound to this server's metrics registry and ticked after each
+        processed batch.
     engine:
         ``"compiled"`` (plan-cache replay, the production path) or
         ``"eager"`` (tape per batch; the baseline the benchmarks compare
@@ -141,6 +159,9 @@ class ForceServer:
         fault_plan=None,
         stall_time: float = 0.01,
         start: bool = True,
+        adaptive: bool = True,
+        plan_cache_opts: Optional[dict] = None,
+        controllers=None,
     ) -> None:
         if engine not in ("compiled", "eager"):
             raise ValueError(f"unknown engine {engine!r} (compiled|eager)")
@@ -151,7 +172,7 @@ class ForceServer:
         if isinstance(models, ModelRegistry):
             self.registry = models
         else:
-            self.registry = ModelRegistry()
+            self.registry = ModelRegistry(plan_cache_opts=plan_cache_opts)
             self.registry.register("default", models)
         self.engine = engine
         self.max_queue = int(max_queue)
@@ -162,7 +183,12 @@ class ForceServer:
         )
         self.fault_plan = fault_plan
         self.stall_time = float(stall_time)
-        self._batcher = MicroBatcher(max_batch=max_batch, max_wait=batch_wait)
+        self._batcher = MicroBatcher(
+            max_batch=max_batch, max_wait=batch_wait, adaptive=adaptive
+        )
+        self.controllers = controllers
+        if controllers is not None:
+            controllers.bind(self.metrics)
         self._lock = threading.Lock()
         self._done_cv = threading.Condition(self._lock)
         self._accepting = False
@@ -376,6 +402,10 @@ class ForceServer:
         with span("serve.batch") as sp:
             sp.add("requests", len(live))
             self._process_live(live)
+        if self.controllers is not None:
+            # Per-batch cadence; ControllerSet.tick() is try-lock guarded,
+            # so concurrent workers never queue on controller decisions.
+            self.controllers.tick()
 
     def _process_live(self, live: List[ForceRequest]) -> None:
         key = live[0].model
@@ -508,6 +538,8 @@ class ForceServer:
         total = replays + captures
         snap["replay_rate"] = replays / total if total else 0.0
         snap["engine"] = self.engine
+        if self.controllers is not None:
+            snap["controllers"] = self.controllers.stats()
         return snap
 
 

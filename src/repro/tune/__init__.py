@@ -1,0 +1,83 @@
+"""repro.tune: measured autotuning for the performance knobs.
+
+The paper's throughput rests on hand-picked constants — 5% engine
+padding (§V-C), plan-ladder growth, batching windows, neighbor skins,
+process grids.  This package closes the loop the ``repro.obs`` registry
+opened: it *measures* those knobs.
+
+Three layers:
+
+* **offline tuner** (:mod:`~repro.tune.targets`): deterministic seeded
+  coordinate-descent searches over declared
+  :class:`~repro.tune.space.ParamSpace` candidates for four targets —
+  ``md``, ``engine``, ``serve``, ``parallel``;
+* **profiles** (:mod:`~repro.tune.profile`): the
+  :class:`TuningProfile` JSON artifact (byte-deterministic for a given
+  seed) plus :func:`apply_profile`, the one entry point that folds tuned
+  values into a run/serve config;
+* **online controllers** (:mod:`~repro.tune.controllers`): off-by-default
+  guardrailed hysteresis controllers that adapt the serve batch window,
+  admission cap, and engine padding at runtime.
+
+CLI: ``repro tune --target serve --out profile.json`` then
+``repro serve --profile profile.json``.
+"""
+
+from .controllers import (
+    AdmissionController,
+    BatchWindowController,
+    ControllerSet,
+    HysteresisController,
+    RepadController,
+)
+from .profile import PROFILE_KIND, TuningProfile, apply_profile
+from .search import (
+    TIE_TOL,
+    MeasurementProtocol,
+    SearchResult,
+    Trial,
+    coordinate_descent,
+)
+from .space import Param, ParamSpace
+from .targets import (
+    COST,
+    ENGINE_SPACE,
+    MD_SPACE,
+    SERVE_SPACE,
+    TARGETS,
+    measure_serve,
+    run_target,
+    tune_engine,
+    tune_md,
+    tune_parallel,
+    tune_serve,
+)
+
+__all__ = [
+    "Param",
+    "ParamSpace",
+    "Trial",
+    "SearchResult",
+    "MeasurementProtocol",
+    "coordinate_descent",
+    "TIE_TOL",
+    "COST",
+    "TARGETS",
+    "MD_SPACE",
+    "SERVE_SPACE",
+    "ENGINE_SPACE",
+    "tune_md",
+    "tune_serve",
+    "tune_engine",
+    "tune_parallel",
+    "run_target",
+    "measure_serve",
+    "TuningProfile",
+    "apply_profile",
+    "PROFILE_KIND",
+    "HysteresisController",
+    "BatchWindowController",
+    "AdmissionController",
+    "RepadController",
+    "ControllerSet",
+]

@@ -1,0 +1,90 @@
+"""Declared parameter spaces for the offline tuner.
+
+A :class:`ParamSpace` is the contract between a tuning target and the
+search driver: each :class:`Param` declares a *finite, ordered* candidate
+list plus the stack's current default.  Finite candidate lists (rather
+than continuous ranges) keep the search deterministic and the tried table
+in a :class:`~repro.tune.profile.TuningProfile` exhaustive — every value
+the tuner may ever pick is visible up front, the same property LAMMPS
+gets from its discrete ``neigh_modify every/delay`` knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["Param", "ParamSpace"]
+
+
+class Param:
+    """One tunable knob: a name, ordered candidate values, and a default."""
+
+    def __init__(self, name: str, values: Sequence, default) -> None:
+        if not name:
+            raise ValueError("param name must be non-empty")
+        values = tuple(values)
+        if not values:
+            raise ValueError(f"param {name!r} needs at least one candidate value")
+        if len(set(values)) != len(values):
+            raise ValueError(f"param {name!r} has duplicate candidate values")
+        if default not in values:
+            raise ValueError(
+                f"param {name!r} default {default!r} is not among its candidates"
+            )
+        self.name = name
+        self.values = values
+        self.default = default
+
+    def __repr__(self) -> str:
+        return f"Param({self.name!r}, {self.values!r}, default={self.default!r})"
+
+
+class ParamSpace:
+    """An ordered collection of :class:`Param` (search sweeps in this order)."""
+
+    def __init__(self, params: Iterable[Param]) -> None:
+        params = list(params)
+        if not params:
+            raise ValueError("a ParamSpace needs at least one Param")
+        names = [p.name for p in params]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate param names in space: {names}")
+        self._params: Dict[str, Param] = {p.name: p for p in params}
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._params)
+
+    def param(self, name: str) -> Param:
+        return self._params[name]
+
+    def values(self, name: str) -> Tuple:
+        return self._params[name].values
+
+    def defaults(self) -> dict:
+        """The stack's current configuration as a params dict."""
+        return {p.name: p.default for p in self._params.values()}
+
+    def validate(self, params: dict) -> None:
+        """Raise ValueError unless ``params`` assigns a candidate to every knob."""
+        missing = set(self._params) - set(params)
+        if missing:
+            raise ValueError(f"params missing keys: {sorted(missing)}")
+        for name, value in params.items():
+            p = self._params.get(name)
+            if p is None:
+                raise ValueError(f"unknown param {name!r}")
+            if value not in p.values:
+                raise ValueError(
+                    f"{name}={value!r} is not a declared candidate {p.values!r}"
+                )
+
+    def describe(self) -> dict:
+        """JSON-able view of the space (persisted with each profile)."""
+        return {p.name: list(p.values) for p in self._params.values()}
+
+    def __iter__(self):
+        return iter(self._params.values())
+
+    def __len__(self) -> int:
+        return len(self._params)

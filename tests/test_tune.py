@@ -1,0 +1,371 @@
+"""Tests for the offline autotuner: space, search, targets, profiles, CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import (
+    EXAMPLE_CONFIG,
+    EXAMPLE_SERVE_CONFIG,
+    apply_profile_path,
+    build_simulation,
+    main,
+    tune_config,
+)
+from repro.obs.jsonio import SCHEMA_VERSION
+from repro.tune import (
+    ENGINE_SPACE,
+    MD_SPACE,
+    SERVE_SPACE,
+    MeasurementProtocol,
+    Param,
+    ParamSpace,
+    TuningProfile,
+    apply_profile,
+    coordinate_descent,
+    run_target,
+    tune_engine,
+    tune_md,
+    tune_serve,
+)
+from repro.tune.targets import INFEASIBLE_SCORE
+
+TINY_SERVE_CONFIG = {
+    "potential": {"kind": "lennard_jones", "epsilon": 0.8, "sigma": 1.1, "cutoff": 3.0},
+    "serve": {"engine": "compiled"},
+    "workload": {
+        "systems": [
+            {"kind": "molecule", "n_heavy": 3},
+            {"kind": "molecule", "n_heavy": 5},
+        ],
+        "n_requests": 12,
+        "seed": 0,
+    },
+}
+
+
+class TestParamSpace:
+    def test_defaults_and_validation(self):
+        space = ParamSpace(
+            [Param("a", (1, 2, 3), 2), Param("b", (0.1, 0.2), 0.1)]
+        )
+        assert space.defaults() == {"a": 2, "b": 0.1}
+        space.validate({"a": 3, "b": 0.2})
+        with pytest.raises(ValueError):
+            space.validate({"a": 4, "b": 0.1})
+        with pytest.raises(ValueError):
+            space.validate({"a": 1})
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            Param("x", (), 1)
+        with pytest.raises(ValueError):
+            Param("x", (1, 1), 1)
+        with pytest.raises(ValueError):
+            Param("x", (1, 2), 3)
+
+    def test_declared_spaces_are_valid(self):
+        for space in (MD_SPACE, SERVE_SPACE, ENGINE_SPACE):
+            space.validate(space.defaults())
+
+
+class TestCoordinateDescent:
+    SPACE = ParamSpace(
+        [Param("x", (0, 1, 2, 3), 0), Param("y", (0, 1, 2, 3), 0)]
+    )
+
+    def test_finds_separable_minimum(self):
+        calls = []
+
+        def evaluate(p):
+            calls.append(dict(p))
+            return (p["x"] - 2) ** 2 + (p["y"] - 3) ** 2, {}
+
+        result = coordinate_descent(self.SPACE, evaluate)
+        assert result.best == {"x": 2, "y": 3}
+        assert result.best_score == 0
+        # Cached: each configuration is evaluated exactly once.
+        keys = [tuple(sorted(c.items())) for c in calls]
+        assert len(keys) == len(set(keys))
+        assert result.n_evaluations == len(calls)
+
+    def test_ties_keep_current_value(self):
+        # Objective indifferent to y: y must stay at its default.
+        result = coordinate_descent(
+            self.SPACE, lambda p: ((p["x"] - 1) ** 2, {})
+        )
+        assert result.best == {"x": 1, "y": 0}
+
+    def test_deterministic_trial_table(self):
+        def evaluate(p):
+            return abs(p["x"] - 3) + 0.5 * abs(p["y"] - 1), {"m": p["x"]}
+
+        r1 = coordinate_descent(self.SPACE, lambda p: (evaluate(p)[0], {}))
+        r2 = coordinate_descent(self.SPACE, lambda p: (evaluate(p)[0], {}))
+        assert [t.params for t in r1.trials] == [t.params for t in r2.trials]
+        assert [t.score for t in r1.trials] == [t.score for t in r2.trials]
+
+    def test_start_point_respected(self):
+        result = coordinate_descent(
+            self.SPACE, lambda p: (0.0, {}), start={"x": 3, "y": 2}
+        )
+        assert result.best == {"x": 3, "y": 2}  # flat objective: no move
+
+
+class TestMeasurementProtocol:
+    def test_median_of_scores_and_metrics(self):
+        series = iter([5.0, 1.0, 3.0])
+
+        def objective(params):
+            s = next(series)
+            return s, {"wall_rate": s * 10, "fixed": 7, "flag": True}
+
+        protocol = MeasurementProtocol(objective, warmup=0, repeats=3)
+        score, metrics = protocol({})
+        assert score == 3.0
+        assert metrics["wall_rate"] == 30.0
+        assert metrics["fixed"] == 7
+        assert metrics["flag"] is True  # bools are not averaged
+
+    def test_warmup_discarded(self):
+        seen = []
+
+        def objective(params):
+            seen.append(1)
+            return float(len(seen)), {}
+
+        protocol = MeasurementProtocol(objective, warmup=2, repeats=1)
+        score, _ = protocol({})
+        assert score == 3.0  # two warmups ran first
+        with pytest.raises(ValueError):
+            MeasurementProtocol(objective, repeats=0)
+
+
+class TestTargets:
+    def test_serve_report_shape(self):
+        rep = tune_serve(TINY_SERVE_CONFIG, seed=0, max_sweeps=1)
+        assert rep["target"] == "serve"
+        SERVE_SPACE.validate(rep["best"])
+        assert rep["n_evaluations"] == len(rep["trials"])
+        assert rep["workload"]["n_requests"] == 12
+        scores = [t["score"] for t in rep["trials"]]
+        assert scores == sorted(scores)
+        assert rep["score"] == scores[0]
+
+    def test_serve_profile_byte_identical_across_runs(self):
+        def one():
+            rep = tune_serve(TINY_SERVE_CONFIG, seed=0, max_sweeps=2)
+            return TuningProfile.from_reports(
+                [rep], provenance={"seed": 0}
+            ).to_json()
+
+        assert one() == one()
+
+    def test_engine_frontier(self):
+        cfg = {
+            "system": {"kind": "water", "n_grid": 2, "seed": 0},
+            "potential": {
+                "kind": "lennard_jones",
+                "epsilon": 0.8,
+                "sigma": 1.1,
+                # cutoff + default skin must stay under L/2 of the small box
+                "cutoff": 2.5,
+            },
+            "md": {"steps": 20, "dt": 0.5, "seed": 0},
+        }
+        rep = tune_engine(cfg, seed=0, steps=20)
+        # The tried table is the padding-vs-recapture frontier: every
+        # candidate padding appears, with recapture rate non-increasing
+        # and waste non-decreasing as padding grows.
+        by_pad = {t["params"]["padding"]: t["metrics"] for t in rep["trials"]}
+        pads = sorted(by_pad)
+        assert pads == sorted(ENGINE_SPACE.param("padding").values)
+        rates = [by_pad[p]["recapture_rate"] for p in pads]
+        wastes = [by_pad[p]["padded_waste"] for p in pads]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+        assert all(a <= b + 1e-12 for a, b in zip(wastes, wastes[1:]))
+
+    def test_md_target_with_uncompilable_potential_runs_eager(self):
+        # The quickstart EXAMPLE_CONFIG uses the reference potential, which
+        # cannot be compiled; tune_md must fall back to the eager engine
+        # (padding inert -> its candidates tie -> default kept) instead of
+        # crashing on every trial.
+        cfg = {
+            # n_grid 3: the reference potential's 4.0 cutoff needs the
+            # larger box to keep cutoff + skin under the L/2 bound for at
+            # least the narrower skin candidates.
+            "system": {"kind": "water", "n_grid": 3, "seed": 0},
+            "potential": {"kind": "reference"},
+            "md": {"steps": 2, "dt": 0.5, "seed": 0},
+        }
+        rep = tune_md(cfg, seed=0, steps=2, max_sweeps=1)
+        MD_SPACE.validate(rep["best"])
+        assert rep["best"]["padding"] == MD_SPACE.param("padding").default
+        assert rep["score"] < INFEASIBLE_SCORE
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown tuning target"):
+            run_target("gpu", None)
+
+
+class TestProfile:
+    def _profile(self):
+        rep = tune_serve(TINY_SERVE_CONFIG, seed=0, max_sweeps=1)
+        return TuningProfile.from_reports(
+            [rep], provenance={"seed": 0, "objective": "modeled"}
+        )
+
+    def test_roundtrip(self, tmp_path):
+        profile = self._profile()
+        path = tmp_path / "profile.json"
+        profile.save(path)
+        loaded = TuningProfile.load(path)
+        assert loaded.best("serve") == profile.best("serve")
+        assert loaded.to_json() == profile.to_json()
+
+    def test_wall_metrics_stripped(self):
+        profile = TuningProfile.from_reports(
+            [
+                {
+                    "target": "md",
+                    "best": {"skin": 0.4},
+                    "score": 1.0,
+                    "metrics": {"modeled_s_per_step": 1.0, "wall_steps_per_s": 9.9},
+                    "trials": [
+                        {
+                            "params": {"skin": 0.4},
+                            "score": 1.0,
+                            "metrics": {"wall_steps_per_s": 9.9, "ok": 1},
+                        }
+                    ],
+                }
+            ]
+        )
+        payload = profile.to_payload()
+        report = payload["targets"]["md"]
+        assert "wall_steps_per_s" not in report["metrics"]
+        assert "wall_steps_per_s" not in report["trials"][0]["metrics"]
+        assert report["trials"][0]["metrics"]["ok"] == 1
+
+    def test_rejects_wrong_kind_and_version(self, tmp_path):
+        with pytest.raises(ValueError, match="not a tuning profile"):
+            TuningProfile.from_payload({"kind": "trace", "schema_version": 1})
+        with pytest.raises(ValueError, match="schema_version"):
+            TuningProfile.from_payload(
+                {"kind": "tuning_profile", "schema_version": SCHEMA_VERSION + 1}
+            )
+
+    def test_apply_profile_writes_config_keys(self):
+        profile = self._profile()
+        cfg = apply_profile({"serve": {"engine": "compiled"}}, profile)
+        best = profile.best("serve")
+        for key in ("max_batch", "batch_wait", "n_workers"):
+            assert cfg["serve"][key] == best[key]
+        assert cfg["serve"]["engine"] == "compiled"  # untouched keys survive
+        assert "serve.max_batch" in cfg["_tuning"]["applied"]
+
+    def test_apply_profile_md_and_parallel(self):
+        profile = TuningProfile(
+            {
+                "md": {"best": {"skin": 0.7, "neighbor_every": 2, "padding": 0.1}},
+                "parallel": {"best": {"grid": [2, 2, 1]}},
+            }
+        )
+        cfg = apply_profile({}, profile)
+        assert cfg["md"] == {"skin": 0.7, "neighbor_every": 2, "padding": 0.1}
+        assert cfg["parallel"]["grid"] == [2, 2, 1]
+
+    def test_apply_profile_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown profile targets"):
+            apply_profile({}, self._profile(), targets=["serve", "gpu"])
+
+    def test_apply_order_md_overrides_engine_padding(self):
+        profile = TuningProfile(
+            {
+                "engine": {"best": {"padding": 0.3}},
+                "md": {"best": {"skin": 0.2, "padding": 0.05}},
+            }
+        )
+        cfg = apply_profile({}, profile)
+        assert cfg["md"]["padding"] == 0.05
+
+
+class TestCLI:
+    def test_tune_serve_cli_byte_identical(self, tmp_path, capsys):
+        cfg_path = tmp_path / "serve.json"
+        cfg_path.write_text(json.dumps(TINY_SERVE_CONFIG))
+        out1, out2 = tmp_path / "p1.json", tmp_path / "p2.json"
+        for out in (out1, out2):
+            rc = main(
+                [
+                    "tune",
+                    "--target",
+                    "serve",
+                    str(cfg_path),
+                    "--out",
+                    str(out),
+                    "--quiet",
+                ]
+            )
+            assert rc == 0
+        assert out1.read_bytes() == out2.read_bytes()
+        payload = json.loads(out1.read_text())
+        assert payload["kind"] == "tuning_profile"
+        assert payload["provenance"]["targets"] == ["serve"]
+
+    def test_tune_config_defaults_to_example(self, tmp_path):
+        profile = tune_config(
+            None, "engine", out=tmp_path / "p.json", steps=10, quiet=True
+        )
+        assert (tmp_path / "p.json").exists()
+        assert "padding" in profile.best("engine")
+
+    def test_run_with_profile_flag(self, tmp_path, capsys):
+        profile = TuningProfile(
+            {"md": {"best": {"skin": 0.2, "neighbor_every": 2, "padding": 0.1}}}
+        )
+        ppath = tmp_path / "profile.json"
+        profile.save(ppath)
+        cfg = json.loads(json.dumps(EXAMPLE_CONFIG))
+        cfg["md"]["steps"] = 2
+        cfg_path = tmp_path / "run.json"
+        cfg_path.write_text(json.dumps(cfg))
+        rc = main(
+            ["run", str(cfg_path), "--profile", str(ppath), "--quiet"]
+        )
+        assert rc == 0
+
+    def test_apply_profile_path_none_is_identity(self):
+        cfg = {"md": {"skin": 0.3}}
+        assert apply_profile_path(cfg, None) is cfg
+
+    def test_skin_validated_at_parse(self):
+        cfg = json.loads(json.dumps(EXAMPLE_CONFIG))
+        cfg["md"]["skin"] = -0.1
+        with pytest.raises(ValueError, match="md.skin must be >= 0"):
+            build_simulation(cfg)
+        cfg["md"]["skin"] = 0.4
+        cfg["md"]["neighbor_every"] = 0
+        with pytest.raises(ValueError, match="neighbor_every"):
+            build_simulation(cfg)
+
+    def test_example_configs_carry_tuning_knobs(self):
+        assert EXAMPLE_CONFIG["md"]["skin"] >= 0
+        assert isinstance(EXAMPLE_SERVE_CONFIG["serve"]["adaptive"], bool)
+
+
+class TestSimulationKnobs:
+    def test_neighbor_every_preserves_trajectory(self):
+        # Cadence skips displacement *checks*; with a generous skin the
+        # trajectory stays bitwise identical to per-step checking.
+        def run(neighbor_every):
+            cfg = json.loads(json.dumps(EXAMPLE_CONFIG))
+            cfg["md"]["steps"] = 10
+            cfg["md"]["skin"] = 0.6
+            cfg["md"]["neighbor_every"] = neighbor_every
+            sim, _, _ = build_simulation(cfg)
+            sim.run(10)
+            return sim.system.positions.copy()
+
+        np.testing.assert_array_equal(run(1), run(4))

@@ -1,0 +1,314 @@
+"""System invariant checkers: what must hold after *any* fault schedule.
+
+A chaos campaign is only as strong as its oracle.  Each checker below
+states one cross-cutting guarantee of the stack and verifies it against a
+workload observation dict (:mod:`repro.chaos.workloads`); the soak runner
+evaluates **every applicable checker after every scenario**.  A fault
+schedule that breaks any of them is a real bug (or a planted one), and
+the schedule is handed to the shrinker.
+
+The registry is open: ``@invariant("name", workloads=(...))`` registers a
+checker returning a list of human-readable violation messages (empty =
+holds).  A checker that itself crashes is reported as a violation — the
+oracle failing silently would defeat the harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..resilience import RANK_FAIL, TORN_WRITE, TRAIN_STEP_FAILURE
+
+__all__ = ["Violation", "invariant", "registered_invariants", "check_all"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant: which checker, and what it observed."""
+
+    invariant: str
+    message: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"invariant": self.invariant, "message": self.message}
+
+
+@dataclass(frozen=True)
+class _Checker:
+    name: str
+    workloads: Optional[Tuple[str, ...]]
+    fn: Callable[[dict], List[str]]
+
+
+_REGISTRY: Dict[str, _Checker] = {}
+
+
+def invariant(name: str, workloads: Optional[Sequence[str]] = None):
+    """Register a checker; ``workloads=None`` applies it to every scenario."""
+
+    def wrap(fn: Callable[[dict], List[str]]):
+        _REGISTRY[name] = _Checker(
+            name, tuple(workloads) if workloads else None, fn
+        )
+        return fn
+
+    return wrap
+
+
+def registered_invariants() -> List[str]:
+    return list(_REGISTRY)
+
+
+def check_all(obs: dict) -> List[Violation]:
+    """Evaluate every applicable invariant against one observation dict.
+
+    Liveness and crash-freedom gate the rest: a hung or crashed workload
+    produces no meaningful state to inspect, so only their violations are
+    reported in that case.
+    """
+    gate: List[Violation] = []
+    if obs.get("timed_out"):
+        gate.append(
+            Violation("liveness", "workload exceeded its deadline (hang)")
+        )
+    if obs.get("error") is not None:
+        gate.append(
+            Violation(
+                "no_crash",
+                f"workload raised instead of degrading: {obs['error']}",
+            )
+        )
+    if gate:
+        return gate
+
+    out: List[Violation] = []
+    for checker in _REGISTRY.values():
+        if checker.workloads and obs.get("workload") not in checker.workloads:
+            continue
+        try:
+            messages = checker.fn(obs)
+        except Exception as exc:  # the oracle must never fail silently
+            messages = [f"checker crashed: {type(exc).__name__}: {exc}"]
+        out.extend(Violation(checker.name, m) for m in messages)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Checkers
+# ---------------------------------------------------------------------------
+def _bitwise(a: np.ndarray, b: np.ndarray) -> bool:
+    return a.shape == b.shape and bool(np.array_equal(a, b))
+
+
+@invariant("md_bitwise_vs_clean", workloads=("md",))
+def _md_bitwise(obs: dict) -> List[str]:
+    """Faulted-but-recovered MD equals the clean run bitwise.
+
+    Watchdog rollback replays from a checkpoint; torn checkpoints are
+    skipped to an older one and replayed further — either way the final
+    phase-space point and the recorded series must be *bitwise* those of
+    the fault-free trajectory."""
+    out = []
+    for key in ("positions", "velocities"):
+        if not _bitwise(obs["final"][key], obs["reference"][key]):
+            out.append(f"final {key} differ from the clean run (not bitwise)")
+    if not _bitwise(obs["series"], obs["ref_series"]):
+        out.append("recorded potential-energy series differs from the clean run")
+    return out
+
+
+@invariant("train_bitwise_vs_clean", workloads=("train",))
+def _train_bitwise(obs: dict) -> List[str]:
+    """Step-failure retry and torn checkpoints never perturb training math."""
+    out = []
+    state, ref = obs["model_state"], obs["ref_model_state"]
+    if sorted(state) != sorted(ref):
+        return ["model state keys differ from the clean run"]
+    for key in sorted(state):
+        if not _bitwise(np.asarray(state[key]), np.asarray(ref[key])):
+            out.append(f"model param {key!r} differs from the clean run")
+    if list(obs["losses"]) != list(obs["ref_losses"]):
+        out.append("per-epoch training losses differ from the clean run")
+    return out
+
+
+@invariant("force_sanity")
+def _force_sanity(obs: dict) -> List[str]:
+    """No non-finite value may survive to an observable output."""
+    out = []
+    for key in ("series", "losses"):
+        values = obs.get(key)
+        if values is not None and not np.all(np.isfinite(np.asarray(values))):
+            out.append(f"non-finite values leaked into {key}")
+    final = obs.get("final") or {}
+    for key, arr in final.items():
+        if not np.all(np.isfinite(arr)):
+            out.append(f"non-finite values leaked into final {key}")
+    for o in obs.get("outcomes") or []:
+        if o[0] == "ok" and not (
+            np.isfinite(o[1]) and np.all(np.isfinite(o[2]))
+        ):
+            out.append("a served result contains non-finite values")
+    return out
+
+
+@invariant("parallel_matches_reference", workloads=("parallel",))
+def _parallel_reference(obs: dict) -> List[str]:
+    """Retransmission and rank-failure recovery are transparent.
+
+    Rank rebuild may reorder the force reduction (tight tolerance rather
+    than bitwise equality) and recovery may re-wrap positions into the
+    box, so the comparison is under the minimum-image convention."""
+    a, b = obs["final"]["positions"], obs["reference"]["positions"]
+    if a.shape != b.shape:
+        return ["faulted run lost/gained atoms vs the clean run"]
+    delta = a - b
+    length = obs.get("box_length")
+    if length:
+        delta -= length * np.round(delta / length)
+    err = float(np.max(np.abs(delta))) if delta.size else 0.0
+    if err > 1e-8:
+        return [f"positions drifted from the clean run (max |Δ| = {err:.3e})"]
+    return []
+
+
+@invariant("serve_no_silent_drop", workloads=("serve",))
+def _serve_no_silent_drop(obs: dict) -> List[str]:
+    """Every admitted request completes correctly-or-explicitly.
+
+    A success must be bitwise the direct eager result; a failure must be
+    an explicit ServeError subclass — never a bare exception, never a
+    forever-pending future (those surface as gather timeouts)."""
+    out = []
+    for k, o in enumerate(obs["outcomes"]):
+        if o[0] == "ok":
+            e_ref, f_ref = obs["reference"][k]
+            if o[1] != e_ref or not _bitwise(o[2], f_ref):
+                out.append(f"request {k}: served result is not bitwise eager")
+        elif not o[2]:
+            out.append(
+                f"request {k}: failed with non-ServeError {o[1]} "
+                "(implicit failure)"
+            )
+    return out
+
+
+@invariant("metrics_consistency")
+def _metrics_consistency(obs: dict) -> List[str]:
+    """obs counters must sum to the events that actually happened."""
+    out = []
+    plan = obs.get("plan")
+    registry = obs.get("registry")
+    if plan is None or registry is None:
+        return out
+    snap = registry.snapshot()
+    counters = snap.get("counters", {})
+    workload = obs.get("workload")
+
+    manager = obs.get("manager")
+    if manager is not None:
+        if counters.get("checkpoint.torn_writes", 0) != plan.fired(TORN_WRITE):
+            out.append(
+                "checkpoint.torn_writes counter "
+                f"({counters.get('checkpoint.torn_writes', 0)}) != "
+                f"plan firings ({plan.fired(TORN_WRITE)})"
+            )
+        if manager.n_torn != plan.fired(TORN_WRITE):
+            out.append("manager.n_torn disagrees with the fault plan")
+
+    if workload == "md":
+        if counters.get("md.recoveries", 0) != obs["n_recoveries"]:
+            out.append("md.recoveries counter disagrees with the simulation")
+        if obs["watchdog_trips"] != obs["n_recoveries"]:
+            out.append("watchdog trips != recoveries (a trip was not recovered)")
+    elif workload == "parallel":
+        comm = obs["comm"]
+        if comm["n_retransmits"] < comm["n_dropped"]:
+            out.append("dropped messages not all retransmitted")
+        if comm["pending"] != 0:
+            out.append(f"{comm['pending']} messages still pending after the run")
+        if obs["n_recoveries"] != plan.fired(RANK_FAIL):
+            out.append("rank-failure recoveries != injected rank failures")
+    elif workload == "serve":
+        m = obs["metrics"].get("counters", obs["metrics"])
+        admitted = m.get("requests_admitted", 0)
+        resolved = (
+            m.get("requests_served", 0)
+            + m.get("requests_failed", 0)
+            + m.get("requests_timeout", 0)
+        )
+        if admitted != resolved:
+            out.append(
+                f"admitted ({admitted}) != served+failed+timeout ({resolved})"
+            )
+        if admitted != len(obs["outcomes"]):
+            out.append("admitted counter != submitted request count")
+    elif workload == "train":
+        if counters.get("train.step_failures", 0) != plan.fired(
+            TRAIN_STEP_FAILURE
+        ):
+            out.append("train.step_failures counter != injected step failures")
+    return out
+
+
+@invariant("train_no_silent_poison", workloads=("train",))
+def _train_quarantine(obs: dict) -> List[str]:
+    """Every corrupted frame must land in quarantine before training."""
+    missed = set(obs["corrupted_indices"]) - set(obs["quarantined_indices"])
+    if missed:
+        return [f"corrupted frames {sorted(missed)} escaped quarantine"]
+    return []
+
+
+@invariant("checkpoint_chain")
+def _checkpoint_chain(obs: dict) -> List[str]:
+    """Retained checkpoints form a loadable, ascending chain.
+
+    Torn files may linger on disk, but (a) they can never outnumber the
+    injected torn writes still retained, (b) the newest *verifiable*
+    checkpoint must load, and (c) the skip counter must record every file
+    walked past."""
+    manager = obs.get("manager")
+    if manager is None:
+        return []
+    out = []
+    steps = manager.steps()
+    if steps != sorted(steps):
+        out.append("retained checkpoint steps are not ascending")
+    unloadable = 0
+    for step in steps:
+        try:
+            manager.load_step(step)
+        except Exception:
+            unloadable += 1
+    if unloadable > manager.n_torn:
+        out.append(
+            f"{unloadable} retained checkpoints unloadable but only "
+            f"{manager.n_torn} torn writes were injected"
+        )
+    if steps:
+        if unloadable == len(steps):
+            out.append("every retained checkpoint is unloadable")
+        else:
+            try:
+                manager.load_latest()
+            except Exception as exc:
+                out.append(
+                    "load_latest failed despite a verifiable checkpoint: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+    registry = obs.get("registry")
+    if registry is not None:
+        snap = registry.snapshot().get("counters", {})
+        skipped = snap.get("checkpoint.skipped_corrupt", 0)
+        if skipped and manager.n_torn == 0:
+            # No torn write was injected, yet recovery walked past a file:
+            # something corrupted a checkpoint silently.
+            out.append(
+                f"{skipped} checkpoints skipped as corrupt with no torn "
+                "write injected"
+            )
+    return out

@@ -1,0 +1,226 @@
+"""Scenario specs: seeded, composed, replayable multi-fault schedules.
+
+A :class:`ScenarioSpec` is the unit of chaos testing: one workload (an MD
+ensemble, a 4-rank parallel run, a burst of ForceServer traffic, or a
+``Trainer.fit``) plus an **explicit schedule** of fault events — pairs of
+``(channel, draw index)`` interpreted by :class:`repro.resilience.FaultPlan`
+in exact-``at`` mode.  Explicit events (rather than rates) are what make
+the schedule shrinkable: the delta-debugging minimizer subsets the event
+list and re-runs, and the surviving events *are* the reproducer.
+
+Because a channel's draw counter advances deterministically with the
+workload (one draw per force call / message send / batch attempt / frame /
+checkpoint save — see the fault-channel table in the README), the same
+spec replays the same faults, including faults whose draw index lands
+*inside a recovery replay* — the second-order paths single-fault unit
+tests never reach.
+
+:func:`sample_scenario` derives a composed scenario (always ≥ 2 fault
+channels) deterministically from an integer seed, so a soak run is fully
+described by ``(seed, n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..resilience import (
+    COMM_DELAY,
+    COMM_DROP,
+    POTENTIAL_CORRUPT,
+    RANK_FAIL,
+    REPLAY_FAIL,
+    TORN_WRITE,
+    TRAIN_LABEL_CORRUPTION,
+    TRAIN_STEP_FAILURE,
+    WORKER_CRASH,
+    WORKER_STALL,
+    FaultPlan,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "CHANNELS_BY_WORKLOAD",
+    "FaultEvent",
+    "ScenarioSpec",
+    "sample_scenario",
+]
+
+#: The four workload families every soak must cover.
+WORKLOADS = ("md", "parallel", "serve", "train")
+
+#: Which fault channels compose with which workload.  (``md`` splits
+#: further by engine: ``potential.corrupt`` needs the eager wrapper,
+#: ``engine.replay_fail`` needs the compiled evaluator.)
+CHANNELS_BY_WORKLOAD = {
+    "md": (POTENTIAL_CORRUPT, REPLAY_FAIL, TORN_WRITE),
+    "parallel": (COMM_DROP, COMM_DELAY, RANK_FAIL),
+    "serve": (WORKER_CRASH, WORKER_STALL),
+    "train": (TRAIN_STEP_FAILURE, TRAIN_LABEL_CORRUPTION, TORN_WRITE),
+}
+
+#: Draw-index sampling window and max events per channel:
+#: ``channel -> (lo, hi, max_events)``.  Bounds are chosen so events land
+#: inside the workload's actual draw horizon, stay clear of draw 0 where
+#: a fault is unsurvivable by design (the initial force evaluation, the
+#: anchor checkpoint), and never exceed the relevant retry budget with a
+#: consecutive run (e.g. ≤ 2 consecutive ``train.step_failure`` events
+#: vs. ``max_step_retries=3``).
+_EVENT_WINDOWS: Dict[Tuple[str, str], Tuple[int, int, int]] = {
+    ("md", POTENTIAL_CORRUPT): (1, 22, 3),
+    ("md", REPLAY_FAIL): (1, 20, 3),
+    ("md", TORN_WRITE): (1, 4, 2),
+    ("parallel", COMM_DROP): (0, 150, 3),
+    ("parallel", COMM_DELAY): (0, 150, 3),
+    ("parallel", RANK_FAIL): (0, 8, 2),
+    ("serve", WORKER_CRASH): (0, 4, 2),
+    ("serve", WORKER_STALL): (0, 4, 2),
+    ("train", TRAIN_STEP_FAILURE): (0, 5, 2),
+    ("train", TRAIN_LABEL_CORRUPTION): (0, 8, 2),
+    ("train", TORN_WRITE): (1, 3, 1),
+}
+
+_MD_KINDS = ("nve", "nvt_langevin", "nvt_nosehoover", "npt")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled injection: the ``index``-th draw on ``channel`` fires."""
+
+    channel: str
+    index: int
+
+    def to_list(self) -> List:
+        return [self.channel, int(self.index)]
+
+    @classmethod
+    def from_list(cls, raw: Iterable) -> "FaultEvent":
+        channel, index = raw
+        return cls(str(channel), int(index))
+
+
+@dataclass
+class ScenarioSpec:
+    """A deterministic, replayable chaos scenario.
+
+    ``events`` fully determines the fault schedule; ``seed`` additionally
+    seeds workload-internal randomness (retry jitter).  ``options`` holds
+    the workload knobs (ensemble kind, step/epoch counts, engine) — the
+    spec round-trips through :meth:`to_dict` byte-deterministically via
+    ``obs.jsonio``, which is what makes a reproducer artifact replayable.
+    """
+
+    workload: str
+    seed: int
+    events: Tuple[FaultEvent, ...]
+    options: Dict = field(default_factory=dict)
+    deadline_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {self.workload!r} {WORKLOADS}")
+        self.events = tuple(
+            e if isinstance(e, FaultEvent) else FaultEvent.from_list(e)
+            for e in self.events
+        )
+
+    # -- derived views ---------------------------------------------------------
+    def channels(self) -> List[str]:
+        return sorted({e.channel for e in self.events})
+
+    def fault_plan(self) -> FaultPlan:
+        """A fresh exact-schedule :class:`FaultPlan` for one run of the spec."""
+        at: Dict[str, List[int]] = {}
+        for e in self.events:
+            at.setdefault(e.channel, []).append(int(e.index))
+        return FaultPlan(seed=self.seed, at=at)
+
+    def with_events(self, events: Iterable[FaultEvent]) -> "ScenarioSpec":
+        """The same scenario under a (typically shrunken) sub-schedule."""
+        return ScenarioSpec(
+            workload=self.workload,
+            seed=self.seed,
+            events=tuple(events),
+            options=dict(self.options),
+            deadline_s=self.deadline_s,
+        )
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "seed": int(self.seed),
+            "events": [e.to_list() for e in self.events],
+            "options": dict(self.options),
+            "deadline_s": float(self.deadline_s),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict) -> "ScenarioSpec":
+        return cls(
+            workload=str(raw["workload"]),
+            seed=int(raw["seed"]),
+            events=tuple(FaultEvent.from_list(e) for e in raw.get("events", [])),
+            options=dict(raw.get("options", {})),
+            deadline_s=float(raw.get("deadline_s", 120.0)),
+        )
+
+
+def _sample_events(
+    rng: np.random.Generator, workload: str, channels: Iterable[str]
+) -> Tuple[FaultEvent, ...]:
+    events: List[FaultEvent] = []
+    for channel in channels:
+        lo, hi, max_events = _EVENT_WINDOWS[(workload, channel)]
+        k = min(1 + int(rng.integers(max_events)), hi - lo)
+        idx = rng.choice(np.arange(lo, hi), size=k, replace=False)
+        events.extend(FaultEvent(channel, int(i)) for i in sorted(idx))
+    return tuple(events)
+
+
+def sample_scenario(seed: int, workload: Optional[str] = None) -> ScenarioSpec:
+    """Derive a composed (≥ 2 channel) scenario deterministically from ``seed``.
+
+    The same seed always yields the same spec; passing ``workload`` pins
+    the family (the soak runner rotates through all four).
+    """
+    rng = np.random.default_rng(int(seed))
+    if workload is None:
+        workload = WORKLOADS[int(rng.integers(len(WORKLOADS)))]
+    if workload == "md":
+        # potential.corrupt needs the eager FaultyPotential wrapper,
+        # engine.replay_fail needs the compiled evaluator — each engine
+        # variant composes its force-path channel with torn checkpoints.
+        engine = "eager" if rng.uniform() < 0.6 else "compiled"
+        force_channel = POTENTIAL_CORRUPT if engine == "eager" else REPLAY_FAIL
+        channels = (force_channel, TORN_WRITE)
+        options = {
+            "kind": _MD_KINDS[int(rng.integers(len(_MD_KINDS)))],
+            "engine": engine,
+            "steps": 24,
+            "checkpoint_every": 6,
+        }
+    elif workload == "parallel":
+        pool = list(CHANNELS_BY_WORKLOAD["parallel"])
+        m = 2 + int(rng.integers(2))
+        picked = rng.choice(len(pool), size=m, replace=False)
+        channels = tuple(pool[int(i)] for i in sorted(picked))
+        options = {"steps": 8, "n_ranks": 4}
+    elif workload == "serve":
+        channels = CHANNELS_BY_WORKLOAD["serve"]
+        options = {"n_requests": 12, "max_batch": 4}
+    else:  # train
+        pool = list(CHANNELS_BY_WORKLOAD["train"])
+        m = 2 + int(rng.integers(2))
+        picked = rng.choice(len(pool), size=m, replace=False)
+        channels = tuple(pool[int(i)] for i in sorted(picked))
+        options = {"epochs": 3, "batch_size": 4, "checkpoint_every": 1}
+    return ScenarioSpec(
+        workload=workload,
+        seed=int(seed),
+        events=_sample_events(rng, workload, channels),
+        options=options,
+    )

@@ -1,0 +1,96 @@
+"""Delta-debugging shrinker for fault schedules.
+
+When a soak scenario violates an invariant, the raw failing schedule can
+contain many injected events that have nothing to do with the defect.
+:func:`ddmin` is Zeller's classic delta-debugging minimization applied to
+the event list: it repeatedly re-runs the scenario with subsets of the
+schedule, keeping any subset that still fails, until the result is
+**1-minimal** — removing any single remaining event makes the scenario
+pass.  The minimal schedule is what lands in the reproducer artifact.
+
+The algorithm is fully deterministic given a deterministic ``test``
+predicate and input order (chunk boundaries depend only on list length),
+so two shrinks of the same failure produce byte-identical reproducers —
+the property the CI soak job pins down with ``cmp``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+__all__ = ["ddmin"]
+
+T = TypeVar("T")
+
+
+def _chunks(items: List[T], n: int) -> List[List[T]]:
+    """Split ``items`` into ``n`` contiguous chunks of near-equal size."""
+    out, start = [], 0
+    for k in range(n):
+        end = start + (len(items) - start) // (n - k)
+        if end > start:
+            out.append(items[start:end])
+        start = end
+    return out
+
+
+def ddmin(
+    events: Sequence[T],
+    test: Callable[[List[T]], bool],
+    max_tests: int = 256,
+) -> List[T]:
+    """Minimize ``events`` to a 1-minimal subset for which ``test`` is True.
+
+    Parameters
+    ----------
+    events:
+        The failing schedule.  ``test(list(events))`` is assumed True (the
+        caller observed the failure); it is not re-checked here.
+    test:
+        Deterministic predicate: True when the subset still reproduces the
+        failure.  Order of surviving events is preserved.
+    max_tests:
+        Hard bound on predicate invocations — shrinking trades a handful
+        of scenario re-runs for a small reproducer, never an unbounded
+        search.
+    """
+    current = list(events)
+    if not current:
+        return current
+    budget = [int(max_tests)]
+
+    def run(subset: List[T]) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        return bool(test(subset))
+
+    # A defect that fires with no faults at all shrinks to the empty
+    # schedule — the strongest possible reproducer.
+    if run([]):
+        return []
+
+    n = 2
+    while len(current) >= 2:
+        chunks = _chunks(current, n)
+        reduced = False
+        # Try each chunk alone (subset), then each complement.
+        for chunk in chunks:
+            if len(chunk) < len(current) and run(chunk):
+                current = chunk
+                n = 2
+                reduced = True
+                break
+        if not reduced:
+            for i in range(len(chunks)):
+                complement = [e for j, c in enumerate(chunks) for e in c if j != i]
+                if complement and len(complement) < len(current) and run(complement):
+                    current = complement
+                    n = max(n - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if n >= len(current):
+                break
+            n = min(len(current), 2 * n)
+    return current

@@ -737,6 +737,66 @@ def profile_config(
     return tracer, sim
 
 
+def chaos_command(args) -> int:
+    """Dispatch ``chaos {run,soak,replay}``.  Returns a process exit code."""
+    from .chaos import replay, report_json, run_scenario, sample_scenario, soak
+    from .obs import write_json
+
+    quiet = getattr(args, "quiet", False)
+
+    def log(msg: str) -> None:
+        if not quiet:
+            print(msg)
+
+    if args.chaos_command == "run":
+        spec = sample_scenario(args.seed, workload=args.workload)
+        if args.deadline is not None:
+            spec.deadline_s = float(args.deadline)
+        outcome = run_scenario(spec)
+        log(report_json(outcome.to_dict()))
+        return 0 if outcome.ok else 1
+
+    if args.chaos_command == "replay":
+        outcome = replay(args.artifact)
+        log(report_json(outcome.to_dict()))
+        if outcome.ok:
+            log("replay: all invariants hold")
+            return 0
+        log(f"replay: {len(outcome.violations)} invariant violation(s)")
+        return 1
+
+    # soak
+    if args.reproducer_dir is not None:
+        args.reproducer_dir.mkdir(parents=True, exist_ok=True)
+
+    def progress(i, outcome) -> None:
+        status = "ok" if outcome.ok else "VIOLATED"
+        log(
+            f"[{i + 1}/{args.n}] {outcome.spec.workload} "
+            f"seed={outcome.spec.seed} "
+            f"events={len(outcome.spec.events)}: {status}"
+        )
+
+    report = soak(
+        args.n,
+        seed=args.seed,
+        budget_s=args.budget,
+        deadline_s=args.deadline,
+        reproducer_dir=args.reproducer_dir,
+        progress=progress,
+    )
+    if args.report is not None:
+        write_json(args.report, report)
+        log(f"wrote soak report to {args.report}")
+    summary = report["summary"]
+    log(
+        f"soak: {report['n_run']}/{report['n_requested']} scenarios run, "
+        f"{summary['passed']} passed, {summary['violated']} violated, "
+        f"{report['n_skipped_budget']} skipped (budget)"
+    )
+    return 0 if summary["violated"] == 0 else 1
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Run MD from a JSON config."
@@ -886,6 +946,56 @@ def main(argv: Optional[list] = None) -> int:
         help="MD steps per trial (md/engine targets only)",
     )
     tune_p.add_argument("--quiet", action="store_true")
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="deterministic chaos harness: composed-fault scenarios, "
+        "invariant checks, failure shrinking",
+    )
+    chaos_sub = chaos_p.add_subparsers(dest="chaos_command", required=True)
+    chaos_run_p = chaos_sub.add_parser(
+        "run", help="run one seeded composed-fault scenario"
+    )
+    chaos_run_p.add_argument("--seed", type=int, default=0)
+    chaos_run_p.add_argument(
+        "--workload",
+        choices=["md", "parallel", "serve", "train"],
+        default=None,
+        help="pin the workload family (default: derived from the seed)",
+    )
+    chaos_run_p.add_argument("--deadline", type=float, default=None)
+    chaos_run_p.add_argument("--quiet", action="store_true")
+    chaos_soak_p = chaos_sub.add_parser(
+        "soak",
+        help="run N seeded scenarios under a wall-clock budget; shrink "
+        "any invariant violation to a minimal reproducer",
+    )
+    chaos_soak_p.add_argument("--n", type=int, default=40)
+    chaos_soak_p.add_argument("--seed", type=int, default=0)
+    chaos_soak_p.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds (remaining scenarios are skipped)",
+    )
+    chaos_soak_p.add_argument("--deadline", type=float, default=None)
+    chaos_soak_p.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="write the soak report as byte-deterministic JSON here",
+    )
+    chaos_soak_p.add_argument(
+        "--reproducer-dir",
+        type=Path,
+        default=None,
+        help="write shrunken minimal-reproducer JSON artifacts here",
+    )
+    chaos_soak_p.add_argument("--quiet", action="store_true")
+    chaos_replay_p = chaos_sub.add_parser(
+        "replay", help="re-run a reproducer artifact (or bare spec) JSON"
+    )
+    chaos_replay_p.add_argument("artifact", type=Path)
+    chaos_replay_p.add_argument("--quiet", action="store_true")
     sub.add_parser("example-config", help="print a starter MD config to stdout")
     sub.add_parser(
         "example-serve-config", help="print a starter serving config to stdout"
@@ -934,6 +1044,8 @@ def main(argv: Optional[list] = None) -> int:
             quiet=args.quiet,
         )
         return 0
+    if args.command == "chaos":
+        return chaos_command(args)
     config = json.loads(args.config.read_text())
     if getattr(args, "tuning_profile", None) is not None:
         config = apply_profile_path(config, args.tuning_profile)

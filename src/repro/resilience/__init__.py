@@ -36,6 +36,7 @@ from .faults import (
     POTENTIAL_CORRUPT,
     RANK_FAIL,
     REPLAY_FAIL,
+    TORN_WRITE,
     TRAIN_LABEL_CORRUPTION,
     TRAIN_STEP_FAILURE,
     WORKER_CRASH,
@@ -72,6 +73,7 @@ __all__ = [
     "POTENTIAL_CORRUPT",
     "RANK_FAIL",
     "REPLAY_FAIL",
+    "TORN_WRITE",
     "TRAIN_LABEL_CORRUPTION",
     "TRAIN_STEP_FAILURE",
     "WORKER_CRASH",

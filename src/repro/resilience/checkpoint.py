@@ -30,6 +30,8 @@ import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from .faults import TORN_WRITE, FaultPlan
+
 __all__ = ["CheckpointError", "CheckpointManager"]
 
 #: File magic: identifies the container format (bumped on layout changes).
@@ -55,6 +57,16 @@ class CheckpointManager:
     prefix:
         Filename prefix (``{prefix}-{step:012d}.ckpt``), so independent
         streams can share a directory.
+    fault_plan:
+        Optional :class:`FaultPlan` consulted once per :meth:`save` on the
+        ``checkpoint.torn_write`` channel.  A firing simulates the process
+        being killed mid-write on a filesystem without atomic rename: a
+        truncated file lands at the *target* path (not the tmp file), so
+        recovery must detect and skip it.
+    registry:
+        Optional :class:`repro.obs.Registry`; torn writes and
+        skipped-corrupt files during :meth:`load_latest` are counted under
+        ``checkpoint.torn_writes`` / ``checkpoint.skipped_corrupt``.
     """
 
     def __init__(
@@ -62,6 +74,8 @@ class CheckpointManager:
         directory,
         keep_last: Optional[int] = 3,
         prefix: str = "ckpt",
+        fault_plan: Optional[FaultPlan] = None,
+        registry=None,
     ) -> None:
         if keep_last is not None and keep_last < 1:
             raise ValueError("keep_last must be >= 1 (or None to keep all)")
@@ -69,8 +83,17 @@ class CheckpointManager:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep_last = keep_last
         self.prefix = prefix
+        self.fault_plan = fault_plan
+        if registry is None:
+            from ..obs import Registry
+
+            registry = Registry()
+        self.registry = registry
+        self._c_torn = registry.counter("checkpoint.torn_writes")
+        self._c_skipped = registry.counter("checkpoint.skipped_corrupt")
         self.n_saved = 0
         self.n_pruned = 0
+        self.n_torn = 0
 
     # -- paths ----------------------------------------------------------------
     def path_for(self, step: int) -> Path:
@@ -92,10 +115,27 @@ class CheckpointManager:
 
     # -- write ----------------------------------------------------------------
     def save(self, state: Dict, step: int) -> Path:
-        """Atomically persist ``state`` as the checkpoint for ``step``."""
+        """Atomically persist ``state`` as the checkpoint for ``step``.
+
+        When the ``checkpoint.torn_write`` fault channel fires, the write
+        is *torn* instead: a truncated byte prefix lands at the target
+        path, exactly what a kill mid-write leaves behind on a filesystem
+        where rename is not atomic.  The torn file fails verification on
+        load, so :meth:`load_latest` must walk past it.
+        """
         payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
         digest = hashlib.sha256(payload).hexdigest().encode("ascii")
         target = self.path_for(step)
+        if self.fault_plan is not None and self.fault_plan.fires(TORN_WRITE):
+            full = _MAGIC + digest + payload
+            # Keep the header plus half the payload: starts like a real
+            # checkpoint, fails the checksum — the worst torn shape.
+            torn = full[: len(_MAGIC) + _DIGEST_LEN + max(1, len(payload) // 2)]
+            target.write_bytes(torn)
+            self.n_torn += 1
+            self._c_torn.inc()
+            self.prune()
+            return target
         fd, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=f".{self.prefix}-", suffix=".tmp"
         )
@@ -170,6 +210,9 @@ class CheckpointManager:
             try:
                 return step, self.load_step(step)
             except CheckpointError as exc:
+                # Torn/truncated/corrupt file: costs one interval, not the
+                # run — but never silently; the skip is counted.
+                self._c_skipped.inc()
                 last_error = exc
         raise CheckpointError(
             f"every checkpoint under {self.directory} failed verification"
@@ -182,4 +225,6 @@ class CheckpointManager:
             "keep_last": self.keep_last,
             "n_saved": self.n_saved,
             "n_pruned": self.n_pruned,
+            "n_torn": self.n_torn,
+            "n_skipped_corrupt": self._c_skipped.value,
         }

@@ -26,6 +26,10 @@ Channels used by the built-in injection sites:
 * ``train.step_failure`` — :class:`repro.nn.Trainer` consults per batch
   attempt (a firing simulates a transient step failure: preemption, an
   OOM-killed kernel).
+* ``checkpoint.torn_write`` — :class:`repro.resilience.CheckpointManager`
+  consults once per :meth:`~repro.resilience.CheckpointManager.save` (a
+  firing simulates a process killed mid-write on a non-atomic filesystem:
+  a truncated, unverifiable file lands at the target path).
 """
 
 from __future__ import annotations
@@ -47,6 +51,7 @@ __all__ = [
     "POTENTIAL_CORRUPT",
     "TRAIN_LABEL_CORRUPTION",
     "TRAIN_STEP_FAILURE",
+    "TORN_WRITE",
     "InjectedFault",
     "FaultPlan",
     "FaultyPotential",
@@ -62,6 +67,7 @@ REPLAY_FAIL = "engine.replay_fail"
 POTENTIAL_CORRUPT = "potential.corrupt"
 TRAIN_LABEL_CORRUPTION = "train.label_corruption"
 TRAIN_STEP_FAILURE = "train.step_failure"
+TORN_WRITE = "checkpoint.torn_write"
 
 
 class InjectedFault(RuntimeError):

@@ -38,6 +38,7 @@ from .registry import ModelEntry, ModelRegistry, UnknownModelError
 from .server import (
     CircuitOpen,
     Client,
+    DrainTimeout,
     ForceServer,
     ModelFailure,
     RequestTimeout,
@@ -50,6 +51,7 @@ __all__ = [
     "CircuitOpen",
     "Client",
     "Counter",
+    "DrainTimeout",
     "ForceRequest",
     "ForceServer",
     "Gauge",

@@ -23,7 +23,10 @@ Guarantees:
 * **Timeouts** — a request whose queue wait exceeds its budget fails with
   :class:`RequestTimeout` at pickup instead of wasting a force call.
 * **Graceful drain** — :meth:`ForceServer.stop` stops admission, lets the
-  workers finish every admitted request, then joins the pool.
+  workers finish every admitted request, then joins the pool.  The drain
+  has a deadline (``drain_timeout``): shutdown cannot hang forever on a
+  stalled worker — requests still pending past the deadline fail with an
+  explicit :class:`DrainTimeout`.
 * **No silent garbage** — every batch result is validated (finite energy
   and forces) before any future resolves; a bad evaluation is retried
   with backoff and, if it keeps failing, surfaces as an explicit
@@ -37,8 +40,8 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future
-from typing import List, Optional, Sequence, Tuple
+from concurrent.futures import Future, InvalidStateError
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,6 +62,7 @@ __all__ = [
     "ModelFailure",
     "CircuitOpen",
     "WorkerCrash",
+    "DrainTimeout",
 ]
 
 
@@ -84,6 +88,10 @@ class CircuitOpen(ServeError):
 
 class WorkerCrash(ServeError):
     """An injected (or real) worker crash during batch evaluation."""
+
+
+class DrainTimeout(ServeError):
+    """The shutdown drain deadline expired with this request still pending."""
 
 
 def _build_nl(potential, system):
@@ -143,6 +151,12 @@ class ForceServer:
         on the ``serve.worker_crash`` / ``serve.worker_stall`` channels.
     stall_time:
         How long an injected worker stall sleeps (seconds).
+    drain_timeout:
+        Default drain deadline for ``stop(drain=True)`` in seconds.  Past
+        it, still-pending futures fail with :class:`DrainTimeout` (an
+        explicit :class:`ServeError`, counted under
+        ``errors_drain_timeout``) instead of shutdown hanging forever on a
+        stalled worker.  ``None`` restores the unbounded wait.
     """
 
     def __init__(
@@ -158,6 +172,7 @@ class ForceServer:
         retry_policy: Optional[RetryPolicy] = None,
         fault_plan=None,
         stall_time: float = 0.01,
+        drain_timeout: Optional[float] = 30.0,
         start: bool = True,
         adaptive: bool = True,
         plan_cache_opts: Optional[dict] = None,
@@ -183,6 +198,7 @@ class ForceServer:
         )
         self.fault_plan = fault_plan
         self.stall_time = float(stall_time)
+        self.drain_timeout = None if drain_timeout is None else float(drain_timeout)
         self._batcher = MicroBatcher(
             max_batch=max_batch, max_wait=batch_wait, adaptive=adaptive
         )
@@ -196,6 +212,7 @@ class ForceServer:
         self._aborting = False
         self._admitted = 0
         self._completed = 0
+        self._inflight: Dict[int, ForceRequest] = {}
         self._workers: List[threading.Thread] = []
         self._n_workers = int(n_workers)
         if start:
@@ -241,29 +258,61 @@ class ForceServer:
         dropped: workers switch to abort mode (any batch they pick up is
         completed with :class:`ServeError`), and whatever remains after
         the pool joins is failed here — every admitted future resolves.
+
+        With ``drain=True`` the drain waits at most ``timeout`` seconds
+        (default: the server's ``drain_timeout``).  Past the deadline the
+        server switches to abort mode and every still-pending future —
+        queued or in flight on a stalled worker — fails with an explicit
+        :class:`DrainTimeout` (error class ``drain_timeout``), so shutdown
+        is bounded even when a worker never comes back.
         """
         with self._lock:
             self._accepting = False
             if not drain:
                 self._aborting = True
+        drained = True
         if drain:
-            self.drain(timeout=timeout)
+            if timeout is None:
+                timeout = self.drain_timeout
+            drained = self.drain(timeout=timeout)
+            if not drained:
+                with self._lock:
+                    self._aborting = True
         with self._lock:
             if self._closed:
                 return
             self._closed = True
         self._batcher.close()
+        # After a failed drain the deadline has already expired: grant the
+        # workers only a drain-timeout-sized grace instead of the full
+        # cooperative join budget, so shutdown stays bounded end to end.
+        join_budget = 5.0
+        if drain and not drained and timeout is not None:
+            join_budget = min(5.0, max(0.05, float(timeout)))
         for t in self._workers:
-            t.join(timeout=5.0)
-        # Anything still queued after a no-drain stop is failed, not lost.
+            t.join(timeout=join_budget)
+        if drain and not drained:
+            exc_factory = lambda: DrainTimeout(  # noqa: E731
+                f"drain deadline ({timeout}s) expired with requests pending"
+            )
+            err_class = "drain_timeout"
+        else:
+            exc_factory = lambda: ServeError("server stopped")  # noqa: E731
+            err_class = "shutdown"
+        # Anything still queued after an aborted stop is failed, not lost.
         leftover = self._batcher.get_batch(timeout=0.0)
         while leftover:
             for req in leftover:
-                self._fail(
-                    req, ServeError("server stopped"), "requests_failed",
-                    "shutdown",
-                )
+                self._fail(req, exc_factory(), "requests_failed", err_class)
             leftover = self._batcher.get_batch(timeout=0.0)
+        # Requests held by a worker that never finished (e.g. a stall
+        # longer than the join budget): fail them explicitly here.  The
+        # completion paths are InvalidStateError-safe, so a worker waking
+        # up later cannot double-complete or double-count them.
+        with self._lock:
+            stuck = list(self._inflight.values())
+        for req in stuck:
+            self._fail(req, exc_factory(), "requests_failed", err_class)
 
     def __enter__(self) -> "ForceServer":
         return self.start()
@@ -347,10 +396,15 @@ class ForceServer:
                         self._fail(req, exc, "requests_failed", "model_failure")
 
     def _finish(self, req: ForceRequest, result) -> None:
-        req.future.set_result(result)
+        try:
+            req.future.set_result(result)
+        except InvalidStateError:
+            # Lost the race against stop()'s drain-deadline failure: that
+            # path already counted and completed this request.
+            return
         self.metrics.counter("requests_served").inc()
         self.metrics.histogram("latency_s").observe(time.monotonic() - req.t_enqueue)
-        self._mark_completed(1)
+        self._mark_completed(req)
 
     def _fail(
         self,
@@ -359,19 +413,26 @@ class ForceServer:
         counter: str,
         err_class: Optional[str] = None,
     ) -> None:
-        if not req.future.done():
+        try:
             req.future.set_exception(exc)
+        except InvalidStateError:
+            return
         self.metrics.counter(counter).inc()
         if err_class is not None:
             self.metrics.counter(f"errors_{err_class}").inc()
-        self._mark_completed(1)
+        self._mark_completed(req)
 
-    def _mark_completed(self, n: int) -> None:
+    def _mark_completed(self, req: ForceRequest) -> None:
         with self._done_cv:
-            self._completed += n
+            self._completed += 1
+            self._inflight.pop(id(req), None)
             self._done_cv.notify_all()
 
     def _process(self, batch: List[ForceRequest]) -> None:
+        with self._lock:
+            # Once a batch leaves the queue its requests are in flight;
+            # stop()'s drain-deadline path fails whatever is still here.
+            self._inflight.update((id(req), req) for req in batch)
         if self._aborting:
             for req in batch:
                 self._fail(

@@ -1,0 +1,378 @@
+"""Tests for the deterministic chaos harness (``repro.chaos``).
+
+Covers the four layers of the harness — scenario sampling, workload
+adapters + invariant checkers, the delta-debugging shrinker, and the soak
+runner / CLI — plus the harness's own falsifiability check: a planted bug
+must be caught by an invariant and shrink to a minimal, byte-deterministic
+reproducer.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    CHANNELS_BY_WORKLOAD,
+    WORKLOADS,
+    FaultEvent,
+    ScenarioSpec,
+    check_all,
+    ddmin,
+    registered_invariants,
+    replay,
+    report_json,
+    run_scenario,
+    sample_scenario,
+    shrink_failure,
+    soak,
+)
+from repro.chaos.runner import _SEED_STRIDE
+from repro.obs import write_json
+from repro.resilience import POTENTIAL_CORRUPT, TORN_WRITE
+
+#: The soak seed the CI job pins; scenario i of a soak is
+#: ``sample_scenario(seed * stride + i)`` — reusing the formula here keeps
+#: the per-workload smoke tests on schedules the nightly soak also covers.
+SOAK_SEED = 20260808
+
+#: A hand-validated planted-bug schedule (md, eager, Nose-Hoover):
+#: torn writes at checkpoint draws 2 and 3, corruption at force draws 14
+#: and 20.  The corruption at 14 trips the watchdog; recovery then reads
+#: the newest checkpoint (step 12, torn).  The hardened manager skips it;
+#: the planted unverified loader crashes on it.  The failure needs exactly
+#: {torn@2, corrupt@14} — what the shrinker must find.
+BUG = "md.unverified_checkpoint_load"
+BUG_SPEC = ScenarioSpec(
+    workload="md",
+    seed=5,
+    events=(
+        FaultEvent(TORN_WRITE, 2),
+        FaultEvent(TORN_WRITE, 3),
+        FaultEvent(POTENTIAL_CORRUPT, 14),
+        FaultEvent(POTENTIAL_CORRUPT, 20),
+    ),
+    options={
+        "kind": "nvt_nosehoover",
+        "engine": "eager",
+        "steps": 24,
+        "checkpoint_every": 6,
+    },
+)
+
+
+class TestDdmin:
+    def test_finds_minimal_failing_pair(self):
+        def fails(subset):
+            return {2, 5} <= set(subset)
+
+        assert ddmin(list(range(8)), fails) == [2, 5]
+
+    def test_single_culprit(self):
+        def fails(subset):
+            return 3 in subset
+
+        assert ddmin(list(range(10)), fails) == [3]
+
+    def test_empty_when_failure_needs_nothing(self):
+        assert ddmin([1, 2, 3], lambda subset: True) == []
+
+    def test_result_always_fails(self):
+        def fails(subset):
+            return sum(subset) >= 7
+
+        result = ddmin([1, 2, 3, 4, 5], fails)
+        assert fails(result)
+
+    def test_deterministic(self):
+        def fails(subset):
+            return {1, 4, 6} <= set(subset)
+
+        runs = [ddmin(list(range(8)), fails) for _ in range(3)]
+        assert runs[0] == runs[1] == runs[2] == [1, 4, 6]
+
+    def test_budget_bounded(self):
+        calls = []
+
+        def fails(subset):
+            calls.append(1)
+            return len(subset) >= 40
+
+        result = ddmin(list(range(64)), fails, max_tests=10)
+        assert len(calls) <= 11  # budget + the guaranteed full-set check
+        assert fails(result)  # budget exhaustion still returns a failer
+
+
+class TestScenarioSampling:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 12345])
+    def test_same_seed_same_spec(self, seed):
+        assert sample_scenario(seed).to_dict() == sample_scenario(seed).to_dict()
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_composed_and_well_formed(self, workload):
+        for seed in range(20):
+            spec = sample_scenario(seed, workload=workload)
+            assert spec.workload == workload
+            assert len(spec.channels()) >= 2, "scenarios must compose faults"
+            allowed = set(CHANNELS_BY_WORKLOAD[workload])
+            assert set(spec.channels()) <= allowed
+            assert all(e.index >= 0 for e in spec.events)
+
+    def test_spec_round_trips(self):
+        spec = sample_scenario(99, workload="train")
+        again = ScenarioSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict()))
+        )
+        assert again.to_dict() == spec.to_dict()
+        assert again.fault_plan().at == spec.fault_plan().at
+
+
+class TestInvariantRegistry:
+    def test_expected_invariants_registered(self):
+        names = set(registered_invariants())
+        assert {
+            "md_bitwise_vs_clean",
+            "train_bitwise_vs_clean",
+            "force_sanity",
+            "parallel_matches_reference",
+            "serve_no_silent_drop",
+            "metrics_consistency",
+            "train_no_silent_poison",
+            "checkpoint_chain",
+        } <= names
+
+    def test_liveness_gates_everything(self):
+        violations = check_all(
+            {"workload": "md", "error": None, "timed_out": True}
+        )
+        assert [v.invariant for v in violations] == ["liveness"]
+
+    def test_crash_gates_everything(self):
+        violations = check_all(
+            {"workload": "md", "error": "ValueError: boom", "timed_out": False}
+        )
+        assert [v.invariant for v in violations] == ["no_crash"]
+        assert "ValueError: boom" in violations[0].message
+
+
+class TestScenarioExecution:
+    """One composed scenario per workload family survives all invariants.
+
+    Seeds reuse the CI soak formula, so these are schedules the full soak
+    also covers — kept to one per family to stay test-suite fast.
+    """
+
+    @pytest.mark.parametrize("i,workload", list(enumerate(WORKLOADS)))
+    def test_workload_scenario_passes_and_fires(self, i, workload):
+        spec = sample_scenario(SOAK_SEED * _SEED_STRIDE + i, workload=workload)
+        assert spec.workload == workload
+        outcome = run_scenario(spec)
+        assert outcome.ok, [v.to_dict() for v in outcome.violations]
+        plan = outcome.obs["plan"]
+        fired = sum(plan.fired(ch) for ch in spec.channels())
+        assert fired > 0, "a chaos scenario must actually inject faults"
+
+
+class TestPlantedBug:
+    """The harness's falsifiability check (ISSUE acceptance criterion)."""
+
+    def test_schedule_passes_without_bug(self):
+        outcome = run_scenario(BUG_SPEC)
+        assert outcome.ok, [v.to_dict() for v in outcome.violations]
+
+    def test_bug_caught_by_invariant(self):
+        outcome = run_scenario(BUG_SPEC, bug=BUG)
+        assert not outcome.ok
+        assert {v.invariant for v in outcome.violations} == {"no_crash"}
+
+    def test_shrinks_to_minimal_reproducer_deterministically(self, tmp_path):
+        first = shrink_failure(BUG_SPEC, bug=BUG)
+        second = shrink_failure(BUG_SPEC, bug=BUG)
+        events = first["spec"]["events"]
+        # <= 3 events required by the acceptance criterion; this schedule
+        # is known to need exactly the torn write and the corruption that
+        # forces recovery to read it.
+        assert events == [["checkpoint.torn_write", 2], ["potential.corrupt", 14]]
+        assert report_json(first) == report_json(second)
+        assert first["violations"] and first["violations"][0]["invariant"] == (
+            "no_crash"
+        )
+        # The artifact is byte-deterministic on disk too.
+        write_json(tmp_path / "a.json", first)
+        write_json(tmp_path / "b.json", second)
+        assert (tmp_path / "a.json").read_bytes() == (
+            tmp_path / "b.json"
+        ).read_bytes()
+
+    def test_reproducer_replays_and_fix_validates(self, tmp_path):
+        artifact = shrink_failure(BUG_SPEC, bug=BUG)
+        path = tmp_path / "reproducer.json"
+        write_json(path, artifact)
+        # Replaying the artifact re-applies its recorded bug tag and
+        # reproduces the violation.
+        outcome = replay(path)
+        assert not outcome.ok
+        # "Fixing" the bug (running the real CheckpointManager) passes.
+        fixed = run_scenario(ScenarioSpec.from_dict(artifact["spec"]))
+        assert fixed.ok
+
+
+class TestSoak:
+    def test_small_soak_green_and_byte_deterministic(self):
+        r1 = soak(8, seed=42)
+        r2 = soak(8, seed=42)
+        assert r1["summary"] == {"passed": 8, "violated": 0}
+        assert r1["n_run"] == 8 and r1["n_skipped_budget"] == 0
+        # Every workload family appears.
+        families = {s["spec"]["workload"] for s in r1["scenarios"]}
+        assert families == set(WORKLOADS)
+        assert report_json(r1) == report_json(r2)
+
+    def test_budget_skips_are_counted(self):
+        report = soak(6, seed=42, budget_s=0.0)
+        assert report["n_run"] + report["n_skipped_budget"] == 6
+        assert report["n_skipped_budget"] >= 5
+
+    def test_soak_with_planted_bug_emits_reproducer(self, tmp_path):
+        # Seed 5's md scenario under the planted bug: run the known-bad
+        # spec through the soak machinery by replaying it directly —
+        # shrink_failure is exercised above; here we check the artifact
+        # file plumbing end to end.
+        artifact = shrink_failure(BUG_SPEC, bug=BUG, max_tests=32)
+        path = tmp_path / "repro.json"
+        write_json(path, artifact)
+        raw = json.loads(path.read_text())
+        assert raw["kind"] == "chaos-reproducer"
+        assert raw["bug"] == BUG
+        assert len(raw["spec"]["events"]) <= 3
+
+
+class TestChaosCLI:
+    def test_soak_subcommand_green(self, tmp_path):
+        from repro.cli import main
+
+        report_path = tmp_path / "soak.json"
+        code = main(
+            [
+                "chaos",
+                "soak",
+                "--n",
+                "2",
+                "--seed",
+                "42",
+                "--report",
+                str(report_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["kind"] == "chaos-soak"
+        assert report["summary"]["violated"] == 0
+
+    def test_replay_subcommand_exit_codes(self, tmp_path):
+        from repro.cli import main
+
+        artifact = shrink_failure(BUG_SPEC, bug=BUG, max_tests=32)
+        bad = tmp_path / "bad.json"
+        write_json(bad, artifact)
+        assert main(["chaos", "replay", str(bad), "--quiet"]) == 1
+        good = tmp_path / "good.json"
+        clean = dict(artifact)
+        clean["bug"] = None
+        write_json(good, clean)
+        assert main(["chaos", "replay", str(good), "--quiet"]) == 0
+
+
+def _greedy_knob():
+    """A controller that wants to double its knob every ``dwell`` ticks."""
+    from repro.tune import HysteresisController
+
+    class Greedy(HysteresisController):
+        def __init__(self):
+            super().__init__(
+                "greedy", lo=0.0, hi=100.0, dwell=4, min_abs_step=0.5
+            )
+            self.value = 1.0
+            self.adapt_ticks = []
+            self.recovery_ticks = []
+
+        def read_signal(self):
+            return 5.0
+
+        def current(self):
+            return self.value
+
+        def apply_value(self, value):
+            self.value = value
+            self.adapt_ticks.append(self._ticks)
+
+        def propose(self, ewma):
+            return self.value * 2.0
+
+        def notify_recovery(self):
+            self.recovery_ticks.append(self._ticks)
+            super().notify_recovery()
+
+    return Greedy()
+
+
+class TestControllersFrozenThroughChaos:
+    def test_tune_controllers_stand_down_through_watchdog_recovery(
+        self, tmp_path
+    ):
+        """e2e: chaos-injected corruption -> watchdog rollback -> the tune
+        controllers freeze and make no adaptation for the rest of the run."""
+        from repro.md import Cell, NoseHooverThermostat, Simulation, System
+        from repro.models import LennardJones
+        from repro.obs import Registry
+        from repro.resilience import (
+            CheckpointManager,
+            FaultPlan,
+            FaultyPotential,
+            ForceWatchdog,
+        )
+        from repro.tune import ControllerSet
+
+        rng = np.random.default_rng(7)
+        g = (
+            np.stack(
+                np.meshgrid(*[np.arange(4)] * 3, indexing="ij"), -1
+            ).reshape(-1, 3)
+            * 1.7
+        )
+        system = System(
+            g + rng.normal(scale=0.02, size=g.shape),
+            np.zeros(len(g), int),
+            Cell.cubic(4 * 1.7),
+        )
+        system.seed_velocities(30.0, np.random.default_rng(8))
+        lj = LennardJones(epsilon=0.05, sigma=1.5, cutoff=3.0)
+
+        plan = FaultPlan(seed=0, at={POTENTIAL_CORRUPT: [20]})
+        controller = _greedy_knob()
+        registry = Registry()
+        sim = Simulation(
+            system,
+            FaultyPotential(lj, plan, mode="nan"),
+            dt=0.2,
+            thermostat=NoseHooverThermostat(30.0, tau=25.0),
+            watchdog=ForceWatchdog(
+                policy="recover", spike_factor=None, max_recoveries=8
+            ),
+            registry=registry,
+            controllers=ControllerSet([controller]),
+        )
+        manager = CheckpointManager(tmp_path / "ckpt", keep_last=4)
+        sim.run(24, checkpoint_every=6, checkpoint_manager=manager)
+
+        assert sim.n_recoveries >= 1
+        assert controller.recovery_ticks, "recovery must reach the controllers"
+        # The controller was live before the fault...
+        first_recovery = min(controller.recovery_ticks)
+        assert any(t < first_recovery for t in controller.adapt_ticks)
+        # ...and adapted exactly zero times after the watchdog fired.
+        assert all(t <= first_recovery for t in controller.adapt_ticks)
+        assert controller.stats()["frozen"] is True
+        snap = registry.snapshot()["counters"]
+        assert snap.get("md.recoveries", 0) == sim.n_recoveries

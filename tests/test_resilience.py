@@ -31,6 +31,7 @@ from repro.resilience import (
     COMM_DROP,
     POTENTIAL_CORRUPT,
     RANK_FAIL,
+    TORN_WRITE,
     CheckpointError,
     CheckpointManager,
     CircuitBreaker,
@@ -572,4 +573,79 @@ class TestParallelFaults:
         # Retransmission is transparent: trajectory identical to fault-free.
         np.testing.assert_allclose(
             sim.system.positions, ref.system.positions, atol=1e-9
+        )
+
+
+# ---------------------------------------------------------------------------
+# Torn checkpoint writes (chaos channel: checkpoint.torn_write)
+# ---------------------------------------------------------------------------
+class TestTornWrites:
+    def test_torn_save_fails_verification_and_is_skipped(self, tmp_path):
+        from repro.obs import Registry
+
+        registry = Registry()
+        plan = FaultPlan(seed=0, at={TORN_WRITE: [1]})
+        m = CheckpointManager(
+            tmp_path, keep_last=None, fault_plan=plan, registry=registry
+        )
+        m.save({"step": 0}, 0)
+        torn_path = m.save({"step": 10}, 10)  # draw 1: torn
+        # The torn file lands at the *target* path and starts like a real
+        # checkpoint, but fails verification on load.
+        assert torn_path.exists()
+        with pytest.raises(CheckpointError):
+            m.load(torn_path)
+        # Recovery walks past it to the previous good snapshot...
+        step, state = m.load_latest()
+        assert step == 0 and state["step"] == 0
+        # ...and both the tear and the skip are observable.
+        assert m.n_torn == 1
+        snap = registry.snapshot()["counters"]
+        assert snap["checkpoint.torn_writes"] == 1
+        assert snap["checkpoint.skipped_corrupt"] == 1
+        stats = m.stats()
+        assert stats["n_torn"] == 1 and stats["n_skipped_corrupt"] == 1
+
+    def test_no_fault_plan_means_no_tears(self, tmp_path):
+        m = CheckpointManager(tmp_path)
+        for step in range(0, 30, 10):
+            m.save({"step": step}, step)
+        assert m.n_torn == 0
+        assert m.load_latest()[0] == 20
+
+    def test_md_recovery_walks_past_torn_checkpoint_bitwise(self, tmp_path):
+        """Composed faults: a torn write *and* a later force corruption.
+
+        The corruption at force draw 14 trips the recover watchdog; the
+        newest checkpoint (step 12) is torn, so recovery must fall back to
+        step 6 and replay further — and still land bitwise on the clean
+        trajectory."""
+        ref = _make_sim("nvt_nosehoover")
+        ref_res = ref.run(24)
+
+        plan = FaultPlan(seed=0, at={TORN_WRITE: [2], POTENTIAL_CORRUPT: [14]})
+        _, lj = _lj_crystal()
+        sim = _make_sim(
+            "nvt_nosehoover",
+            potential=FaultyPotential(lj, plan, mode="nan"),
+            watchdog=ForceWatchdog(
+                policy="recover", spike_factor=None, max_recoveries=8
+            ),
+        )
+        manager = CheckpointManager(
+            tmp_path, keep_last=4, fault_plan=plan, registry=sim.obs
+        )
+        res = sim.run(24, checkpoint_every=6, checkpoint_manager=manager)
+
+        assert sim.n_recoveries >= 1
+        assert manager.n_torn == 1
+        assert sim.obs.snapshot()["counters"]["checkpoint.skipped_corrupt"] >= 1
+        np.testing.assert_array_equal(
+            sim.system.positions, ref.system.positions
+        )
+        np.testing.assert_array_equal(
+            sim.system.velocities, ref.system.velocities
+        )
+        np.testing.assert_array_equal(
+            res.potential_energies, ref_res.potential_energies
         )

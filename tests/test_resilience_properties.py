@@ -1,0 +1,219 @@
+"""Property-based tests (Hypothesis) for the retry/breaker primitives.
+
+:class:`RetryPolicy` and :class:`CircuitBreaker` were built deterministic
+(seeded jitter, injectable clock) precisely so their contracts could be
+stated as properties over arbitrary inputs rather than a handful of
+examples:
+
+* retry delays always respect the jittered-backoff envelope and are
+  reproducible from the seed;
+* ``call`` performs exactly the promised number of attempts and sleeps
+  exactly the scheduled delays;
+* the circuit breaker's state machine never skips a state — every
+  transition in its recorded history is one of the four legal edges —
+  and half-open admits exactly one probe.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import CircuitBreaker, CircuitOpenError, RetryPolicy
+
+# Keep the suite fast and CI-deterministic.
+settings.register_profile("repro", deadline=None, max_examples=60)
+settings.load_profile("repro")
+
+
+class _Clock:
+    """Injectable monotonic clock for breaker tests."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+policies = st.fixed_dictionaries(
+    {
+        "max_retries": st.integers(0, 6),
+        "base_delay": st.floats(0.0, 0.1, allow_nan=False),
+        "multiplier": st.floats(1.0, 4.0, allow_nan=False),
+        "max_delay": st.floats(0.0, 0.5, allow_nan=False),
+        "jitter": st.floats(0.0, 1.0, allow_nan=False),
+        "seed": st.integers(0, 2**31 - 1),
+    }
+)
+
+
+class TestRetryPolicyProperties:
+    @given(params=policies, attempts=st.integers(1, 12))
+    def test_delay_within_jittered_backoff_envelope(self, params, attempts):
+        policy = RetryPolicy(sleep=lambda _: None, **params)
+        for attempt in range(1, attempts + 1):
+            ceiling = min(
+                params["max_delay"],
+                params["base_delay"] * params["multiplier"] ** (attempt - 1),
+            )
+            delay = policy.delay(attempt)
+            assert 0.0 <= delay <= ceiling + 1e-12
+            assert delay >= ceiling * (1.0 - params["jitter"]) - 1e-12
+
+    @given(params=policies, attempts=st.integers(1, 10))
+    def test_delay_sequence_reproducible_from_seed(self, params, attempts):
+        a = RetryPolicy(sleep=lambda _: None, **params)
+        b = RetryPolicy(sleep=lambda _: None, **params)
+        assert [a.delay(k) for k in range(1, attempts + 1)] == [
+            b.delay(k) for k in range(1, attempts + 1)
+        ]
+
+    @given(params=policies, n_failures=st.integers(0, 10))
+    def test_call_attempt_and_sleep_accounting(self, params, n_failures):
+        sleeps = []
+        policy = RetryPolicy(**{**params, "sleep": sleeps.append})
+        twin = RetryPolicy(sleep=lambda _: None, **params)
+        state = {"calls": 0}
+
+        def flaky():
+            state["calls"] += 1
+            if state["calls"] <= n_failures:
+                raise ValueError("injected")
+            return "ok"
+
+        if n_failures > params["max_retries"]:
+            try:
+                policy.call(flaky)
+                raise AssertionError("expected the last failure to re-raise")
+            except ValueError:
+                pass
+            expected_attempts = params["max_retries"] + 1
+            assert policy.n_giveups == 1
+        else:
+            assert policy.call(flaky) == "ok"
+            expected_attempts = n_failures + 1
+            assert policy.n_giveups == 0
+        assert state["calls"] == expected_attempts
+        assert policy.n_retries == expected_attempts - 1
+        # Every backoff slept is exactly the seeded schedule.
+        assert sleeps == [
+            twin.delay(k) for k in range(1, expected_attempts)
+        ]
+
+
+#: The only legal edges of the breaker state machine.
+_LEGAL_EDGES = {
+    ("closed", "open"),
+    ("open", "half_open"),
+    ("half_open", "closed"),
+    ("half_open", "open"),
+}
+
+breaker_ops = st.lists(
+    st.sampled_from(["fail", "success", "advance", "small_advance"]),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestCircuitBreakerProperties:
+    @given(
+        ops=breaker_ops,
+        threshold=st.integers(1, 5),
+        reset_timeout=st.floats(0.1, 10.0, allow_nan=False),
+    )
+    def test_state_machine_never_skips_a_state(
+        self, ops, threshold, reset_timeout
+    ):
+        clock = _Clock()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold,
+            reset_timeout=reset_timeout,
+            clock=clock,
+        )
+        for op in ops:
+            if op == "advance":
+                clock.t += reset_timeout
+            elif op == "small_advance":
+                clock.t += reset_timeout * 0.25
+            elif breaker.allow():
+                if op == "fail":
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+        path = ["closed"] + breaker.transitions
+        for src, dst in zip(path, path[1:]):
+            assert (src, dst) in _LEGAL_EDGES, breaker.transitions
+        # Every open in the history was counted.
+        assert breaker.n_opens == breaker.transitions.count("open")
+        assert breaker.state in ("closed", "open", "half_open")
+
+    @given(
+        ops=breaker_ops,
+        threshold=st.integers(1, 5),
+    )
+    def test_opens_only_after_threshold_consecutive_failures(
+        self, ops, threshold
+    ):
+        clock = _Clock()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold, reset_timeout=1e9, clock=clock
+        )
+        consecutive = 0
+        for op in ops:
+            if op in ("advance", "small_advance"):
+                continue
+            if not breaker.allow():
+                break
+            if op == "fail":
+                breaker.record_failure()
+                consecutive += 1
+                if consecutive < threshold:
+                    assert breaker.state == "closed"
+                else:
+                    assert breaker.state == "open"
+                    break
+            else:
+                breaker.record_success()
+                consecutive = 0
+                assert breaker.state == "closed"
+
+    @given(
+        threshold=st.integers(1, 4),
+        reset_timeout=st.floats(0.1, 10.0, allow_nan=False),
+        probe_succeeds=st.booleans(),
+        n_waiters=st.integers(1, 5),
+    )
+    def test_half_open_admits_exactly_one_probe(
+        self, threshold, reset_timeout, probe_succeeds, n_waiters
+    ):
+        clock = _Clock()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold,
+            reset_timeout=reset_timeout,
+            clock=clock,
+        )
+        for _ in range(threshold):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        # Before the cooldown elapses nothing is admitted.
+        rejected_before = breaker.n_rejections
+        assert not breaker.allow()
+        assert breaker.n_rejections == rejected_before + 1
+        clock.t += reset_timeout
+        # Exactly one probe gets through; concurrent callers are rejected.
+        assert breaker.allow()
+        for _ in range(n_waiters):
+            assert not breaker.allow()
+        if probe_succeeds:
+            breaker.record_success()
+            assert breaker.state == "closed"
+            assert breaker.allow()
+        else:
+            breaker.record_failure()
+            assert breaker.state == "open"
+            assert not breaker.allow()
+
+
+def test_circuit_open_error_is_exported():
+    assert issubclass(CircuitOpenError, RuntimeError)

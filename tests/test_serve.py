@@ -824,3 +824,74 @@ class TestErrorBreakdown:
             stats = server.stats()
         assert stats["errors"]["total"] == 0
         json.dumps(stats, default=float)
+
+
+class TestDrainDeadline:
+    def test_drain_deadline_fails_stuck_requests_explicitly(self):
+        from repro.serve import DrainTimeout
+
+        # A worker stuck far past the deadline: the neighbor-list build
+        # sleeps longer than stop() is willing to wait.
+        pot = SlowLJ(delay=1.5, epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2)
+        server = ForceServer(
+            pot, n_workers=1, max_batch=1, batch_wait=0.0, engine="eager"
+        )
+        futures = [server.submit(make_system(n=10, seed=k)) for k in range(3)]
+        t0 = time.monotonic()
+        server.stop(drain=True, timeout=0.1)
+        # Shutdown is bounded: nowhere near the 4.5s the backlog needs.
+        assert time.monotonic() - t0 < 1.4
+        for fut in futures:
+            assert fut.done(), "drain deadline must resolve every future"
+        n_drained = sum(
+            isinstance(f.exception(), DrainTimeout) for f in futures
+        )
+        assert n_drained >= 1
+        stats = server.stats()
+        assert stats["errors"]["drain_timeout"] == n_drained
+        counters = stats["counters"]
+        resolved = (
+            counters.get("requests_served", 0)
+            + counters.get("requests_failed", 0)
+            + counters.get("requests_timeout", 0)
+        )
+        # Accounting survives the abort: every admitted request resolved
+        # exactly once, even the one a stalled worker still held.
+        assert counters["requests_admitted"] == resolved == len(futures)
+
+    def test_late_worker_cannot_double_complete(self):
+        from repro.serve import DrainTimeout
+
+        pot = SlowLJ(delay=0.4, epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2)
+        server = ForceServer(
+            pot, n_workers=1, max_batch=1, batch_wait=0.0, engine="eager"
+        )
+        fut = server.submit(make_system(n=10, seed=0))
+        server.stop(drain=True, timeout=0.05)
+        assert isinstance(fut.exception(), DrainTimeout)
+        # Give the stalled worker time to wake up and try to finish the
+        # batch; the InvalidStateError-safe completion paths must neither
+        # crash nor double-count.
+        time.sleep(0.6)
+        counters = server.stats()["counters"]
+        assert counters["requests_admitted"] == 1
+        assert (
+            counters.get("requests_served", 0)
+            + counters.get("requests_failed", 0)
+            + counters.get("requests_timeout", 0)
+        ) == 1
+
+    def test_deadline_unlimited_when_none(self):
+        pot = SlowLJ(delay=0.05, epsilon=0.8, sigma=1.1, cutoff=3.0, n_species=2)
+        server = ForceServer(
+            pot,
+            n_workers=1,
+            max_batch=1,
+            batch_wait=0.0,
+            engine="eager",
+            drain_timeout=None,
+        )
+        futures = [server.submit(make_system(n=10, seed=k)) for k in range(3)]
+        server.stop(drain=True)  # waits out the slow model
+        assert all(f.exception() is None for f in futures)
+        assert server.stats()["counters"].get("requests_served", 0) == 3

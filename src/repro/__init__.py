@@ -29,7 +29,12 @@ data
 serve
     Batched force-evaluation service over the compiled engine: model
     registry, capacity-bucketed plan cache, micro-batching, worker pool
-    with backpressure, and serving metrics.
+    with backpressure, deadline-aware QoS with priority load shedding,
+    degraded-mode fallbacks, and serving metrics.
+health
+    The serving health state machine (``HEALTHY → DEGRADED → SHEDDING →
+    DRAINING``) with hysteresis thresholds and dwell times, driven by
+    obs signals and honored by serve admission and the tune controllers.
 obs
     Unified observability: the metrics registry (counters, gauges,
     histograms, labeled series), hierarchical span tracing with bounded
@@ -54,6 +59,7 @@ __all__ = [
     "perf",
     "data",
     "serve",
+    "health",
     "obs",
     "tune",
 ]

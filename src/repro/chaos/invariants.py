@@ -239,18 +239,117 @@ def _metrics_consistency(obs: dict) -> List[str]:
             m.get("requests_served", 0)
             + m.get("requests_failed", 0)
             + m.get("requests_timeout", 0)
+            + m.get("requests_expired", 0)
         )
         if admitted != resolved:
             out.append(
-                f"admitted ({admitted}) != served+failed+timeout ({resolved})"
+                f"admitted ({admitted}) != served+failed+timeout+expired "
+                f"({resolved})"
             )
-        if admitted != len(obs["outcomes"]):
-            out.append("admitted counter != submitted request count")
+        # The overload variant sheds some submissions at the door, so the
+        # admitted counter tracks its own tally rather than the request
+        # count; the plain burst admits everything.
+        expect = obs.get("n_admitted", len(obs["outcomes"]))
+        if admitted != expect:
+            out.append(
+                f"admitted counter ({admitted}) != admitted submissions "
+                f"({expect})"
+            )
     elif workload == "train":
         if counters.get("train.step_failures", 0) != plan.fired(
             TRAIN_STEP_FAILURE
         ):
             out.append("train.step_failures counter != injected step failures")
+    return out
+
+
+def _labeled_sum(counters: Dict, prefix: str) -> int:
+    """Sum a labeled counter family, e.g. ``serve.shed.load{class=...}``."""
+    return sum(
+        int(v) for k, v in counters.items() if k.startswith(prefix + "{")
+    )
+
+
+@invariant("serve_shed_typed", workloads=("serve",))
+def _serve_shed_typed(obs: dict) -> List[str]:
+    """Every shed or expired request got a typed error and was never evaluated.
+
+    Only the QoS overload variant records per-request ``qos`` dicts; the
+    checker also cross-foots the ``serve.shed.*`` counters against the
+    recorded outcomes — a shed the metrics missed (or vice versa) is a
+    violation."""
+    records = obs.get("qos")
+    if records is None:
+        return []
+    out = []
+    outcomes = obs["outcomes"]
+    for k, rec in enumerate(records):
+        status = rec.get("status")
+        if status in ("shed", "expired"):
+            if not rec.get("typed"):
+                out.append(
+                    f"request {k}: {status} with non-ServeError "
+                    f"{rec.get('error')}"
+                )
+            if outcomes[k][0] == "ok":
+                out.append(f"request {k}: {status} yet evaluated (leaked)")
+            if status == "expired" and rec.get("error") != "DeadlineExceeded":
+                out.append(
+                    f"request {k}: expired with {rec.get('error')} "
+                    "instead of DeadlineExceeded"
+                )
+        elif not rec.get("admitted"):
+            out.append(f"request {k}: rejected without a shed record")
+    counters = obs["metrics"].get("counters", obs["metrics"])
+    n_shed = sum(1 for r in records if r.get("status") == "shed")
+    n_expired = sum(1 for r in records if r.get("status") == "expired")
+    n_ok = sum(1 for r in records if r.get("status") == "ok")
+    if _labeled_sum(counters, "serve.shed.load") != n_shed:
+        out.append(
+            f"serve.shed.load counters sum to "
+            f"{_labeled_sum(counters, 'serve.shed.load')} but {n_shed} "
+            "requests were shed"
+        )
+    if _labeled_sum(counters, "serve.shed.deadline") != n_expired:
+        out.append(
+            f"serve.shed.deadline counters sum to "
+            f"{_labeled_sum(counters, 'serve.shed.deadline')} but "
+            f"{n_expired} requests expired"
+        )
+    if counters.get("requests_served", 0) != n_ok:
+        out.append(
+            f"requests_served ({counters.get('requests_served', 0)}) != "
+            f"ok outcomes ({n_ok})"
+        )
+    return out
+
+
+@invariant("serve_no_priority_inversion", workloads=("serve",))
+def _serve_no_priority_inversion(obs: dict) -> List[str]:
+    """No interactive request is shed while background work is queued.
+
+    Strict-priority admission must never sacrifice the top class for a
+    weaker one: an interactive shed with background requests pending at
+    that instant — or an admitted interactive request later evicted —
+    is a priority inversion."""
+    records = obs.get("qos")
+    if records is None:
+        return []
+    out = []
+    for k, rec in enumerate(records):
+        if rec.get("priority") != "interactive" or rec.get("status") != "shed":
+            continue
+        if rec.get("admitted"):
+            out.append(
+                f"request {k}: admitted interactive request was evicted "
+                "(inversion: only weaker classes may be displaced)"
+            )
+        elif rec.get("pending_background_at_submit", 0) > 0:
+            out.append(
+                f"request {k}: interactive shed while "
+                f"{rec['pending_background_at_submit']} background "
+                "request(s) were queued"
+            )
     return out
 
 

@@ -211,7 +211,18 @@ def sample_scenario(seed: int, workload: Optional[str] = None) -> ScenarioSpec:
         options = {"steps": 8, "n_ranks": 4}
     elif workload == "serve":
         channels = CHANNELS_BY_WORKLOAD["serve"]
-        options = {"n_requests": 12, "max_batch": 4}
+        # Two variants: the plain burst, and an overload burst (2× the
+        # queue bound, QoS enforced, mixed priorities, some requests
+        # pre-expired) that exercises shedding/deadline/health paths.
+        if rng.uniform() < 0.5:
+            options = {
+                "variant": "overload",
+                "n_requests": 16,
+                "max_batch": 2,
+                "max_queue": 6,
+            }
+        else:
+            options = {"n_requests": 12, "max_batch": 4}
     else:  # train
         pool = list(CHANNELS_BY_WORKLOAD["train"])
         m = 2 + int(rng.integers(2))

@@ -241,23 +241,8 @@ def run_parallel(spec: ScenarioSpec, workdir: Path, bug: Optional[str] = None) -
 # ---------------------------------------------------------------------------
 # serve
 # ---------------------------------------------------------------------------
-def run_serve(spec: ScenarioSpec, workdir: Path, bug: Optional[str] = None) -> Dict:
-    """A burst of ForceServer traffic under worker crash/stall faults.
-
-    Extra keys: ``outcomes`` (per request: ``("ok", energy, forces)`` or
-    ``("error", exc_type_name, is_serve_error)``), ``reference`` (direct
-    eager energy/forces per request), ``metrics`` (snapshot).
-    """
-    from ..serve import ForceServer, ServeError
-
-    if bug is not None:
-        raise ValueError(f"unknown planted bug {bug!r} for serve")
-    opts = spec.options
-    n_requests = int(opts.get("n_requests", 12))
-    max_batch = int(opts.get("max_batch", 4))
-
-    # Non-periodic LJ clusters of varying size — the mixed-size request
-    # stream the batching layer pads over.
+def _serve_systems(n_requests: int):
+    """Mixed-size non-periodic LJ clusters plus direct eager references."""
     lj = LennardJones(epsilon=0.05, sigma=1.5, cutoff=3.0)
     systems, reference = [], []
     for k in range(n_requests):
@@ -272,6 +257,37 @@ def run_serve(spec: ScenarioSpec, workdir: Path, bug: Optional[str] = None) -> D
         systems.append(system)
         e, f = lj.energy_and_forces(system)
         reference.append((float(e), np.array(f)))
+    return lj, systems, reference
+
+
+def run_serve(spec: ScenarioSpec, workdir: Path, bug: Optional[str] = None) -> Dict:
+    """ForceServer traffic under worker crash/stall faults.
+
+    Two variants (``options["variant"]``): the plain ``burst`` (default),
+    and ``overload`` — 2× more requests than the queue bound with QoS
+    enforced, mixed priority classes and some already-expired deadlines,
+    exercising shedding, deadline expiry and the health state machine.
+
+    Extra keys: ``outcomes`` (per request: ``("ok", energy, forces)`` or
+    ``("error", exc_type_name, is_serve_error)``), ``reference`` (direct
+    eager energy/forces per request), ``metrics`` (snapshot).  The
+    overload variant adds ``qos`` (per-request priority/status records),
+    ``n_admitted``, ``health_state`` and ``health_transitions``.
+    """
+    if bug is not None:
+        raise ValueError(f"unknown planted bug {bug!r} for serve")
+    if spec.options.get("variant", "burst") == "overload":
+        return _run_serve_overload(spec, workdir)
+    return _run_serve_burst(spec, workdir)
+
+
+def _run_serve_burst(spec: ScenarioSpec, workdir: Path) -> Dict:
+    from ..serve import ForceServer, ServeError
+
+    opts = spec.options
+    n_requests = int(opts.get("n_requests", 12))
+    max_batch = int(opts.get("max_batch", 4))
+    lj, systems, reference = _serve_systems(n_requests)
 
     plan = spec.fault_plan()
     metrics = Registry()
@@ -310,6 +326,131 @@ def run_serve(spec: ScenarioSpec, workdir: Path, bug: Optional[str] = None) -> D
         "outcomes": outcomes,
         "reference": reference,
         "metrics": metrics.snapshot(),
+    }
+
+
+#: Overload variant: priority class per request index (cycled) and which
+#: indices carry an already-expired deadline (0.0 s).
+_OVERLOAD_PRIORITIES = ("interactive", "batch", "background")
+
+
+def _run_serve_overload(spec: ScenarioSpec, workdir: Path) -> Dict:
+    from ..serve import (
+        DeadlineExceeded,
+        ForceServer,
+        HealthMonitor,
+        HealthThresholds,
+        LoadShed,
+        QoSPolicy,
+        ServeError,
+    )
+
+    opts = spec.options
+    n_requests = int(opts.get("n_requests", 16))
+    max_batch = int(opts.get("max_batch", 2))
+    max_queue = int(opts.get("max_queue", 6))
+    lj, systems, reference = _serve_systems(n_requests)
+
+    plan = spec.fault_plan()
+    metrics = Registry()
+    # Deterministic by construction: the server starts with no workers,
+    # so the whole admission sequence (class bounds, health transitions,
+    # evictions, pre-expired deadlines) is a pure function of the
+    # submission order; the p99 health signal stays disabled and the
+    # down-dwell is too long for wall-clock timing to move the machine.
+    qos = QoSPolicy()
+    health = HealthMonitor(
+        thresholds=HealthThresholds(queue_degraded=0.3, queue_shedding=0.65),
+        dwell_up=2,
+        dwell_down=10_000,
+    )
+    server = ForceServer(
+        lj,
+        n_workers=1,
+        max_batch=max_batch,
+        max_queue=max_queue,
+        batch_wait=1e-3,
+        engine="eager",
+        metrics=metrics,
+        retry_policy=RetryPolicy(
+            max_retries=2, base_delay=1e-4, max_delay=1e-3, seed=spec.seed
+        ),
+        fault_plan=plan,
+        stall_time=2e-3,
+        drain_timeout=30.0,
+        start=False,
+        qos=qos,
+        health=health,
+    )
+
+    server.start(workers=False)  # admit deterministically, workers later
+    futures: Dict[int, object] = {}
+    records = []
+    for k, system in enumerate(systems):
+        priority = _OVERLOAD_PRIORITIES[k % len(_OVERLOAD_PRIORITIES)]
+        # Every 5th-ish request arrives already expired (deadline 0):
+        # the deterministic seed set for the deadline-shed path.
+        deadline = 0.0 if k % 5 == 3 else None
+        pending = server.stats()["qos"]["pending_by_class"]
+        weaker = sum(
+            n for p, n in pending.items()
+            if _OVERLOAD_PRIORITIES.index(p) > _OVERLOAD_PRIORITIES.index(priority)
+        )
+        record = {
+            "priority": priority,
+            "deadline": deadline,
+            "pending_weaker_at_submit": weaker,
+            "pending_background_at_submit": pending.get("background", 0),
+        }
+        try:
+            futures[k] = server.submit(system, priority=priority, deadline=deadline)
+            record["admitted"] = True
+        except Exception as exc:
+            record["admitted"] = False
+            record["status"] = "shed"
+            record["error"] = type(exc).__name__
+            record["typed"] = isinstance(exc, ServeError)
+        records.append(record)
+
+    server.start()
+    outcomes = []
+    for k in range(n_requests):
+        fut = futures.get(k)
+        record = records[k]
+        if fut is None:
+            outcomes.append(("error", record["error"], record["typed"]))
+            continue
+        try:
+            e, f = fut.result(timeout=60.0)
+            outcomes.append(("ok", float(e), np.array(f)))
+            record["status"] = "ok"
+            record["error"] = None
+        except Exception as exc:
+            outcomes.append(
+                ("error", type(exc).__name__, isinstance(exc, ServeError))
+            )
+            if isinstance(exc, DeadlineExceeded):
+                record["status"] = "expired"
+            elif isinstance(exc, LoadShed):
+                record["status"] = "shed"
+            else:
+                record["status"] = "error"
+            record["error"] = type(exc).__name__
+            record["typed"] = isinstance(exc, ServeError)
+    health_state = server.health.state
+    health_transitions = len(server.health.history())
+    server.stop(drain=True)
+
+    return {
+        "plan": plan,
+        "registry": metrics,
+        "outcomes": outcomes,
+        "reference": reference,
+        "metrics": metrics.snapshot(),
+        "qos": records,
+        "n_admitted": sum(1 for r in records if r["admitted"]),
+        "health_state": health_state,
+        "health_transitions": health_transitions,
     }
 
 

@@ -113,10 +113,26 @@ EXAMPLE_SERVE_CONFIG = {
         "batch_wait": 0.002,
         "adaptive": True,
         "engine": "compiled",
+        "qos": {
+            "weights": {"interactive": 4, "batch": 2, "background": 1},
+            "queue_bounds": {"batch": 64, "background": 16},
+            "shed_admit_priority": "interactive",
+            "default_priority": "batch",
+            "deadlines": {"interactive": 0.25},
+            "health": {
+                "queue_degraded": 0.75,
+                "queue_shedding": 0.95,
+                "hysteresis": 0.6,
+                "dwell_up": 3,
+                "dwell_down": 12,
+            },
+        },
     },
     "workload": {
         "n_requests": 32,
         "seed": 0,
+        "priority": None,
+        "deadline_s": None,
         "systems": [
             {"kind": "molecule", "n_heavy": 3},
             {"kind": "molecule", "n_heavy": 4},
@@ -551,7 +567,8 @@ def serve_config(config: dict, quiet: bool = False, stats_json=None) -> dict:
     """
     import time as _time
 
-    from .serve import Client, ForceServer
+    from .health import health_from_config
+    from .serve import Client, ForceServer, qos_from_config
 
     def log(msg: str) -> None:
         if not quiet:
@@ -560,6 +577,14 @@ def serve_config(config: dict, quiet: bool = False, stats_json=None) -> dict:
     potential = build_potential(config["potential"])
     serve = config.get("serve", {})
     workload = config.get("workload", {})
+    # Validated QoS section: class weights, queue bounds and health
+    # thresholds all fail loudly on typos (see qos_from_config).
+    qos = health = None
+    if serve.get("qos"):
+        qos_cfg = dict(serve["qos"])
+        qos = qos_from_config(qos_cfg)
+        if qos_cfg.get("health"):
+            health = health_from_config(qos_cfg["health"])
     specs = workload.get("systems") or [{"kind": "molecule", "n_heavy": 4}]
     n_requests = int(workload.get("n_requests", 32))
     seed = int(workload.get("seed", 0))
@@ -587,9 +612,15 @@ def serve_config(config: dict, quiet: bool = False, stats_json=None) -> dict:
         plan_cache_opts=plan_cache_opts,
         engine=serve.get("engine", "compiled"),
         default_timeout=serve.get("timeout"),
+        qos=qos,
+        health=health,
     )
     with server:
-        client = Client(server)
+        client = Client(
+            server,
+            priority=workload.get("priority"),
+            deadline=workload.get("deadline_s"),
+        )
         log(
             f"serving {n_requests} requests "
             f"({min(s.n_atoms for s in systems)}-{max(s.n_atoms for s in systems)}"
@@ -611,6 +642,14 @@ def serve_config(config: dict, quiet: bool = False, stats_json=None) -> dict:
         f"batches: {stats['counters'].get('batches', 0)} "
         f"(mean occupancy {stats['batcher']['mean_occupancy']:.1f}); "
         f"plan replay rate {stats['replay_rate']:.1%}"
+    )
+    errors = stats.get("errors", {})
+    log(
+        f"health: {stats['health']['state']} "
+        f"({stats['health']['transitions']} transitions); "
+        f"qos {'enforced' if stats['qos']['enforced'] else 'observe-only'}; "
+        f"shed {errors.get('shed', 0)}, deadline-expired "
+        f"{stats['counters'].get('requests_expired', 0)}"
     )
     stats["requests_per_second"] = n_requests / elapsed
     if stats_json is not None:

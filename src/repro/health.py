@@ -1,0 +1,326 @@
+"""Server health state machine with hysteresis and dwell times.
+
+``HealthMonitor`` condenses the observability signals the serving stack
+already exports — queue depth, p99 latency, circuit-breaker state,
+watchdog recoveries — into one four-state machine::
+
+    HEALTHY ──▶ DEGRADED ──▶ SHEDDING ──▶ DRAINING
+       ◀──────    ◀──────       (drain is terminal)
+
+* ``HEALTHY``  — normal serving.
+* ``DEGRADED`` — pressure building: the server switches models to their
+  registered fallback chain (compiled→eager or a cheaper model) and the
+  tune controllers freeze (no knob experiments while stressed).
+* ``SHEDDING`` — overload: only the strongest priority class is
+  admitted; everything else sheds with a typed ``LoadShed``.
+* ``DRAINING`` — shutdown in progress: no admission at all.
+
+Two mechanisms keep the machine from flapping:
+
+* **Hysteresis** — the threshold to *leave* an elevated state is the
+  entry threshold scaled by ``hysteresis`` (< 1), so a signal hovering
+  at the entry threshold does not oscillate.
+* **Dwell times** — a transition needs ``dwell_up`` (or ``dwell_down``)
+  *consecutive* ticks agreeing on the direction before it happens, and
+  the machine always moves one state at a time — it never skips.
+
+The monitor is passive: someone (the server, a test) calls
+:meth:`tick` with a signal snapshot; the monitor never samples clocks
+itself, which is what keeps chaos-scenario health trajectories
+byte-deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "HEALTH_STATES",
+    "HealthThresholds",
+    "HealthMonitor",
+    "health_from_config",
+]
+
+#: States weakest-condition first; the tuple index is the severity level.
+HEALTH_STATES = ("HEALTHY", "DEGRADED", "SHEDDING", "DRAINING")
+
+_STATE_LEVELS: Dict[str, int] = {s: i for i, s in enumerate(HEALTH_STATES)}
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Entry thresholds for the elevated states.
+
+    ``queue_*`` thresholds are fractions of the server's ``max_queue``;
+    ``p99_*`` thresholds are seconds against the latency histogram's p99
+    and are disabled (``None``) by default — wall-clock-driven
+    transitions would break chaos-report determinism, so scenarios only
+    enable the queue signals.
+
+    The *exit* threshold for each state is the entry threshold times
+    ``hysteresis`` (0 < h < 1): a signal must drop clearly below where
+    it entered before the machine steps back down.
+    """
+
+    queue_degraded: float = 0.75
+    queue_shedding: float = 0.95
+    p99_degraded_s: Optional[float] = None
+    p99_shedding_s: Optional[float] = None
+    hysteresis: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.hysteresis < 1.0):
+            raise ValueError("hysteresis must be in (0, 1)")
+        if not (0.0 < self.queue_degraded <= self.queue_shedding):
+            raise ValueError(
+                "require 0 < queue_degraded <= queue_shedding, got "
+                f"{self.queue_degraded} / {self.queue_shedding}"
+            )
+        if (self.p99_degraded_s is None) != (self.p99_shedding_s is None):
+            raise ValueError("set both p99 thresholds or neither")
+        if self.p99_degraded_s is not None:
+            if not (0.0 < self.p99_degraded_s <= self.p99_shedding_s):
+                raise ValueError(
+                    "require 0 < p99_degraded_s <= p99_shedding_s"
+                )
+
+    def desired_level(self, signals: Mapping, scale: float = 1.0) -> int:
+        """Severity level the raw signals ask for, thresholds scaled.
+
+        ``scale=1.0`` gives entry thresholds; ``scale=hysteresis`` gives
+        the (lower) exit thresholds.  A tripped circuit breaker or a
+        fresh watchdog recovery floors the level at DEGRADED: the server
+        is demonstrably struggling even if the queue looks fine.
+        """
+        level = 0
+        q = float(signals.get("queue_frac", 0.0))
+        if q >= self.queue_shedding * scale:
+            level = max(level, 2)
+        elif q >= self.queue_degraded * scale:
+            level = max(level, 1)
+        if self.p99_degraded_s is not None:
+            p99 = signals.get("p99_s")
+            if p99 is not None:
+                if p99 >= self.p99_shedding_s * scale:
+                    level = max(level, 2)
+                elif p99 >= self.p99_degraded_s * scale:
+                    level = max(level, 1)
+        if signals.get("breaker_open") or signals.get("recoveries"):
+            level = max(level, 1)
+        return level
+
+
+class HealthMonitor:
+    """Dwell-and-hysteresis state machine over server health signals.
+
+    Parameters
+    ----------
+    thresholds:
+        Entry/exit thresholds (see :class:`HealthThresholds`).
+    dwell_up / dwell_down:
+        Consecutive ticks a worsening (improving) signal must persist
+        before the machine steps one state up (down).  Recovery is
+        deliberately slower than degradation by default.
+    history:
+        Bounded count of retained ``(tick, from, to)`` transitions.
+    """
+
+    def __init__(
+        self,
+        thresholds: Optional[HealthThresholds] = None,
+        dwell_up: int = 3,
+        dwell_down: int = 12,
+        history: int = 128,
+    ) -> None:
+        if dwell_up < 1 or dwell_down < 1:
+            raise ValueError("dwell_up and dwell_down must be >= 1")
+        self.thresholds = thresholds or HealthThresholds()
+        self.dwell_up = int(dwell_up)
+        self.dwell_down = int(dwell_down)
+        self._history_bound = int(history)
+        self._lock = threading.Lock()
+        self._level = 0
+        self._ticks = 0
+        self._up_streak = 0
+        self._down_streak = 0
+        self._draining = False
+        self._recoveries_pending = 0
+        self._history: List[Tuple[int, str, str]] = []
+        self._registry = None
+        self._source: Optional[Callable[[], Mapping]] = None
+        #: Optional callback ``(old_state, new_state)`` fired outside the
+        #: monitor lock after every transition.
+        self.on_transition: Optional[Callable[[str, str], None]] = None
+
+    # -- wiring ---------------------------------------------------------------
+    def bind(self, registry) -> "HealthMonitor":
+        """Export state to an obs registry (``health.state`` gauge, levels
+        0–3, plus a ``health.transitions`` counter labelled by edge)."""
+        self._registry = registry
+        registry.gauge("health.state").set(self._level)
+        return self
+
+    def attach(self, source: Callable[[], Mapping]) -> "HealthMonitor":
+        """Signal source polled when :meth:`tick` is called without one."""
+        self._source = source
+        return self
+
+    def notify_recovery(self) -> None:
+        """Record a watchdog recovery; floors the next tick at DEGRADED."""
+        with self._lock:
+            self._recoveries_pending += 1
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return HEALTH_STATES[self._level]
+
+    @property
+    def level(self) -> int:
+        """Numeric severity (0 = HEALTHY … 3 = DRAINING)."""
+        return self._level
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def history(self) -> List[Tuple[int, str, str]]:
+        """Recorded transitions as ``(tick, from_state, to_state)``."""
+        with self._lock:
+            return list(self._history)
+
+    # -- transitions ----------------------------------------------------------
+    def tick(self, signals: Optional[Mapping] = None) -> str:
+        """Advance the machine one observation; returns the new state.
+
+        ``signals`` maps ``queue_frac`` (pending / max_queue), optional
+        ``p99_s``, ``breaker_open`` (bool) and ``recoveries`` (count
+        since last tick).  When omitted, the attached source is polled.
+        """
+        if signals is None:
+            signals = self._source() if self._source is not None else {}
+        callbacks: List[Tuple[str, str]] = []
+        with self._lock:
+            self._ticks += 1
+            if self._recoveries_pending:
+                signals = dict(signals)
+                signals["recoveries"] = (
+                    signals.get("recoveries", 0) + self._recoveries_pending
+                )
+                self._recoveries_pending = 0
+            if self._draining:
+                new_level = self._level  # terminal; begin_drain() moved us
+            else:
+                th = self.thresholds
+                enter = th.desired_level(signals, scale=1.0)
+                stay = th.desired_level(signals, scale=th.hysteresis)
+                if enter > self._level:
+                    self._up_streak += 1
+                    self._down_streak = 0
+                    if self._up_streak >= self.dwell_up:
+                        self._record(self._level + 1, callbacks)
+                        self._up_streak = 0
+                elif stay < self._level:
+                    self._down_streak += 1
+                    self._up_streak = 0
+                    if self._down_streak >= self.dwell_down:
+                        self._record(self._level - 1, callbacks)
+                        self._down_streak = 0
+                else:
+                    # Hysteresis band: the signal neither clears the next
+                    # entry threshold nor drops below the exit one.
+                    self._up_streak = 0
+                    self._down_streak = 0
+                new_level = self._level
+            state = HEALTH_STATES[new_level]
+        self._fire(callbacks)
+        return state
+
+    def begin_drain(self) -> str:
+        """Force the machine to DRAINING, stepping through every
+        intermediate state (each adjacent transition is recorded)."""
+        callbacks: List[Tuple[str, str]] = []
+        with self._lock:
+            self._draining = True
+            while self._level < _STATE_LEVELS["DRAINING"]:
+                self._record(self._level + 1, callbacks)
+        self._fire(callbacks)
+        return self.state
+
+    def _record(self, new_level: int, callbacks: List[Tuple[str, str]]) -> None:
+        """Move to an *adjacent* level, appending history/metrics/callbacks.
+
+        Callers hold the lock; callbacks collected here are fired by the
+        caller after release.
+        """
+        if abs(new_level - self._level) != 1:
+            raise AssertionError("health transitions must be adjacent")
+        old = HEALTH_STATES[self._level]
+        new = HEALTH_STATES[new_level]
+        self._level = new_level
+        self._history.append((self._ticks, old, new))
+        if len(self._history) > self._history_bound:
+            del self._history[: len(self._history) - self._history_bound]
+        if self._registry is not None:
+            self._registry.gauge("health.state").set(new_level)
+            self._registry.counter("health.transitions").inc()
+            self._registry.counter(
+                "health.transitions", {"from": old, "to": new}
+            ).inc()
+        callbacks.append((old, new))
+
+    def _fire(self, callbacks: List[Tuple[str, str]]) -> None:
+        if self.on_transition is None:
+            return
+        for old, new in callbacks:
+            self.on_transition(old, new)
+
+    def stats(self) -> dict:
+        """State, level, tick count and recent transitions."""
+        with self._lock:
+            return {
+                "state": HEALTH_STATES[self._level],
+                "level": self._level,
+                "ticks": self._ticks,
+                "draining": self._draining,
+                "transitions": len(self._history),
+                "history": [
+                    {"tick": t, "from": a, "to": b}
+                    for t, a, b in self._history[-16:]
+                ],
+            }
+
+
+def health_from_config(cfg: Mapping) -> HealthMonitor:
+    """Build a validated :class:`HealthMonitor` from a JSON config mapping.
+
+    Recognized keys: ``queue_degraded``, ``queue_shedding``,
+    ``p99_degraded_s``, ``p99_shedding_s``, ``hysteresis``, ``dwell_up``,
+    ``dwell_down``.  Unknown keys raise ``ValueError``.
+    """
+    known = {
+        "queue_degraded", "queue_shedding", "p99_degraded_s",
+        "p99_shedding_s", "hysteresis", "dwell_up", "dwell_down",
+    }
+    unknown = set(cfg) - known
+    if unknown:
+        raise ValueError(
+            f"unknown health config keys: {sorted(unknown)} "
+            f"(expected {sorted(known)})"
+        )
+    th_kwargs = {}
+    for key in (
+        "queue_degraded", "queue_shedding", "hysteresis",
+    ):
+        if key in cfg:
+            th_kwargs[key] = float(cfg[key])
+    for key in ("p99_degraded_s", "p99_shedding_s"):
+        if key in cfg and cfg[key] is not None:
+            th_kwargs[key] = float(cfg[key])
+    mon_kwargs = {}
+    for key in ("dwell_up", "dwell_down"):
+        if key in cfg:
+            mon_kwargs[key] = int(cfg[key])
+    return HealthMonitor(thresholds=HealthThresholds(**th_kwargs), **mon_kwargs)

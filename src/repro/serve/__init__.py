@@ -19,31 +19,50 @@ inference for deep equivariant potentials):
   with shed-on-overload, per-request timeouts, graceful drain, and a
   :class:`Metrics` registry (counters, latency/queue/occupancy
   histograms, capture-vs-replay rates, JSON export).
+* :class:`QoSPolicy` / :class:`~repro.health.HealthMonitor` — graceful
+  degradation under overload: per-request deadlines
+  (:class:`DeadlineExceeded`), priority classes with
+  lowest-class-first shedding (:class:`LoadShed`), a
+  ``HEALTHY → DEGRADED → SHEDDING → DRAINING`` health state machine,
+  and per-model degraded fallback chains (``degraded=True`` stamped on
+  :class:`ServeResult`).
 
 Quickstart::
 
-    from repro.serve import ForceServer, Client
+    from repro.serve import ForceServer, Client, QoSPolicy
 
-    with ForceServer(model, n_workers=2, max_batch=8) as server:
-        client = Client(server)
+    with ForceServer(model, n_workers=2, max_batch=8, qos=QoSPolicy()) as server:
+        client = Client(server, priority="interactive", deadline=0.05)
         energy, forces = client.evaluate(system)
         results = client.evaluate_many(systems)   # coalesced into batches
-        print(server.stats()["replay_rate"])
+        print(server.stats()["replay_rate"], server.stats()["health"]["state"])
 """
 
+from ..health import HEALTH_STATES, HealthMonitor, HealthThresholds
 from .batching import ForceRequest, MicroBatcher, concatenate_structures
 from .metrics import Counter, Gauge, Histogram, Metrics, Registry
 from .plancache import PlanCache, SizeClasses
-from .registry import ModelEntry, ModelRegistry, UnknownModelError
+from .qos import (
+    DEFAULT_PRIORITY,
+    PRIORITIES,
+    QoSPolicy,
+    ServeResult,
+    priority_level,
+    qos_from_config,
+)
+from .registry import EAGER_FALLBACK, ModelEntry, ModelRegistry, UnknownModelError
 from .server import (
     CircuitOpen,
     Client,
+    DeadlineExceeded,
     DrainTimeout,
     ForceServer,
+    LoadShed,
     ModelFailure,
     RequestTimeout,
     ServeError,
     ServerOverloaded,
+    ServerStopped,
     WorkerCrash,
 )
 
@@ -51,23 +70,36 @@ __all__ = [
     "CircuitOpen",
     "Client",
     "Counter",
+    "DEFAULT_PRIORITY",
+    "DeadlineExceeded",
     "DrainTimeout",
+    "EAGER_FALLBACK",
     "ForceRequest",
     "ForceServer",
     "Gauge",
+    "HEALTH_STATES",
+    "HealthMonitor",
+    "HealthThresholds",
     "Histogram",
+    "LoadShed",
     "Metrics",
     "MicroBatcher",
     "ModelEntry",
     "ModelFailure",
     "ModelRegistry",
+    "PRIORITIES",
     "PlanCache",
+    "QoSPolicy",
     "Registry",
     "RequestTimeout",
     "ServeError",
+    "ServeResult",
     "ServerOverloaded",
+    "ServerStopped",
     "SizeClasses",
     "UnknownModelError",
     "WorkerCrash",
     "concatenate_structures",
+    "priority_level",
+    "qos_from_config",
 ]

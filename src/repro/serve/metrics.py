@@ -17,6 +17,11 @@ from ..obs.metrics import (  # noqa: F401
     Registry,
     labeled_name,
 )
+# QoS metric names: sheds are counted per priority class under
+# ``serve.shed.load{class=...}`` / ``serve.shed.deadline{class=...}``,
+# degraded serves under ``serve.degraded``, and the health state machine
+# exports the ``health.state`` gauge (0=HEALTHY … 3=DRAINING).
+from .qos import DEGRADED_SERVED, SHED_DEADLINE, SHED_LOAD  # noqa: F401
 
 __all__ = [
     "Counter",
@@ -27,4 +32,7 @@ __all__ = [
     "LATENCY_BUCKETS",
     "OCCUPANCY_BUCKETS",
     "labeled_name",
+    "SHED_LOAD",
+    "SHED_DEADLINE",
+    "DEGRADED_SERVED",
 ]

@@ -26,18 +26,24 @@ from typing import Dict, List, Optional
 from ..resilience.retry import CircuitBreaker
 from .plancache import PlanCache
 
-__all__ = ["ModelRegistry", "ModelEntry", "UnknownModelError"]
+__all__ = ["ModelRegistry", "ModelEntry", "UnknownModelError", "EAGER_FALLBACK"]
 
 
 class UnknownModelError(KeyError):
     """Raised when a request names a model the registry does not hold."""
 
 
+#: Fallback sentinel: serve the *same* model through the eager engine
+#: (no plan capture, no compiled state) when degraded.
+EAGER_FALLBACK = "eager"
+
+
 class ModelEntry:
     """One registered (name, version) with its lazily built plan cache."""
 
     __slots__ = (
-        "name", "version", "potential", "plan_cache", "breaker", "_cache_opts"
+        "name", "version", "potential", "plan_cache", "breaker",
+        "fallback", "_cache_opts",
     )
 
     def __init__(
@@ -47,6 +53,7 @@ class ModelEntry:
         potential,
         cache_opts: dict,
         breaker_opts: Optional[dict] = None,
+        fallback: Optional[str] = None,
     ) -> None:
         self.name = name
         self.version = version
@@ -55,6 +62,9 @@ class ModelEntry:
         # Per-model circuit breaker: one misbehaving model must not take
         # down requests against the healthy ones it shares a server with.
         self.breaker = CircuitBreaker(**(breaker_opts or {}))
+        # Degraded-mode fallback: another model key, EAGER_FALLBACK, or
+        # None (no fallback; the primary serves even when degraded).
+        self.fallback = fallback
         self._cache_opts = cache_opts
 
     @property
@@ -109,14 +119,22 @@ class ModelRegistry:
         self._default: Optional[str] = None
         self.n_evictions = 0
 
-    def register(self, name: str, potential, version: str = "v1") -> ModelEntry:
-        """Register (or replace) ``name:version``; first model is the default."""
+    def register(
+        self, name: str, potential, version: str = "v1",
+        fallback: Optional[str] = None,
+    ) -> ModelEntry:
+        """Register (or replace) ``name:version``; first model is the default.
+
+        ``fallback`` names the degraded-mode substitute: another model
+        key (possibly registered later), or ``"eager"`` to serve this
+        model through the eager engine while degraded.
+        """
         if ":" in name:
             raise ValueError("model name must not contain ':'")
         with self._lock:
             entry = ModelEntry(
                 name, str(version), potential, self._cache_opts,
-                breaker_opts=self._breaker_opts,
+                breaker_opts=self._breaker_opts, fallback=fallback,
             )
             self._entries[entry.key] = entry
             self._latest[name] = entry.version
@@ -176,10 +194,55 @@ class ModelRegistry:
             entry.invalidate()
             self._hot.pop(entry.key, None)
 
+    def set_fallback(self, key: Optional[str], fallback: Optional[str]) -> None:
+        """Set (or clear) a model's degraded-mode fallback target."""
+        if fallback is not None and fallback != EAGER_FALLBACK:
+            # Validate eagerly when the target already exists; targets
+            # registered later are re-checked at resolve time.
+            if ":" in fallback or fallback in self._latest:
+                self.resolve_key(fallback)
+        with self._lock:
+            self._entries[self.resolve_key(key)].fallback = fallback
+
+    def resolve_degraded(self, key: Optional[str]):
+        """Degraded-serving target for ``key``: ``(entry, eager)``.
+
+        Follows the fallback chain from the entry for ``key`` to its
+        end.  ``eager`` is True when the chain ends in the ``"eager"``
+        sentinel (same model, eager engine).  Chains are cycle-safe; an
+        unresolvable link stops at the last resolvable entry rather than
+        failing the request — degraded mode must never be the reason a
+        request dies.
+        """
+        with self._lock:
+            entry = self._entries[self.resolve_key(key)]
+            seen = {entry.key}
+            while entry.fallback is not None:
+                if entry.fallback == EAGER_FALLBACK:
+                    return entry, True
+                try:
+                    nxt = self._entries[self.resolve_key(entry.fallback)]
+                except UnknownModelError:
+                    break
+                if nxt.key in seen:
+                    break
+                seen.add(nxt.key)
+                entry = nxt
+            return entry, False
+
     def breaker(self, key: Optional[str] = None) -> CircuitBreaker:
         """The circuit breaker guarding ``key`` (no LRU touch)."""
         with self._lock:
             return self._entries[self.resolve_key(key)].breaker
+
+    def any_breaker_open(self) -> bool:
+        """Whether any registered model's circuit breaker is open.
+
+        Cheap enough for the health monitor to poll per tick (no plan
+        cache stats, no LRU touches).
+        """
+        with self._lock:
+            return any(e.breaker.state == "open" for e in self._entries.values())
 
     def names(self) -> List[str]:
         """Registered model names (without versions)."""
@@ -211,5 +274,10 @@ class ModelRegistry:
         with self._lock:
             out["breakers"] = {
                 e.key: e.breaker.state for e in self._entries.values()
+            }
+            out["fallbacks"] = {
+                e.key: e.fallback
+                for e in self._entries.values()
+                if e.fallback is not None
             }
         return out

@@ -34,6 +34,18 @@ Guarantees:
   circuit breaker so one broken model cannot monopolize the workers
   (requests against it shed immediately with :class:`CircuitOpen` until
   a half-open probe succeeds).
+* **Graceful degradation** — with a :class:`~repro.serve.qos.QoSPolicy`
+  (or explicit :class:`~repro.health.HealthMonitor`) the server enforces
+  deadline-aware QoS: per-request end-to-end deadlines shed expired work
+  *before* any force call (:class:`DeadlineExceeded`), priority classes
+  (``interactive``/``batch``/``background``) shed lowest-class-first
+  under pressure (:class:`LoadShed`), and the health state machine
+  (``HEALTHY → DEGRADED → SHEDDING → DRAINING``) switches models to
+  their registered fallback chain while ``DEGRADED`` (results carry
+  ``degraded=True``), admits only the strongest class while
+  ``SHEDDING``, and freezes the tune controllers whenever not
+  ``HEALTHY``.  Without a policy the monitor still observes and exports
+  ``health.state`` but never sheds — existing behavior is unchanged.
 """
 
 from __future__ import annotations
@@ -46,11 +58,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import autodiff as ad
+from ..health import HealthMonitor
 from ..md.neighborlist import neighbor_list
 from ..obs import OCCUPANCY_BUCKETS, Metrics, span
 from ..resilience.guards import NumericalInstabilityError, validate_energy_forces
 from ..resilience.retry import RetryPolicy
 from .batching import ForceRequest, MicroBatcher, concatenate_structures
+from .qos import (
+    DEFAULT_PRIORITY,
+    DEGRADED_SERVED,
+    SHED_DEADLINE,
+    SHED_LOAD,
+    PRIORITIES,
+    QoSPolicy,
+    ServeResult,
+    priority_level,
+)
 from .registry import ModelRegistry
 
 __all__ = [
@@ -63,6 +86,9 @@ __all__ = [
     "CircuitOpen",
     "WorkerCrash",
     "DrainTimeout",
+    "LoadShed",
+    "DeadlineExceeded",
+    "ServerStopped",
 ]
 
 
@@ -74,8 +100,26 @@ class ServerOverloaded(ServeError):
     """Admission rejected: the bounded request queue is full (shed)."""
 
 
+class LoadShed(ServerOverloaded):
+    """QoS shed: dropped by priority/health admission policy (class ``shed``).
+
+    Subclasses :class:`ServerOverloaded` so callers handling the legacy
+    queue-full error transparently handle policy sheds too.
+    """
+
+
 class RequestTimeout(ServeError):
     """The request waited in queue past its deadline and was dropped."""
+
+
+class DeadlineExceeded(ServeError):
+    """The request's end-to-end deadline passed before evaluation
+    (error class ``deadline``); it was shed without a force call."""
+
+
+class ServerStopped(ServeError):
+    """Submission after ``stop()``: the server no longer accepts work
+    (error class ``shutdown``)."""
 
 
 class ModelFailure(ServeError):
@@ -135,7 +179,20 @@ class ForceServer:
     controllers:
         Optional :class:`~repro.tune.ControllerSet` (off by default).
         Bound to this server's metrics registry and ticked after each
-        processed batch.
+        processed batch.  Frozen (via ``notify_health``) whenever the
+        health monitor reports a non-``HEALTHY`` state.
+    qos:
+        Optional :class:`~repro.serve.qos.QoSPolicy`.  Passing one turns
+        on QoS *enforcement*: per-class queue bounds, lowest-class-first
+        shedding under pressure, health-gated admission and degraded
+        fallbacks.  Without it priorities/deadlines are still accepted
+        and deadline expiry still sheds (an expired request is useless
+        work), but class bounds and health states never reject anything.
+    health:
+        Optional :class:`~repro.health.HealthMonitor`.  One is always
+        created (observe-only unless ``qos``/``health`` was passed);
+        pass your own to pick thresholds and dwell times.  Exported
+        under ``stats()["health"]`` and the ``health.state`` gauge.
     engine:
         ``"compiled"`` (plan-cache replay, the production path) or
         ``"eager"`` (tape per batch; the baseline the benchmarks compare
@@ -177,6 +234,8 @@ class ForceServer:
         adaptive: bool = True,
         plan_cache_opts: Optional[dict] = None,
         controllers=None,
+        qos: Optional[QoSPolicy] = None,
+        health: Optional[HealthMonitor] = None,
     ) -> None:
         if engine not in ("compiled", "eager"):
             raise ValueError(f"unknown engine {engine!r} (compiled|eager)")
@@ -202,9 +261,28 @@ class ForceServer:
         self._batcher = MicroBatcher(
             max_batch=max_batch, max_wait=batch_wait, adaptive=adaptive
         )
+        self._batcher.on_expire = self._expire_requests
         self.controllers = controllers
         if controllers is not None:
             controllers.bind(self.metrics)
+        # QoS enforcement is opt-in: passing a policy (or an explicit
+        # monitor) turns on priority shedding, health-gated admission and
+        # degraded fallbacks.  Without either, the monitor still observes
+        # and exports state, but admission behaves exactly as before.
+        self.qos = qos
+        self._enforce_qos = qos is not None or health is not None
+        self._class_bounds = (
+            qos.bounds_for(max_queue)
+            if qos is not None
+            else {p: int(max_queue) for p in PRIORITIES}
+        )
+        self.health = health if health is not None else HealthMonitor()
+        self.health.attach(self._health_signals)
+        self.health.bind(self.metrics)
+        self.health.on_transition = self._on_health_transition
+        # EWMA of batch evaluation seconds: the feasibility check sheds a
+        # deadline request whose remaining budget cannot cover one eval.
+        self._eval_ewma: Optional[float] = None
         self._lock = threading.Lock()
         self._done_cv = threading.Condition(self._lock)
         self._accepting = False
@@ -219,14 +297,20 @@ class ForceServer:
             self.start()
 
     # -- lifecycle ------------------------------------------------------------
-    def start(self) -> "ForceServer":
-        """Spawn the worker pool and open admission (idempotent)."""
+    def start(self, workers: bool = True) -> "ForceServer":
+        """Spawn the worker pool and open admission (idempotent).
+
+        ``workers=False`` opens admission *without* spawning the pool —
+        requests queue (and the QoS admission path runs) until a later
+        ``start()`` brings up the workers.  Tests and the chaos harness
+        use this to drive a deterministic admission sequence.
+        """
         with self._lock:
             if self._closed:
                 raise ServeError("server already stopped")
-            if self._workers:
-                return self
             self._accepting = True
+            if not workers or self._workers:
+                return self
             for k in range(self._n_workers):
                 t = threading.Thread(
                     target=self._worker_loop, name=f"force-worker-{k}", daemon=True
@@ -270,6 +354,10 @@ class ForceServer:
             self._accepting = False
             if not drain:
                 self._aborting = True
+        # Shutdown is a health state, not just a flag: the monitor walks
+        # to DRAINING (recording each intermediate transition) so stats
+        # and the gauge show the terminal state.
+        self.health.begin_drain()
         drained = True
         if drain:
             if timeout is None:
@@ -321,33 +409,88 @@ class ForceServer:
         self.stop(drain=exc_type is None)
 
     # -- request side ---------------------------------------------------------
+    def _shed_counter(self, name: str, priority: str) -> None:
+        self.metrics.counter(name, {"class": priority}).inc()
+
     def submit(
         self,
         system,
         model: Optional[str] = None,
         nl=None,
         timeout: Optional[float] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> Future:
         """Queue one structure; returns a Future of ``(energy, forces)``.
 
-        Raises :class:`ServerOverloaded` when the queue is full and
-        :class:`~repro.serve.registry.UnknownModelError` for unknown model
-        keys — both synchronously, so callers can react without touching
-        the future.
+        ``priority`` names a QoS class (``interactive``/``batch``/
+        ``background``; default ``batch`` or the policy's default);
+        ``deadline`` is an end-to-end budget in seconds — past it the
+        request is shed before evaluation with
+        :class:`DeadlineExceeded`.  ``timeout`` remains the legacy
+        queue-wait budget (:class:`RequestTimeout` at pickup).
+
+        Raises :class:`ServerOverloaded` (or its subclass
+        :class:`LoadShed` for policy sheds) when admission rejects,
+        :class:`ServerStopped` after ``stop()``, and
+        :class:`~repro.serve.registry.UnknownModelError` for unknown
+        model keys — all synchronously, so callers can react without
+        touching the future.
         """
         key = self.registry.resolve_key(model)
+        if priority is None:
+            priority = (
+                self.qos.default_priority if self.qos is not None
+                else DEFAULT_PRIORITY
+            )
+        level = priority_level(priority)
+        if deadline is None and self.qos is not None:
+            deadline = self.qos.default_deadline(priority)
         now = time.monotonic()
         timeout = self.default_timeout if timeout is None else timeout
+        self.health.tick()
+        victim: Optional[ForceRequest] = None
         with self._lock:
             if not self._accepting:
-                raise ServeError("server is not accepting requests")
-            depth = self._batcher.pending()
-            if depth >= self.max_queue:
-                self.metrics.counter("requests_shed").inc()
-                self.metrics.counter("errors_overload").inc()
-                raise ServerOverloaded(
-                    f"queue full ({depth}/{self.max_queue} pending)"
+                self.metrics.counter("errors_shutdown").inc()
+                raise ServerStopped("server is not accepting requests")
+            if self._enforce_qos and self.health.level >= 2:
+                # SHEDDING (or DRAINING): only the strongest classes are
+                # admitted until the monitor steps back down.
+                admit_level = (
+                    self.qos.shed_admit_level if self.qos is not None else 0
                 )
+                if self.health.level >= 3 or level > admit_level:
+                    self.metrics.counter("requests_shed").inc()
+                    self.metrics.counter("errors_shed").inc()
+                    self._shed_counter(SHED_LOAD, priority)
+                    raise LoadShed(
+                        f"health state {self.health.state}: "
+                        f"{priority} requests are shed"
+                    )
+            depth = self._batcher.pending()
+            if self._enforce_qos:
+                by_class = self._batcher.pending_by_class()
+                bound = self._class_bounds.get(priority, self.max_queue)
+                if by_class.get(priority, 0) >= bound:
+                    self.metrics.counter("requests_shed").inc()
+                    self.metrics.counter("errors_shed").inc()
+                    self._shed_counter(SHED_LOAD, priority)
+                    raise LoadShed(
+                        f"{priority} queue share full "
+                        f"({by_class[priority]}/{bound} pending)"
+                    )
+            if depth >= self.max_queue:
+                # Strict-priority admission: displace the newest request
+                # of a strictly weaker class before shedding the arrival.
+                victim = self._batcher.evict_newest_below(level)
+                if victim is None:
+                    self.metrics.counter("requests_shed").inc()
+                    self.metrics.counter("errors_overload").inc()
+                    self._shed_counter(SHED_LOAD, priority)
+                    raise LoadShed(
+                        f"queue full ({depth}/{self.max_queue} pending)"
+                    )
             fut: Future = Future()
             req = ForceRequest(
                 system=system,
@@ -355,29 +498,62 @@ class ForceServer:
                 future=fut,
                 nl=nl,
                 t_enqueue=now,
-                deadline=None if timeout is None else now + float(timeout),
+                deadline=None if deadline is None else now + float(deadline),
+                priority=priority,
+                timeout_at=None if timeout is None else now + float(timeout),
             )
             self._admitted += 1
             self._batcher.put(req)
+        if victim is not None:
+            self._shed_counter(SHED_LOAD, victim.priority)
+            self._fail(
+                victim,
+                LoadShed(
+                    f"evicted by an arriving {priority} request "
+                    f"(queue full at {self.max_queue})"
+                ),
+                "requests_failed",
+                "shed",
+            )
         self.metrics.counter("requests_admitted").inc()
         self.metrics.histogram("queue_depth", OCCUPANCY_BUCKETS).observe(depth + 1)
         return fut
 
     def evaluate(
-        self, system, model: Optional[str] = None, nl=None, timeout: Optional[float] = None
+        self,
+        system,
+        model: Optional[str] = None,
+        nl=None,
+        timeout: Optional[float] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> Tuple[float, np.ndarray]:
         """Blocking single-structure evaluation: ``(energy, forces)``."""
-        return self.submit(system, model=model, nl=nl, timeout=timeout).result()
+        return self.submit(
+            system, model=model, nl=nl, timeout=timeout,
+            priority=priority, deadline=deadline,
+        ).result()
 
     def evaluate_many(
-        self, systems: Sequence, model: Optional[str] = None, timeout: Optional[float] = None
+        self,
+        systems: Sequence,
+        model: Optional[str] = None,
+        timeout: Optional[float] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> List[Tuple[float, np.ndarray]]:
         """Submit a burst of structures, gather results in order.
 
         Submitting everything before gathering is what lets the
         micro-batcher coalesce the burst into padded batches.
         """
-        futures = [self.submit(s, model=model, timeout=timeout) for s in systems]
+        futures = [
+            self.submit(
+                s, model=model, timeout=timeout,
+                priority=priority, deadline=deadline,
+            )
+            for s in systems
+        ]
         return [f.result() for f in futures]
 
     # -- worker side ----------------------------------------------------------
@@ -428,6 +604,37 @@ class ForceServer:
             self._inflight.pop(id(req), None)
             self._done_cv.notify_all()
 
+    def _expire_requests(self, expired: List[ForceRequest]) -> None:
+        """Fail requests whose deadline passed while queued.
+
+        Called by the batcher *outside* its lock, before batch assembly:
+        an expired request never reaches a force call.
+        """
+        for req in expired:
+            self._shed_counter(SHED_DEADLINE, req.priority)
+            self._fail(
+                req,
+                DeadlineExceeded(
+                    f"deadline passed after "
+                    f"{time.monotonic() - req.t_enqueue:.3f}s in queue"
+                ),
+                "requests_expired",
+                "deadline",
+            )
+
+    # -- health ---------------------------------------------------------------
+    def _health_signals(self) -> dict:
+        """Signal snapshot for the health monitor's tick."""
+        return {
+            "queue_frac": self._batcher.pending() / self.max_queue,
+            "p99_s": self.metrics.histogram("latency_s").percentile(0.99),
+            "breaker_open": self.registry.any_breaker_open(),
+        }
+
+    def _on_health_transition(self, old: str, new: str) -> None:
+        if self.controllers is not None:
+            self.controllers.notify_health(new)
+
     def _process(self, batch: List[ForceRequest]) -> None:
         with self._lock:
             # Once a batch leaves the queue its requests are in flight;
@@ -445,7 +652,7 @@ class ForceServer:
             self.metrics.histogram("queue_wait_s").observe(now - req.t_enqueue)
         live: List[ForceRequest] = []
         for req in batch:
-            if req.deadline is not None and now > req.deadline:
+            if req.timeout_at is not None and now > req.timeout_at:
                 self._fail(
                     req,
                     RequestTimeout(
@@ -454,23 +661,63 @@ class ForceServer:
                     "requests_timeout",
                     "timeout",
                 )
+            elif req.deadline is not None and (
+                now > req.deadline
+                or (
+                    # Feasibility: shed when the remaining budget cannot
+                    # cover one batch evaluation — a force call that
+                    # finishes past the deadline is pure waste.
+                    self._eval_ewma is not None
+                    and now + self._eval_ewma > req.deadline
+                )
+            ):
+                self._shed_counter(SHED_DEADLINE, req.priority)
+                self._fail(
+                    req,
+                    DeadlineExceeded(
+                        f"deadline unmeetable at pickup after "
+                        f"{now - req.t_enqueue:.3f}s in queue"
+                    ),
+                    "requests_expired",
+                    "deadline",
+                )
             else:
                 live.append(req)
         if not live:
+            self._health_tick()
             return
         self.metrics.counter("batches").inc()
         self.metrics.histogram("batch_occupancy", OCCUPANCY_BUCKETS).observe(len(live))
         with span("serve.batch") as sp:
             sp.add("requests", len(live))
             self._process_live(live)
+        self._health_tick()
         if self.controllers is not None:
             # Per-batch cadence; ControllerSet.tick() is try-lock guarded,
             # so concurrent workers never queue on controller decisions.
             self.controllers.tick()
 
+    def _health_tick(self) -> None:
+        """Advance the health monitor and keep controllers frozen while
+        the server is not HEALTHY (repeated calls extend the freeze)."""
+        state = self.health.tick()
+        if self.controllers is not None and state != "HEALTHY":
+            self.controllers.notify_health(state)
+
     def _process_live(self, live: List[ForceRequest]) -> None:
         key = live[0].model
-        entry = self.registry.peek(key) if self.engine == "eager" else self.registry.get(key)
+        eager = self.engine == "eager"
+        degraded = False
+        if self._enforce_qos and self.health.level >= 1:
+            # DEGRADED (or worse): serve through the model's fallback
+            # chain — a cheaper registered model, or the same model on
+            # the eager engine (no compiled state churn while stressed).
+            fb_entry, fb_eager = self.registry.resolve_degraded(key)
+            if fb_entry.key != key or (fb_eager and not eager):
+                degraded = True
+                eager = eager or fb_eager
+                key = fb_entry.key
+        entry = self.registry.peek(key) if eager else self.registry.get(key)
         if not entry.breaker.allow():
             # Fail fast: the model has been failing consistently; shedding
             # here protects the workers for healthy models.  A half-open
@@ -483,13 +730,17 @@ class ForceServer:
                     "circuit_open",
                 )
             return
+        # The service-time estimate must cover everything a batch costs —
+        # neighbor-list builds included — or the deadline feasibility
+        # check undershoots and admits requests that cannot finish.
+        t_service = time.monotonic()
         nls = [
             req.nl if req.nl is not None else _build_nl(entry.potential, req.system)
             for req in live
         ]
         try:
             results = self.retry_policy.call(
-                lambda: self._evaluate_batch(entry, live, nls),
+                lambda: self._evaluate_batch(entry, live, nls, eager),
                 retry_on=(WorkerCrash, NumericalInstabilityError),
                 on_retry=lambda attempt, exc: (
                     entry.breaker.record_failure(),
@@ -502,15 +753,28 @@ class ForceServer:
             for req in live:
                 self._fail(req, wrapped, "requests_failed", "model_failure")
             return
+        elapsed = time.monotonic() - t_service
+        self._eval_ewma = (
+            elapsed if self._eval_ewma is None
+            else 0.8 * self._eval_ewma + 0.2 * elapsed
+        )
         entry.breaker.record_success()
+        if degraded:
+            self.metrics.counter(DEGRADED_SERVED).inc(len(live))
         # Futures resolve only after the WHOLE batch computed and validated
         # — a retry can therefore never double-resolve a future, and no
         # caller ever observes a non-finite result.
-        for req, result in zip(live, results):
-            self._finish(req, result)
+        for req, (e, f) in zip(live, results):
+            self._finish(
+                req,
+                ServeResult(
+                    e, f, degraded=degraded, model=entry.key,
+                    priority=req.priority,
+                ),
+            )
 
     def _evaluate_batch(
-        self, entry, live: List[ForceRequest], nls: List
+        self, entry, live: List[ForceRequest], nls: List, eager: Optional[bool] = None
     ) -> List[Tuple[float, np.ndarray]]:
         """Results for every request in order; finishes no futures.
 
@@ -525,10 +789,10 @@ class ForceServer:
             if self.fault_plan.fires(WORKER_CRASH):
                 raise WorkerCrash("injected worker crash")
         with span("serve.eval"):
-            return self._evaluate_batch_inner(entry, live, nls)
+            return self._evaluate_batch_inner(entry, live, nls, eager)
 
     def _evaluate_batch_inner(
-        self, entry, live: List[ForceRequest], nls: List
+        self, entry, live: List[ForceRequest], nls: List, eager: Optional[bool] = None
     ) -> List[Tuple[float, np.ndarray]]:
         potential = entry.potential
         results: List = [None] * len(live)
@@ -540,12 +804,14 @@ class ForceServer:
             if nl.n_edges == 0:
                 e, f = potential.energy_and_forces(live[i].system, nl)
                 results[i] = (float(e), f)
+        if eager is None:
+            eager = self.engine == "eager"
         if dense:
             systems = [live[i].system for i in dense]
             positions, species, nl_cat, offsets = concatenate_structures(
                 systems, [nls[i] for i in dense]
             )
-            if self.engine == "compiled":
+            if not eager:
                 cache = entry.ensure_cache()
                 pentry = cache.acquire(len(species), nl_cat.n_edges)
                 with pentry.lock:
@@ -599,6 +865,12 @@ class ForceServer:
         total = replays + captures
         snap["replay_rate"] = replays / total if total else 0.0
         snap["engine"] = self.engine
+        snap["health"] = self.health.stats()
+        snap["qos"] = {
+            "enforced": self._enforce_qos,
+            "class_bounds": dict(self._class_bounds),
+            "pending_by_class": self._batcher.pending_by_class(),
+        }
         if self.controllers is not None:
             snap["controllers"] = self.controllers.stats()
         return snap
@@ -612,22 +884,59 @@ class Client:
     coalesces into padded batches), ``submit`` for explicit futures.
     """
 
-    def __init__(self, server: ForceServer, model: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        server: ForceServer,
+        model: Optional[str] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> None:
         self.server = server
         self.model = model
+        # Client-level QoS defaults: every call inherits them unless the
+        # call site overrides (an MD driver binds priority="interactive"
+        # once instead of threading it through every evaluate()).
+        self.priority = priority
+        self.deadline = deadline
 
-    def submit(self, system, nl=None, timeout: Optional[float] = None) -> Future:
+    def submit(
+        self,
+        system,
+        nl=None,
+        timeout: Optional[float] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> Future:
         """Queue one structure; returns a Future of ``(energy, forces)``."""
-        return self.server.submit(system, model=self.model, nl=nl, timeout=timeout)
+        return self.server.submit(
+            system, model=self.model, nl=nl, timeout=timeout,
+            priority=priority if priority is not None else self.priority,
+            deadline=deadline if deadline is not None else self.deadline,
+        )
 
     def evaluate(
-        self, system, nl=None, timeout: Optional[float] = None
+        self,
+        system,
+        nl=None,
+        timeout: Optional[float] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> Tuple[float, np.ndarray]:
         """Blocking evaluation of one structure."""
-        return self.server.evaluate(system, model=self.model, nl=nl, timeout=timeout)
+        return self.submit(
+            system, nl=nl, timeout=timeout, priority=priority, deadline=deadline
+        ).result()
 
     def evaluate_many(
-        self, systems: Sequence, timeout: Optional[float] = None
+        self,
+        systems: Sequence,
+        timeout: Optional[float] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> List[Tuple[float, np.ndarray]]:
         """Evaluate a burst of structures (batched server-side)."""
-        return self.server.evaluate_many(systems, model=self.model, timeout=timeout)
+        return self.server.evaluate_many(
+            systems, model=self.model, timeout=timeout,
+            priority=priority if priority is not None else self.priority,
+            deadline=deadline if deadline is not None else self.deadline,
+        )

@@ -429,6 +429,18 @@ class ControllerSet:
             for c in self.controllers:
                 c.notify_recovery()
 
+    def notify_health(self, state: str) -> None:
+        """React to a server health state: freeze on anything non-HEALTHY.
+
+        Called by the serving layer whenever its :class:`~repro.health.
+        HealthMonitor` is (or transitions to) an elevated state — knob
+        experiments during overload would attribute the stress to the
+        knob and thrash.  Reuses the recovery freeze, so repeated calls
+        while unhealthy keep extending the freeze window.
+        """
+        if state != "HEALTHY":
+            self.notify_recovery()
+
     def stats(self) -> List[dict]:
         return [c.stats() for c in self.controllers]
 

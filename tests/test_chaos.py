@@ -136,6 +136,8 @@ class TestInvariantRegistry:
             "force_sanity",
             "parallel_matches_reference",
             "serve_no_silent_drop",
+            "serve_shed_typed",
+            "serve_no_priority_inversion",
             "metrics_consistency",
             "train_no_silent_poison",
             "checkpoint_chain",
@@ -171,6 +173,109 @@ class TestScenarioExecution:
         plan = outcome.obs["plan"]
         fired = sum(plan.fired(ch) for ch in spec.channels())
         assert fired > 0, "a chaos scenario must actually inject faults"
+
+
+#: A hand-traced overload spec: 16 mixed-priority requests against a
+#: 6-slot queue with QoS enforced admits 9 (evicting 3 weaker-class
+#: victims), door-sheds 7, expires 1 pre-dated deadline, and drives the
+#: health machine HEALTHY → DEGRADED → SHEDDING.
+OVERLOAD_SPEC = ScenarioSpec(
+    workload="serve",
+    seed=7,
+    events=(
+        FaultEvent("serve.worker_crash", 1),
+        FaultEvent("serve.worker_stall", 2),
+    ),
+    options={
+        "variant": "overload",
+        "n_requests": 16,
+        "max_batch": 2,
+        "max_queue": 6,
+    },
+)
+
+
+def _qos_report(obs) -> dict:
+    """The deterministic slice of an overload observation dict."""
+    counters = obs["metrics"].get("counters", obs["metrics"])
+    return {
+        "qos": obs["qos"],
+        "n_admitted": obs["n_admitted"],
+        "health_state": obs["health_state"],
+        "health_transitions": obs["health_transitions"],
+        "statuses": [o[0] if o[0] == "ok" else tuple(o) for o in obs["outcomes"]],
+        "shed_counters": {
+            k: v for k, v in sorted(counters.items()) if "shed" in k
+        },
+    }
+
+
+class TestOverloadScenario:
+    """The 2× overload burst: 100% correct-or-explicit, zero inversions."""
+
+    def test_overload_scenario_passes_invariants(self):
+        outcome = run_scenario(OVERLOAD_SPEC)
+        assert outcome.ok, [v.to_dict() for v in outcome.violations]
+        obs = outcome.obs
+        statuses = [r["status"] for r in obs["qos"]]
+        # Overload actually bites: every outcome class is exercised.
+        assert statuses.count("shed") > 0
+        assert statuses.count("expired") > 0
+        assert statuses.count("ok") > 0
+        assert obs["health_state"] == "SHEDDING"
+        assert obs["health_transitions"] == 2  # HEALTHY→DEGRADED→SHEDDING
+        # Every admitted interactive request without a pre-expired
+        # deadline met it (the acceptance criterion's goodput clause).
+        for rec in obs["qos"]:
+            if (
+                rec["priority"] == "interactive"
+                and rec["admitted"]
+                and rec["deadline"] is None
+            ):
+                assert rec["status"] == "ok"
+
+    def test_overload_report_byte_deterministic(self):
+        a = run_scenario(OVERLOAD_SPEC)
+        b = run_scenario(OVERLOAD_SPEC)
+        assert a.ok and b.ok
+        assert report_json(_qos_report(a.obs)) == report_json(_qos_report(b.obs))
+        assert report_json(a.to_dict()) == report_json(b.to_dict())
+
+    def test_sampled_overload_variant_passes(self):
+        # Seed 44 is a sampled serve scenario that lands on the overload
+        # variant (the soak rotation reaches these organically too).
+        spec = sample_scenario(44, workload="serve")
+        assert spec.options.get("variant") == "overload"
+        outcome = run_scenario(spec)
+        assert outcome.ok, [v.to_dict() for v in outcome.violations]
+
+    def test_shed_leak_is_caught(self):
+        # Falsifiability: a shed request that nonetheless produced a
+        # result must trip serve_shed_typed.
+        outcome = run_scenario(OVERLOAD_SPEC)
+        obs = dict(outcome.obs)
+        shed_idx = next(
+            k for k, r in enumerate(obs["qos"]) if r["status"] == "shed"
+        )
+        outcomes = list(obs["outcomes"])
+        e, f = obs["reference"][shed_idx]
+        outcomes[shed_idx] = ("ok", e, np.array(f))
+        obs["outcomes"] = outcomes
+        violations = {v.invariant for v in check_all(obs)}
+        assert "serve_shed_typed" in violations
+
+    def test_priority_inversion_is_caught(self):
+        outcome = run_scenario(OVERLOAD_SPEC)
+        obs = dict(outcome.obs)
+        records = [dict(r) for r in obs["qos"]]
+        shed_idx = next(
+            k for k, r in enumerate(records) if r["status"] == "shed"
+        )
+        records[shed_idx]["priority"] = "interactive"
+        records[shed_idx]["pending_background_at_submit"] = 2
+        obs["qos"] = records
+        violations = {v.invariant for v in check_all(obs)}
+        assert "serve_no_priority_inversion" in violations
 
 
 class TestPlantedBug:

@@ -555,10 +555,17 @@ class TestLifecycle:
         server.stop()
 
     def test_stop_rejects_new_work(self):
+        # Regression: submit-after-stop must raise the *typed*
+        # ServerStopped (error class "shutdown"), not a bare ServeError.
+        from repro.serve import ServerStopped
+
         server = ForceServer(make_lj(), n_workers=1)
         server.stop()
-        with pytest.raises(ServeError):
+        with pytest.raises(ServerStopped):
             server.submit(make_system())
+        assert issubclass(ServerStopped, ServeError)
+        counters = server.metrics.snapshot()["counters"]
+        assert counters["errors_shutdown"] == 1
 
     def test_context_manager_drains_on_exit(self):
         with ForceServer(make_lj(), n_workers=1) as server:

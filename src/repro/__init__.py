@@ -45,6 +45,11 @@ tune
     offline searches (skin, padding, batching, plan ladders, process
     grids), persisted ``TuningProfile`` artifacts, and off-by-default
     online hysteresis controllers driven by the obs registry.
+traj
+    The trajectory data plane: binary chunked store with per-chunk CRCs,
+    delta+zlib compression and a footer index; asynchronous off-hot-path
+    writer with checkpoint-pinned chunk boundaries (bitwise kill-and-
+    resume); single-pass streaming analysis (MSD/VACF/RDF/thermo).
 """
 
 __version__ = "0.1.0"
@@ -62,4 +67,5 @@ __all__ = [
     "health",
     "obs",
     "tune",
+    "traj",
 ]

@@ -20,7 +20,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..resilience import RANK_FAIL, TORN_WRITE, TRAIN_STEP_FAILURE
+from ..resilience import (
+    RANK_FAIL,
+    TORN_WRITE,
+    TRAJ_TORN_CHUNK,
+    TRAIN_STEP_FAILURE,
+)
 
 __all__ = ["Violation", "invariant", "registered_invariants", "check_all"]
 
@@ -360,6 +365,120 @@ def _train_quarantine(obs: dict) -> List[str]:
     if missed:
         return [f"corrupted frames {sorted(missed)} escaped quarantine"]
     return []
+
+
+@invariant("traj_integrity", workloads=("md", "parallel"))
+def _traj_integrity(obs: dict) -> List[str]:
+    """The trajectory reader never surfaces a corrupt frame, and accounts.
+
+    Under ``traj.torn_chunk`` every durable frame must be either readable
+    (CRC-verified, all values finite) or quarantined — reading must never
+    raise mid-iteration, and ``frames_durable == frames_readable +
+    frames_quarantined`` must cross-foot exactly, counters included."""
+    traj = obs.get("traj")
+    if traj is None:
+        return []
+    from ..traj import TrajectoryReader
+
+    out = []
+    plan = obs.get("plan")
+    stats = traj["stats"]
+    with TrajectoryReader(traj["faulted_path"]) as reader:
+        n_readable = 0
+        for frame in reader.frames():  # must never raise
+            n_readable += 1
+            if not (
+                np.all(np.isfinite(frame.positions))
+                and np.all(np.isfinite(frame.velocities))
+            ):
+                out.append(
+                    f"frame at step {frame.step} passed its CRC yet holds "
+                    "non-finite values"
+                )
+        quarantined = reader.frames_quarantined
+    if stats["frames_durable"] != n_readable + quarantined:
+        out.append(
+            f"frame accounting broken: {stats['frames_durable']} durable != "
+            f"{n_readable} readable + {quarantined} quarantined"
+        )
+    if plan is not None:
+        fired = plan.fired(TRAJ_TORN_CHUNK)
+        if fired == 0 and quarantined:
+            out.append(
+                f"{quarantined} frames quarantined with no torn chunk injected"
+            )
+        if stats.get("torn_chunks", 0) != fired:
+            out.append(
+                f"store torn_chunks ({stats.get('torn_chunks', 0)}) != plan "
+                f"firings ({fired})"
+            )
+    return out
+
+
+@invariant("traj_matches_clean", workloads=("md", "parallel"))
+def _traj_matches_clean(obs: dict) -> List[str]:
+    """Dumped frames under faults match the fault-free trajectory.
+
+    For md: with no torn chunk injected the faulted file is **bitwise**
+    the clean file (watchdog rollback + replay re-dump identical bytes,
+    chunk boundaries pinned by checkpoint barriers); with torn chunks,
+    every *readable* frame must still match the clean frame at the same
+    step bitwise.  For parallel: rank-failure recovery may reorder the
+    force reduction, so frames compare under the minimum-image convention
+    at tight tolerance instead."""
+    traj = obs.get("traj")
+    if traj is None:
+        return []
+    from pathlib import Path
+
+    from ..traj import TrajectoryReader
+
+    plan = obs.get("plan")
+    workload = obs.get("workload")
+    torn = plan.fired(TRAJ_TORN_CHUNK) if plan is not None else 0
+    if workload == "md" and torn == 0:
+        a = Path(traj["faulted_path"]).read_bytes()
+        b = Path(traj["clean_path"]).read_bytes()
+        if a != b:
+            return [
+                "faulted trajectory file is not bitwise the clean file "
+                "(no torn chunk was injected)"
+            ]
+        return []
+
+    out = []
+    with TrajectoryReader(traj["clean_path"]) as reader:
+        clean = {f.step: f for f in reader.frames()}
+    length = obs.get("box_length")
+    with TrajectoryReader(traj["faulted_path"]) as reader:
+        for frame in reader.frames():
+            ref = clean.get(frame.step)
+            if ref is None:
+                out.append(
+                    f"faulted run dumped step {frame.step}, absent from "
+                    "the clean trajectory"
+                )
+                continue
+            if workload == "md":
+                if not (
+                    _bitwise(frame.positions, ref.positions)
+                    and _bitwise(frame.velocities, ref.velocities)
+                ):
+                    out.append(
+                        f"readable frame at step {frame.step} differs from "
+                        "the clean run (not bitwise)"
+                    )
+            else:
+                delta = frame.positions - ref.positions
+                if length:
+                    delta -= length * np.round(delta / length)
+                err = float(np.max(np.abs(delta))) if delta.size else 0.0
+                if err > 1e-8:
+                    out.append(
+                        f"frame at step {frame.step} drifted from the clean "
+                        f"run (max |Δ| = {err:.3e})"
+                    )
+    return out
 
 
 @invariant("checkpoint_chain")

@@ -34,6 +34,7 @@ from ..resilience import (
     RANK_FAIL,
     REPLAY_FAIL,
     TORN_WRITE,
+    TRAJ_TORN_CHUNK,
     TRAIN_LABEL_CORRUPTION,
     TRAIN_STEP_FAILURE,
     WORKER_CRASH,
@@ -56,8 +57,8 @@ WORKLOADS = ("md", "parallel", "serve", "train")
 #: further by engine: ``potential.corrupt`` needs the eager wrapper,
 #: ``engine.replay_fail`` needs the compiled evaluator.)
 CHANNELS_BY_WORKLOAD = {
-    "md": (POTENTIAL_CORRUPT, REPLAY_FAIL, TORN_WRITE),
-    "parallel": (COMM_DROP, COMM_DELAY, RANK_FAIL),
+    "md": (POTENTIAL_CORRUPT, REPLAY_FAIL, TORN_WRITE, TRAJ_TORN_CHUNK),
+    "parallel": (COMM_DROP, COMM_DELAY, RANK_FAIL, TRAJ_TORN_CHUNK),
     "serve": (WORKER_CRASH, WORKER_STALL),
     "train": (TRAIN_STEP_FAILURE, TRAIN_LABEL_CORRUPTION, TORN_WRITE),
 }
@@ -73,9 +74,13 @@ _EVENT_WINDOWS: Dict[Tuple[str, str], Tuple[int, int, int]] = {
     ("md", POTENTIAL_CORRUPT): (1, 22, 3),
     ("md", REPLAY_FAIL): (1, 20, 3),
     ("md", TORN_WRITE): (1, 4, 2),
+    # One draw per chunk commit (barrier/close included): 24 steps at
+    # dump_every=3 with checkpoint-pinned chunks lands ~5 commits.
+    ("md", TRAJ_TORN_CHUNK): (0, 5, 2),
     ("parallel", COMM_DROP): (0, 150, 3),
     ("parallel", COMM_DELAY): (0, 150, 3),
     ("parallel", RANK_FAIL): (0, 8, 2),
+    ("parallel", TRAJ_TORN_CHUNK): (0, 3, 1),
     ("serve", WORKER_CRASH): (0, 4, 2),
     ("serve", WORKER_STALL): (0, 4, 2),
     ("train", TRAIN_STEP_FAILURE): (0, 5, 2),
@@ -196,7 +201,7 @@ def sample_scenario(seed: int, workload: Optional[str] = None) -> ScenarioSpec:
         # variant composes its force-path channel with torn checkpoints.
         engine = "eager" if rng.uniform() < 0.6 else "compiled"
         force_channel = POTENTIAL_CORRUPT if engine == "eager" else REPLAY_FAIL
-        channels = (force_channel, TORN_WRITE)
+        channels = (force_channel, TORN_WRITE, TRAJ_TORN_CHUNK)
         options = {
             "kind": _MD_KINDS[int(rng.integers(len(_MD_KINDS)))],
             "engine": engine,
@@ -204,10 +209,12 @@ def sample_scenario(seed: int, workload: Optional[str] = None) -> ScenarioSpec:
             "checkpoint_every": 6,
         }
     elif workload == "parallel":
-        pool = list(CHANNELS_BY_WORKLOAD["parallel"])
+        pool = [COMM_DROP, COMM_DELAY, RANK_FAIL]
         m = 2 + int(rng.integers(2))
         picked = rng.choice(len(pool), size=m, replace=False)
-        channels = tuple(pool[int(i)] for i in sorted(picked))
+        channels = tuple(pool[int(i)] for i in sorted(picked)) + (
+            TRAJ_TORN_CHUNK,
+        )
         options = {"steps": 8, "n_ranks": 4}
     elif workload == "serve":
         channels = CHANNELS_BY_WORKLOAD["serve"]

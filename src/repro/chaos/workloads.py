@@ -133,7 +133,17 @@ def run_md(spec: ScenarioSpec, workdir: Path, bug: Optional[str] = None) -> Dict
     channels = spec.channels()
 
     clean = _md_sim(kind, engine, None)
-    clean_res = clean.run(steps)
+    clean_traj = workdir / "clean.rtrj"
+    # The clean run checkpoints on the same schedule (to a separate dir):
+    # checkpoint barriers pin trajectory chunk boundaries, so matching
+    # schedules are a precondition for the bitwise-dump invariant.
+    clean_res = clean.run(
+        steps,
+        checkpoint_every=every,
+        checkpoint_dir=workdir / "ckpt_clean",
+        dump_every=3,
+        dump_path=clean_traj,
+    )
 
     plan = spec.fault_plan()
     registry = Registry()
@@ -160,13 +170,41 @@ def run_md(spec: ScenarioSpec, workdir: Path, bug: Optional[str] = None) -> Dict
     manager = manager_cls(
         workdir / "ckpt", keep_last=4, fault_plan=plan, registry=registry
     )
-    res = sim.run(steps, checkpoint_every=every, checkpoint_manager=manager)
+    # The faulted run dumps through a writer that shares the fault plan:
+    # traj.torn_chunk events land on its chunk commits, and watchdog
+    # recoveries roll the file back alongside the state.
+    faulted_traj = workdir / "faulted.rtrj"
+    from ..traj import TrajectoryWriter
+
+    dump_writer = TrajectoryWriter(
+        faulted_traj,
+        system=sim.system,
+        registry=registry,
+        fault_plan=plan,
+    )
+    try:
+        res = sim.run(
+            steps,
+            checkpoint_every=every,
+            checkpoint_manager=manager,
+            dump_every=3,
+            dump_writer=dump_writer,
+        )
+    finally:
+        if not dump_writer.closed:
+            dump_writer.close()
+    traj_stats = dump_writer.stats()
 
     return {
         "plan": plan,
         "registry": registry,
         "manager": manager,
         "n_steps": steps,
+        "traj": {
+            "clean_path": str(clean_traj),
+            "faulted_path": str(faulted_traj),
+            "stats": traj_stats,
+        },
         "final": {
             "positions": np.array(sim.system.positions),
             "velocities": np.array(sim.system.velocities),
@@ -218,12 +256,25 @@ def run_parallel(spec: ScenarioSpec, workdir: Path, bug: Optional[str] = None) -
         )
 
     clean = build()
-    clean.run(steps)
+    clean_traj = workdir / "clean.rtrj"
+    clean.run(steps, dump_every=3, dump_path=clean_traj)
 
     plan = spec.fault_plan()
     registry = Registry()
     sim = build(fault_plan=plan, registry=registry)
-    sim.run(steps)
+    # Rank-0 gathered dump under the same fault plan: traj.torn_chunk
+    # draws land on the writer's chunk commits.
+    from ..traj import TrajectoryWriter
+
+    faulted_traj = workdir / "faulted.rtrj"
+    dump_writer = TrajectoryWriter(
+        faulted_traj, system=sim.system, registry=registry, fault_plan=plan
+    )
+    try:
+        sim.run(steps, dump_every=3, dump_writer=dump_writer)
+    finally:
+        if not dump_writer.closed:
+            dump_writer.close()
     cluster = sim.evaluator.cluster
 
     return {
@@ -235,6 +286,11 @@ def run_parallel(spec: ScenarioSpec, workdir: Path, bug: Optional[str] = None) -
         "comm": {**cluster.fault_stats(), "pending": cluster.pending()},
         "n_failures": sim.evaluator.n_failures,
         "n_recoveries": sim.evaluator.n_recoveries,
+        "traj": {
+            "clean_path": str(clean_traj),
+            "faulted_path": str(faulted_traj),
+            "stats": dump_writer.stats(),
+        },
     }
 
 

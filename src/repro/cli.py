@@ -59,6 +59,17 @@ Config schema (all lengths Å, times fs, temperatures K)::
       "output": {"trajectory": "traj.xyz", "every": 10}
     }
 
+``output.trajectory`` picks the dump path by extension: ``.rtrj`` uses
+the binary chunked store with the asynchronous off-hot-path writer
+(:mod:`repro.traj` — crash-atomic, resumable bitwise), anything else the
+synchronous extended-XYZ recorder.  The ``traj`` subcommand inspects,
+verifies, converts, and stream-analyzes binary trajectories::
+
+    python -m repro.cli traj info run.rtrj
+    python -m repro.cli traj verify run.rtrj          # exit 1 on damage
+    python -m repro.cli traj convert run.rtrj run.xyz # either direction
+    python -m repro.cli traj analyze run.rtrj --out report.json
+
 Training config schema::
 
     {
@@ -82,6 +93,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Optional
@@ -393,6 +405,19 @@ def build_thermostat(md: dict):
     raise ValueError(f"unknown thermostat {kind!r}")
 
 
+def _is_binary_traj(path) -> bool:
+    return path is not None and str(path).endswith(".rtrj")
+
+
+def _dump_args(config: dict) -> dict:
+    """``dump_path``/``dump_every`` kwargs for ``Simulation.run`` (or {})."""
+    out = config.get("output", {})
+    traj = out.get("trajectory")
+    if not _is_binary_traj(traj):
+        return {}
+    return {"dump_path": traj, "dump_every": int(out.get("every", 10))}
+
+
 def build_simulation(config: dict, registry=None):
     """``(sim, recorder, md_section)`` from a config.
 
@@ -420,8 +445,12 @@ def build_simulation(config: dict, registry=None):
         raise ValueError(
             f"md.neighbor_every must be >= 1 (got {neighbor_every})"
         )
+    # A .rtrj trajectory routes to the binary data plane (async writer in
+    # Simulation.run) instead of the synchronous XYZ recorder.
+    traj_path = out.get("trajectory")
+    xyz_path = None if _is_binary_traj(traj_path) else traj_path
     recorder = TrajectoryRecorder(
-        path=out.get("trajectory"), every=int(out.get("every", 10))
+        path=xyz_path, every=int(out.get("every", 10))
     )
     sim = Simulation(
         system,
@@ -503,6 +532,7 @@ def run_config(config: dict, quiet: bool = False, stats_json=None):
         int(md.get("steps", 100)),
         checkpoint_every=md.get("checkpoint_every"),
         checkpoint_dir=ckpt_dir,
+        **_dump_args(config),
     )
     return _finish_run(sim, recorder, result, md, quiet, stats_json, extra)
 
@@ -548,10 +578,14 @@ def resume_config(
     else:
         n = int(steps)
     log(f"resumed from checkpoint at step {step}; running {n} more step(s)")
+    # A binary dump appends from the restored step (Simulation.run sees
+    # step_count > 0 and an existing file): the finished trajectory is
+    # byte-identical to an uninterrupted run's.
     result = sim.run(
         n,
         checkpoint_every=md.get("checkpoint_every"),
         checkpoint_manager=manager,
+        **_dump_args(config),
     )
     extra = {"resumed_from_step": step, "checkpoint_dir": str(ckpt_dir)}
     return _finish_run(sim, recorder, result, md, quiet, stats_json, extra)
@@ -836,6 +870,142 @@ def chaos_command(args) -> int:
     return 0 if summary["violated"] == 0 else 1
 
 
+def traj_command(args) -> int:
+    """Dispatch ``traj {info,verify,convert,analyze}``; returns exit code.
+
+    All reports are byte-deterministic (``obs.jsonio`` serialization, no
+    wall-clock fields): running the same subcommand twice on the same file
+    produces identical bytes — CI ``cmp``s them.
+    """
+    from .obs import to_json, write_json
+    from .traj import TrajectoryReader
+
+    quiet = getattr(args, "quiet", False)
+
+    def emit(payload: dict, out) -> None:
+        if out is not None:
+            write_json(out, payload)
+            if not quiet:
+                print(f"wrote report to {out}")
+        elif not quiet:
+            print(to_json(payload))
+
+    if args.traj_command == "info":
+        with TrajectoryReader(args.file) as reader:
+            h = reader.header
+            emit(
+                {
+                    "path": Path(args.file).name,
+                    "n_atoms": h.n_atoms,
+                    "species_names": list(h.species_names),
+                    "frames_per_chunk": h.frames_per_chunk,
+                    "compressed": h.compressed,
+                    "pbc": list(h.pbc),
+                    "n_frames": len(reader),
+                    "n_chunks": reader.n_chunks,
+                    "index_source": reader.index_source,
+                    "torn_tail": reader.torn_tail,
+                    "file_bytes": os.path.getsize(args.file),
+                },
+                args.out,
+            )
+        return 0
+
+    if args.traj_command == "verify":
+        with TrajectoryReader(args.file) as reader:
+            report = reader.verify()
+        emit(report, args.out)
+        damaged = report["frames_quarantined"] > 0 or report["torn_tail"]
+        return 1 if damaged else 0
+
+    if args.traj_command == "convert":
+        return _traj_convert(args, quiet)
+
+    # analyze
+    with TrajectoryReader(args.file) as reader:
+        from .traj import analyze_stream
+
+        report = analyze_stream(
+            reader,
+            msd_window=args.msd_window,
+            vacf_window=args.msd_window,
+            rdf_bins=args.rdf_bins,
+            every=args.every,
+        )
+    emit(report, args.out)
+    return 0
+
+
+def _traj_convert(args, quiet: bool) -> int:
+    """``traj convert SRC DST`` — direction chosen by file extension."""
+    from .md.trajectory import read_xyz, write_xyz_frame
+    from .traj import Frame, TrajectoryReader, TrajectoryStore
+
+    src, dst = Path(args.src), Path(args.dst)
+
+    def log(msg: str) -> None:
+        if not quiet:
+            print(msg)
+
+    if src.suffix == ".rtrj" and dst.suffix == ".xyz":
+        from .md import System
+        from .md.cell import Cell
+
+        with TrajectoryReader(src) as reader, open(dst, "w") as fh:
+            h = reader.header
+            n = 0
+            for frame in reader.frames():
+                system = System(
+                    frame.positions,
+                    h.species,
+                    None
+                    if frame.cell_lengths is None
+                    else Cell(frame.cell_lengths, pbc=tuple(h.pbc)),
+                    species_names=list(h.species_names),
+                )
+                system.velocities = frame.velocities
+                fields = {"step": frame.step, "time_fs": f"{frame.time_fs:.3f}"}
+                if frame.pe == frame.pe:  # not NaN
+                    fields["pe"] = repr(frame.pe)
+                write_xyz_frame(fh, system, fields)
+                n += 1
+        log(f"converted {n} frame(s) -> {dst}")
+        return 0
+
+    if src.suffix == ".xyz" and dst.suffix == ".rtrj":
+        frames = read_xyz(src)
+        if not frames:
+            raise ValueError(f"{src} holds no frames")
+        # XYZ carries no step/time metadata per atom row; synthesize
+        # frame indices (the comment line is tool-specific free text).
+        store = TrajectoryStore(dst, system=frames[0])
+        try:
+            for k, system in enumerate(frames):
+                store.append(
+                    Frame(
+                        step=k,
+                        time_fs=float(k),
+                        pe=float("nan"),
+                        cell_lengths=(
+                            None
+                            if system.cell is None
+                            else np.asarray(system.cell.lengths, dtype=np.float64)
+                        ),
+                        positions=np.asarray(system.positions, dtype=np.float64),
+                        velocities=np.asarray(system.velocities, dtype=np.float64),
+                    )
+                )
+        finally:
+            store.close()
+        log(f"converted {len(frames)} frame(s) -> {dst}")
+        return 0
+
+    raise ValueError(
+        f"unsupported conversion {src.suffix!r} -> {dst.suffix!r} "
+        "(supported: .rtrj -> .xyz, .xyz -> .rtrj)"
+    )
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Run MD from a JSON config."
@@ -1035,6 +1205,53 @@ def main(argv: Optional[list] = None) -> int:
     )
     chaos_replay_p.add_argument("artifact", type=Path)
     chaos_replay_p.add_argument("--quiet", action="store_true")
+    traj_p = sub.add_parser(
+        "traj",
+        help="binary trajectory tools: inspect, verify, convert, "
+        "streaming analysis",
+    )
+    traj_sub = traj_p.add_subparsers(dest="traj_command", required=True)
+
+    def add_out_flag(p):
+        p.add_argument(
+            "--out",
+            type=Path,
+            default=None,
+            help="write the report as byte-deterministic JSON here "
+            "(default: stdout)",
+        )
+
+    traj_info_p = traj_sub.add_parser(
+        "info", help="print header and index summary of a .rtrj file"
+    )
+    traj_info_p.add_argument("file", type=Path)
+    traj_info_p.add_argument("--quiet", action="store_true")
+    add_out_flag(traj_info_p)
+    traj_verify_p = traj_sub.add_parser(
+        "verify",
+        help="checksum every chunk; exit 1 if any frame is quarantined",
+    )
+    traj_verify_p.add_argument("file", type=Path)
+    traj_verify_p.add_argument("--quiet", action="store_true")
+    add_out_flag(traj_verify_p)
+    traj_convert_p = traj_sub.add_parser(
+        "convert", help="convert .rtrj <-> .xyz (direction from extensions)"
+    )
+    traj_convert_p.add_argument("src", type=Path)
+    traj_convert_p.add_argument("dst", type=Path)
+    traj_convert_p.add_argument("--quiet", action="store_true")
+    traj_analyze_p = traj_sub.add_parser(
+        "analyze",
+        help="single-pass streaming MSD/VACF/RDF/thermo report",
+    )
+    traj_analyze_p.add_argument("file", type=Path)
+    traj_analyze_p.add_argument("--msd-window", type=int, default=50)
+    traj_analyze_p.add_argument("--rdf-bins", type=int, default=50)
+    traj_analyze_p.add_argument(
+        "--every", type=int, default=1, help="analyze every k-th frame"
+    )
+    traj_analyze_p.add_argument("--quiet", action="store_true")
+    add_out_flag(traj_analyze_p)
     sub.add_parser("example-config", help="print a starter MD config to stdout")
     sub.add_parser(
         "example-serve-config", help="print a starter serving config to stdout"
@@ -1085,6 +1302,8 @@ def main(argv: Optional[list] = None) -> int:
         return 0
     if args.command == "chaos":
         return chaos_command(args)
+    if args.command == "traj":
+        return traj_command(args)
     config = json.loads(args.config.read_text())
     if getattr(args, "tuning_profile", None) is not None:
         config = apply_profile_path(config, args.tuning_profile)

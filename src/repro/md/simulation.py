@@ -45,6 +45,10 @@ from .trajectory import TrajectoryRecorder
 #: explicit ``checkpoint_every``.
 DEFAULT_CHECKPOINT_EVERY = 100
 
+#: Default dump interval when a binary trajectory sink is given without an
+#: explicit ``dump_every``.
+DEFAULT_DUMP_EVERY = 10
+
 
 @dataclass
 class MDResult:
@@ -364,6 +368,9 @@ class Simulation:
         checkpoint_every: Optional[int] = None,
         checkpoint_dir=None,
         checkpoint_manager=None,
+        dump_every: Optional[int] = None,
+        dump_path=None,
+        dump_writer=None,
     ) -> MDResult:
         """Advance ``n_steps``; returns recorded time series.
 
@@ -378,11 +385,23 @@ class Simulation:
             default retention) or an explicit manager.  An initial snapshot
             is written before the first step if the sink is empty, so the
             recover policy always has a floor to roll back to.
+        dump_every / dump_path / dump_writer:
+            Binary trajectory dump (``repro.traj``): a frame is snapshotted
+            off the hot path whenever the *absolute* step count is a
+            multiple of ``dump_every`` (defaults to ``DEFAULT_DUMP_EVERY``
+            when a sink is given).  ``dump_path`` creates an async
+            :class:`~repro.traj.TrajectoryWriter` owned by this call
+            (closed with a footer on success, aborted crash-shaped on
+            error); a resumed simulation (``step_count > 0``) appends to an
+            existing file so the result is byte-identical to an
+            uninterrupted run.  Pass ``dump_writer`` instead to share a
+            writer across calls — the caller keeps ownership.
 
         Watchdog recovery rolls the records back too, so the returned time
-        series never contains rolled-back steps (an on-disk trajectory
-        file, however, is append-only — rolled-back frames are re-written
-        on replay; in-memory recorder frames are truncated).
+        series never contains rolled-back steps; a binary dump writer is
+        rolled back the same way (XYZ recorder files are append-only —
+        rolled-back frames are re-written on replay; in-memory recorder
+        frames are truncated).
         """
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -397,7 +416,52 @@ class Simulation:
             raise ValueError(
                 "checkpoint_every needs a checkpoint_dir or checkpoint_manager"
             )
+        writer = dump_writer
+        owns_writer = False
+        if writer is None and dump_path is not None:
+            from pathlib import Path
 
+            from ..traj import TrajectoryWriter
+
+            resume = self.step_count > 0 and Path(dump_path).exists()
+            writer = TrajectoryWriter(
+                dump_path,
+                system=None if resume else self.system,
+                append_from=self.step_count if resume else None,
+                registry=self.obs,
+            )
+            owns_writer = True
+        if writer is not None and dump_every is None:
+            dump_every = DEFAULT_DUMP_EVERY
+        if dump_every is not None and dump_every < 1:
+            raise ValueError("dump_every must be >= 1")
+        if dump_every is not None and writer is None:
+            raise ValueError("dump_every needs a dump_path or dump_writer")
+
+        try:
+            result = self._run_loop(
+                n_steps, record_every, checkpoint_every, manager,
+                dump_every, writer,
+            )
+        except BaseException:
+            # Crash-shaped teardown: drop in-flight frames, no footer —
+            # exactly what a killed process leaves behind.
+            if owns_writer:
+                writer.abort()
+            raise
+        if owns_writer:
+            writer.close()
+        return result
+
+    def _run_loop(
+        self,
+        n_steps: int,
+        record_every: int,
+        checkpoint_every: Optional[int],
+        manager,
+        dump_every: Optional[int],
+        writer,
+    ) -> MDResult:
         rec_steps: List[int] = []
         times, pes, kes, temps, pairs = [], [], [], [], []
         n_pairs = 0
@@ -426,6 +490,11 @@ class Simulation:
                         times.pop(), pes.pop(), kes.pop(), temps.pop()
                         pairs.pop()
                     self._truncate_recorder()
+                    if writer is not None:
+                        # The binary dump rolls back with the state: replayed
+                        # steps re-dump, so the file evolves as if the
+                        # instability never happened.
+                        writer.rollback(self.step_count)
                     continue
                 with span("md.integrate"):
                     self.integrator.half_kick(self.system, self._forces)
@@ -450,6 +519,11 @@ class Simulation:
                     pairs.append(n_pairs)
                 if self.recorder is not None:
                     self.recorder.record(self.step_count, t_now, self.system)
+                if writer is not None and self.step_count % dump_every == 0:
+                    # Absolute-step schedule (not run-relative): a resumed
+                    # run dumps at the same steps as an uninterrupted one,
+                    # which the byte-identity guarantee depends on.
+                    writer.record(self.step_count, t_now, self.system, pe=self._pe)
                 for cb in self._callbacks:
                     cb(self.step_count, self)
                 if self.controllers is not None:
@@ -458,6 +532,11 @@ class Simulation:
                     manager is not None
                     and (self.step_count - start) % checkpoint_every == 0
                 ):
+                    if writer is not None:
+                        # Pin chunk boundaries to the checkpoint schedule:
+                        # every frame up to this step becomes durable before
+                        # the snapshot that would replay past it.
+                        writer.barrier()
                     with span("md.checkpoint"):
                         manager.save(self.get_state(), self.step_count)
                     self._c_checkpoints.inc()

@@ -451,7 +451,18 @@ class ParallelSimulation:
         checkpoint_every: Optional[int] = None,
         checkpoint_dir=None,
         checkpoint_manager=None,
+        dump_every: Optional[int] = None,
+        dump_path=None,
+        dump_writer=None,
     ) -> MDResult:
+        """Advance ``n_steps`` across all ranks.
+
+        ``dump_every`` / ``dump_path`` / ``dump_writer`` mirror the serial
+        driver: the driver holds the *gathered* global system (rank-0
+        semantics — per-rank shards are an evaluator detail), so the
+        binary dump writes whole frames on the same absolute-step schedule
+        and kill-and-resume byte identity carries over unchanged.
+        """
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         manager = checkpoint_manager
@@ -465,7 +476,49 @@ class ParallelSimulation:
             raise ValueError(
                 "checkpoint_every needs a checkpoint_dir or checkpoint_manager"
             )
+        writer = dump_writer
+        owns_writer = False
+        if writer is None and dump_path is not None:
+            from pathlib import Path
 
+            from ..traj import TrajectoryWriter
+
+            resume = self.step_count > 0 and Path(dump_path).exists()
+            writer = TrajectoryWriter(
+                dump_path,
+                system=None if resume else self.system,
+                append_from=self.step_count if resume else None,
+            )
+            owns_writer = True
+        if writer is not None and dump_every is None:
+            dump_every = 10
+        if dump_every is not None and dump_every < 1:
+            raise ValueError("dump_every must be >= 1")
+        if dump_every is not None and writer is None:
+            raise ValueError("dump_every needs a dump_path or dump_writer")
+
+        try:
+            result = self._run_loop(
+                n_steps, record_every, checkpoint_every, manager,
+                dump_every, writer,
+            )
+        except BaseException:
+            if owns_writer:
+                writer.abort()
+            raise
+        if owns_writer:
+            writer.close()
+        return result
+
+    def _run_loop(
+        self,
+        n_steps: int,
+        record_every: int,
+        checkpoint_every: Optional[int],
+        manager,
+        dump_every: Optional[int],
+        writer,
+    ) -> MDResult:
         times, pes, kes, temps, pairs = [], [], [], [], []
         if self._forces is None:
             self._pe, self._forces, self.last_stats = self.evaluator.compute(
@@ -497,10 +550,19 @@ class ParallelSimulation:
                 kes.append(self.system.kinetic_energy())
                 temps.append(self.system.temperature())
                 pairs.append(int(self.last_stats.n_edges.sum()))
+            if writer is not None and self.step_count % dump_every == 0:
+                writer.record(
+                    self.step_count,
+                    self.step_count * self.integrator.dt,
+                    self.system,
+                    pe=self._pe,
+                )
             if (
                 manager is not None
                 and (self.step_count - start) % checkpoint_every == 0
             ):
+                if writer is not None:
+                    writer.barrier()
                 manager.save(self.get_state(), self.step_count)
         wall = time.perf_counter() - t0
         return MDResult(

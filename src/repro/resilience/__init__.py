@@ -37,6 +37,7 @@ from .faults import (
     RANK_FAIL,
     REPLAY_FAIL,
     TORN_WRITE,
+    TRAJ_TORN_CHUNK,
     TRAIN_LABEL_CORRUPTION,
     TRAIN_STEP_FAILURE,
     WORKER_CRASH,
@@ -74,6 +75,7 @@ __all__ = [
     "RANK_FAIL",
     "REPLAY_FAIL",
     "TORN_WRITE",
+    "TRAJ_TORN_CHUNK",
     "TRAIN_LABEL_CORRUPTION",
     "TRAIN_STEP_FAILURE",
     "WORKER_CRASH",

@@ -30,6 +30,10 @@ Channels used by the built-in injection sites:
   consults once per :meth:`~repro.resilience.CheckpointManager.save` (a
   firing simulates a process killed mid-write on a non-atomic filesystem:
   a truncated, unverifiable file lands at the target path).
+* ``traj.torn_chunk`` — :class:`repro.traj.TrajectoryStore` consults once
+  per chunk commit (a firing writes the chunk header plus only half the
+  payload: a process killed mid-append; the reader must quarantine the
+  chunk on its CRC, never return corrupt frames).
 """
 
 from __future__ import annotations
@@ -52,6 +56,7 @@ __all__ = [
     "TRAIN_LABEL_CORRUPTION",
     "TRAIN_STEP_FAILURE",
     "TORN_WRITE",
+    "TRAJ_TORN_CHUNK",
     "InjectedFault",
     "FaultPlan",
     "FaultyPotential",
@@ -68,6 +73,7 @@ POTENTIAL_CORRUPT = "potential.corrupt"
 TRAIN_LABEL_CORRUPTION = "train.label_corruption"
 TRAIN_STEP_FAILURE = "train.step_failure"
 TORN_WRITE = "checkpoint.torn_write"
+TRAJ_TORN_CHUNK = "traj.torn_chunk"
 
 
 class InjectedFault(RuntimeError):

@@ -1,0 +1,54 @@
+"""repro.traj — binary chunked trajectory store with async writer.
+
+The trajectory data plane: a crash-atomic binary on-disk format
+(:mod:`repro.traj.format` / :mod:`repro.traj.store`), an asynchronous
+double-buffered writer that keeps dumps off the MD hot path
+(:mod:`repro.traj.writer`), and single-pass streaming analysis folds
+(:mod:`repro.traj.stream`).  See README §"Trajectory data plane" and
+DESIGN §16 for the format layout and the determinism contract.
+"""
+
+from .format import (
+    Frame,
+    FileHeader,
+    TrajError,
+    TrajFormatError,
+    frame_nbytes,
+)
+from .store import (
+    DEFAULT_FRAMES_PER_CHUNK,
+    TRAJ_TORN_CHUNK,
+    FrameQuarantinedError,
+    TrajectoryReader,
+    TrajectoryStore,
+    sidecar_path,
+)
+from .stream import (
+    StreamingMSD,
+    StreamingRDF,
+    StreamingThermo,
+    StreamingVACF,
+    analyze_stream,
+)
+from .writer import DEFAULT_QUEUE_SIZE, TrajectoryWriter
+
+__all__ = [
+    "Frame",
+    "FileHeader",
+    "TrajError",
+    "TrajFormatError",
+    "FrameQuarantinedError",
+    "TrajectoryStore",
+    "TrajectoryReader",
+    "TrajectoryWriter",
+    "StreamingMSD",
+    "StreamingVACF",
+    "StreamingRDF",
+    "StreamingThermo",
+    "analyze_stream",
+    "frame_nbytes",
+    "sidecar_path",
+    "DEFAULT_FRAMES_PER_CHUNK",
+    "DEFAULT_QUEUE_SIZE",
+    "TRAJ_TORN_CHUNK",
+]

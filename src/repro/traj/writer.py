@@ -1,0 +1,281 @@
+"""Asynchronous double-buffered trajectory writer: dumps off the hot path.
+
+The MD step loop must never block on encode/compress/fsync — the paper's
+throughput numbers account the *whole application including I/O*
+(§VII-B), and a synchronous text dump is exactly the overhead they avoid.
+:class:`TrajectoryWriter` therefore splits the dump into two buffers:
+
+1. the **hot-path snapshot** (`span("md.dump")`): copy positions,
+   velocities, and cell into a :class:`~repro.traj.format.Frame` and push
+   it onto a bounded queue — O(N) memcpy, no I/O;
+2. the **background worker thread**, which drains the queue into the
+   chunk buffer of a :class:`~repro.traj.store.TrajectoryStore`
+   (`span("traj.encode")` / `span("traj.flush")`).
+
+Backpressure policy when the queue is full: ``"block"`` (default — the
+producer waits, nothing is ever lost, and the file stays a deterministic
+function of the step sequence) or ``"drop"`` (the frame is discarded and
+``traj.frames_dropped`` counts it — for runs where steady throughput
+matters more than a complete trajectory).
+
+Determinism contract (the kill-and-resume guarantee): :meth:`barrier`
+drains the queue *and commits the open partial chunk*; the MD driver
+calls it immediately before every checkpoint save, which pins chunk
+boundaries to the checkpoint schedule.  A run resumed from a checkpoint
+(``append_from=``) therefore appends exactly the missing frames and the
+file ends up byte-identical to an uninterrupted run.  :meth:`abort` is
+the crash-shaped close (buffer dropped, no footer); :meth:`rollback`
+truncates past-the-restore frames when the watchdog recovers in-process.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Optional
+
+import numpy as np
+
+from ..obs import span
+from .format import Frame, TrajError
+from .store import DEFAULT_FRAMES_PER_CHUNK, TrajectoryStore
+
+__all__ = ["TrajectoryWriter", "DEFAULT_QUEUE_SIZE"]
+
+DEFAULT_QUEUE_SIZE = 64
+
+_CLOSE = object()  # sentinel: drain and stop the worker
+
+
+class _Barrier:
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+class _Rollback:
+    __slots__ = ("max_step", "event")
+
+    def __init__(self, max_step: int) -> None:
+        self.max_step = max_step
+        self.event = threading.Event()
+
+
+class TrajectoryWriter:
+    """Bounded-queue async facade over :class:`TrajectoryStore`.
+
+    Parameters
+    ----------
+    system:
+        Source of the file header tables (required unless appending).
+    append_from:
+        Resume mode — truncate an existing file to ``step <= append_from``
+        and continue (see :class:`TrajectoryStore`).
+    policy:
+        ``"block"`` or ``"drop"`` — what a full queue does to the
+        producer.
+    queue_size:
+        Bound on in-flight snapshots (each holds 2 × [N, 3] float64).
+    """
+
+    def __init__(
+        self,
+        path,
+        system=None,
+        frames_per_chunk: int = DEFAULT_FRAMES_PER_CHUNK,
+        compression: bool = True,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        policy: str = "block",
+        append_from: Optional[int] = None,
+        registry=None,
+        fault_plan=None,
+    ) -> None:
+        if policy not in ("block", "drop"):
+            raise ValueError(f"unknown backpressure policy {policy!r} (block|drop)")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.policy = policy
+        self._store = TrajectoryStore(
+            path,
+            system=system,
+            frames_per_chunk=frames_per_chunk,
+            compression=compression,
+            append_from=append_from,
+            registry=registry,
+            fault_plan=fault_plan,
+        )
+        self._q: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._error: Optional[BaseException] = None
+        self._aborting = False
+        self.closed = False
+        self.frames_recorded = 0
+        self.frames_dropped = 0
+        if registry is not None:
+            self._c_recorded = registry.counter("traj.frames_recorded")
+            self._c_dropped = registry.counter("traj.frames_dropped")
+            self._g_depth = registry.gauge("traj.queue_depth")
+        else:
+            self._c_recorded = self._c_dropped = self._g_depth = None
+        self._worker = threading.Thread(
+            target=self._drain, name="traj-writer", daemon=True
+        )
+        self._worker.start()
+
+    @property
+    def path(self):
+        return self._store.path
+
+    @property
+    def store(self) -> TrajectoryStore:
+        return self._store
+
+    # -- hot path -------------------------------------------------------------
+    def record(
+        self,
+        step: int,
+        time_fs: float,
+        system,
+        pe: float = float("nan"),
+    ) -> None:
+        """Snapshot the system and enqueue it; returns before any I/O."""
+        self._raise_pending()
+        if self.closed:
+            raise TrajError("trajectory writer is closed")
+        with span("md.dump") as sp:
+            frame = Frame(
+                step=int(step),
+                time_fs=float(time_fs),
+                pe=float(pe),
+                cell_lengths=(
+                    None
+                    if system.cell is None
+                    else np.array(system.cell.lengths, dtype=np.float64)
+                ),
+                positions=np.array(system.positions, dtype=np.float64),
+                velocities=np.array(system.velocities, dtype=np.float64),
+            )
+            if self.policy == "block":
+                self._q.put(frame)
+            else:
+                try:
+                    self._q.put_nowait(frame)
+                except queue.Full:
+                    self.frames_dropped += 1
+                    if self._c_dropped is not None:
+                        self._c_dropped.inc()
+                    sp.add("dropped", 1)
+                    return
+            self.frames_recorded += 1
+            if self._c_recorded is not None:
+                self._c_recorded.inc()
+            if self._g_depth is not None:
+                self._g_depth.set(self._q.qsize())
+
+    # -- synchronization ------------------------------------------------------
+    def barrier(self) -> None:
+        """Block until every queued frame is durable (partial chunk committed).
+
+        Called by the MD driver right before each checkpoint save: chunk
+        boundaries become a function of the checkpoint schedule, which is
+        what makes kill-and-resume trajectories byte-identical.
+        """
+        self._raise_pending()
+        if self.closed:
+            return
+        b = _Barrier()
+        self._q.put(b)
+        b.event.wait()
+        self._raise_pending()
+
+    def rollback(self, max_step: int) -> None:
+        """Truncate every frame with ``step > max_step`` (queued or on disk).
+
+        The trajectory half of watchdog recovery: the replayed steps
+        re-dump their frames, so after rollback the file evolves exactly
+        as if the instability never happened.
+        """
+        self._raise_pending()
+        if self.closed:
+            raise TrajError("trajectory writer is closed")
+        r = _Rollback(int(max_step))
+        self._q.put(r)
+        r.event.wait()
+        self._raise_pending()
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Drain, commit, write the footer index, and stop the worker."""
+        if self.closed:
+            return
+        self._q.put(_CLOSE)
+        self._worker.join()
+        self.closed = True
+        if not self._store.closed:
+            self._store.close()
+        self._raise_pending()
+
+    def abort(self) -> None:
+        """Crash-shaped stop: queued + buffered frames are dropped, no footer.
+
+        Deterministic stand-in for a kill: everything past the last
+        committed chunk is lost, exactly what a dead process leaves
+        behind.  Used by the MD driver when the run raises.
+        """
+        if self.closed:
+            return
+        self._aborting = True
+        self._q.put(_CLOSE)
+        self._worker.join()
+        self.closed = True
+        self._store.abort()
+
+    def stats(self) -> dict:
+        out = self._store.stats()
+        out.update(
+            {
+                "frames_recorded": self.frames_recorded,
+                "frames_dropped": self.frames_dropped,
+                "policy": self.policy,
+                "queue_depth": self._q.qsize(),
+            }
+        )
+        return out
+
+    def __enter__(self) -> "TrajectoryWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+    # -- worker ---------------------------------------------------------------
+    def _raise_pending(self) -> None:
+        if self._error is not None:
+            err, self._error = self._error, None
+            raise TrajError(f"trajectory worker failed: {err}") from err
+
+    def _drain(self) -> None:
+        while True:
+            item = self._q.get()
+            try:
+                if item is _CLOSE:
+                    return
+                if isinstance(item, _Barrier):
+                    if self._error is None and not self._aborting:
+                        self._store.commit()
+                    item.event.set()
+                elif isinstance(item, _Rollback):
+                    if self._error is None and not self._aborting:
+                        self._store.truncate(item.max_step)
+                    item.event.set()
+                elif self._error is None and not self._aborting:
+                    self._store.append(item)
+                if self._g_depth is not None:
+                    self._g_depth.set(self._q.qsize())
+            except BaseException as exc:  # surfaced on the next producer call
+                self._error = exc
+                if isinstance(item, (_Barrier, _Rollback)):
+                    item.event.set()
